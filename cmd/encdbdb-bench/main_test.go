@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    []int
+		wantErr bool
+	}{
+		{give: "1", want: []int{1}},
+		{give: "10,20,30", want: []int{10, 20, 30}},
+		{give: " 5 , 6 ", want: []int{5, 6}},
+		{give: "1,,2", want: []int{1, 2}},
+		{give: "", wantErr: true},
+		{give: "abc", wantErr: true},
+		{give: "0", wantErr: true},
+		{give: "-3", wantErr: true},
+		{give: "1,x", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseInts(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseInts(%q) succeeded with %v, want error", tt.give, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseInts(%q): %v", tt.give, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+				break
+			}
+		}
+	}
+}

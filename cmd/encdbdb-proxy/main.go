@@ -1,0 +1,113 @@
+// Command encdbdb-proxy is the trusted proxy of paper Fig. 2: it connects to
+// a remote EncDBDB provider, optionally provisions the provider's enclave
+// with the master key (remote attestation against the expected enclave
+// identity), and then serves an interactive SQL shell in which all query
+// constants are encrypted before leaving this process.
+//
+// Usage:
+//
+//	encdbdb-proxy -addr 127.0.0.1:7687 -provision            # fresh key
+//	encdbdb-proxy -addr 127.0.0.1:7687 -key <32 hex chars>   # existing key
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/encdbdb/encdbdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "encdbdb-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7687", "provider address")
+		keyHex    = flag.String("key", "", "master key as 32 hex chars (default: generate fresh)")
+		provision = flag.Bool("provision", false, "attest the provider's enclave and deploy the master key")
+		identity  = flag.String("identity", encdbdb.DefaultEnclaveIdentity, "expected enclave code identity")
+	)
+	flag.Parse()
+
+	var (
+		owner *encdbdb.DataOwner
+		err   error
+	)
+	if *keyHex == "" {
+		owner, err = encdbdb.NewDataOwner()
+	} else {
+		var key []byte
+		key, err = hex.DecodeString(*keyHex)
+		if err == nil {
+			owner, err = encdbdb.NewDataOwnerWithKey(key)
+		}
+	}
+	if err != nil {
+		return err
+	}
+
+	client, err := encdbdb.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	if *provision {
+		if err := owner.ProvisionClient(client, encdbdb.Measurement(*identity)); err != nil {
+			return fmt.Errorf("provision: %w", err)
+		}
+		fmt.Println("enclave attested and provisioned")
+	}
+	sess, err := owner.RemoteSession(client)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connected to %s — master key %s\n", *addr, hex.EncodeToString(owner.MasterKey()))
+	fmt.Println(`type SQL statements or \quit`)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("proxy> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return scanner.Err()
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\quit` || line == `\q` {
+			return nil
+		}
+		res, err := sess.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		switch res.Kind {
+		case encdbdb.KindOK:
+			fmt.Println("ok")
+		case encdbdb.KindCount:
+			fmt.Printf("count: %d\n", res.Count)
+		case encdbdb.KindAffected:
+			fmt.Printf("affected: %d\n", res.Affected)
+		default:
+			if len(res.Columns) > 0 {
+				fmt.Println(strings.Join(res.Columns, " | "))
+			}
+			for _, row := range res.Rows {
+				fmt.Println(strings.Join(row, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		}
+	}
+}

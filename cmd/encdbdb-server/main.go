@@ -1,0 +1,66 @@
+// Command encdbdb-server runs the untrusted DBaaS provider of paper Fig. 2:
+// the engine plus the enclave, exposed over the wire protocol. The enclave
+// starts unprovisioned; a data owner attests and provisions it remotely
+// (see cmd/encdbdb-proxy).
+//
+// Usage:
+//
+//	encdbdb-server -addr :7687 [-load table.encdb ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"github.com/encdbdb/encdbdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "encdbdb-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
+	flag.Parse()
+
+	db, err := encdbdb.Open()
+	if err != nil {
+		return err
+	}
+	for _, path := range flag.Args() {
+		if err := db.LoadTable(path); err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+		log.Printf("loaded %s", path)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("EncDBDB provider listening on %s (enclave measurement for identity %q awaits provisioning)",
+		ln.Addr(), encdbdb.DefaultEnclaveIdentity)
+
+	done := make(chan error, 1)
+	go func() { done <- db.Serve(ln, log.Printf) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case err := <-done:
+		return err
+	case <-sig:
+		log.Printf("shutting down")
+		if err := db.Shutdown(); err != nil {
+			return err
+		}
+		return <-done
+	}
+}

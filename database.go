@@ -1,0 +1,151 @@
+package encdbdb
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/search"
+	"github.com/encdbdb/encdbdb/internal/storage"
+	"github.com/encdbdb/encdbdb/internal/wire"
+)
+
+// Database is an EncDBDB provider instance: the untrusted engine plus the
+// trusted enclave it delegates dictionary searches to. In production the
+// provider runs at the DBaaS; embedded deployments hold it in process.
+type Database struct {
+	platform *enclave.Platform
+	encl     *enclave.Enclave
+	db       *engine.DB
+	server   *wire.Server
+}
+
+// Options configure Open.
+type Options struct {
+	// EnclaveIdentity is the enclave's code identity; its hash is the
+	// attestation measurement. Defaults to DefaultEnclaveIdentity.
+	EnclaveIdentity string
+	// MemoryBudget caps simulated enclave memory (0 = the SGX v2 default
+	// of ~96 MB).
+	MemoryBudget int
+	// Observer receives the enclave's untrusted memory access pattern
+	// (for security evaluation).
+	Observer enclave.AccessObserver
+	// PadProbes makes the observable access count of sorted and rotated
+	// dictionary searches independent of the queried range by issuing
+	// dummy probes up to a fixed size-dependent target (side-channel
+	// mitigation; see internal/enclave).
+	PadProbes bool
+	// AVMode selects the attribute-vector strategy for unsorted
+	// dictionaries (0 = sorted probe).
+	AVMode search.AVMode
+	// Workers bounds attribute-vector scan parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultEnclaveIdentity is the code identity of this repository's enclave.
+const DefaultEnclaveIdentity = "encdbdb-enclave-v1"
+
+// Open launches a provider: a fresh platform, a measured enclave, and an
+// empty engine. The enclave must be provisioned by a DataOwner before
+// encrypted columns can be used.
+func Open(opts ...Options) (*Database, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.EnclaveIdentity == "" {
+		o.EnclaveIdentity = DefaultEnclaveIdentity
+	}
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return nil, fmt.Errorf("encdbdb: %w", err)
+	}
+	encl, err := platform.Launch(enclave.Config{
+		Identity:     o.EnclaveIdentity,
+		MemoryBudget: o.MemoryBudget,
+		Observer:     o.Observer,
+		PadProbes:    o.PadProbes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("encdbdb: %w", err)
+	}
+	var engOpts []engine.Option
+	if o.AVMode != 0 {
+		engOpts = append(engOpts, engine.WithAVMode(o.AVMode))
+	}
+	if o.Workers != 0 {
+		engOpts = append(engOpts, engine.WithWorkers(o.Workers))
+	}
+	return &Database{
+		platform: platform,
+		encl:     encl,
+		db:       engine.New(encl, engOpts...),
+	}, nil
+}
+
+// Tables lists the registered tables.
+func (d *Database) Tables() []string { return d.db.Tables() }
+
+// Rows returns a table's total row count (including invalidated rows).
+func (d *Database) Rows(table string) (int, error) { return d.db.Rows(table) }
+
+// StorageBytes returns a table's storage footprint in bytes.
+func (d *Database) StorageBytes(table string) (int, error) { return d.db.StorageBytes(table) }
+
+// EnclaveStats returns the enclave's boundary counters (ECALLs, loads,
+// decryptions) since the last reset.
+func (d *Database) EnclaveStats() enclave.Stats { return d.encl.Stats() }
+
+// ResetEnclaveStats zeroes the boundary counters.
+func (d *Database) ResetEnclaveStats() { d.encl.ResetStats() }
+
+// ImportPlaintextTable is the trusted-setup variant of paper §4.2: the
+// provider receives plaintext rows and performs the column splits and
+// encryptions inside the enclave. The enclave must be provisioned first.
+// Prefer DataOwner.DeployTable, which keeps plaintext on the owner's side.
+func (d *Database) ImportPlaintextTable(schema Schema, rows [][]string) error {
+	if err := d.db.CreateTable(schema); err != nil {
+		return err
+	}
+	for j, def := range schema.Columns {
+		col := make([][]byte, len(rows))
+		for i, r := range rows {
+			if j < len(r) {
+				col[i] = []byte(r[j])
+			} else {
+				col[i] = []byte{}
+			}
+		}
+		if err := d.db.ImportPlaintextColumn(schema.Table, def.Name, col); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveTable persists one table to path (atomic write, CRC-protected).
+func (d *Database) SaveTable(table, path string) error {
+	return storage.SaveTable(d.db, table, path)
+}
+
+// LoadTable restores a table previously written with SaveTable.
+func (d *Database) LoadTable(path string) error {
+	return storage.LoadTable(d.db, path)
+}
+
+// Serve exposes the provider on a TCP listener using the wire protocol,
+// blocking until Shutdown. Remote proxies connect with Dial.
+func (d *Database) Serve(ln net.Listener, logf func(format string, args ...any)) error {
+	d.server = wire.NewServer(d.db, logf)
+	return d.server.Serve(ln)
+}
+
+// Shutdown stops a running Serve.
+func (d *Database) Shutdown() error {
+	if d.server == nil {
+		return nil
+	}
+	return d.server.Close()
+}

@@ -1,0 +1,107 @@
+// Clientserver: the full deployment topology of paper Fig. 2 over TCP — an
+// untrusted provider process (engine + enclave) and a trusted side (data
+// owner + proxy) that attests the enclave remotely, provisions the master
+// key over the attested channel, bulk-loads encrypted columns, and queries.
+// Both ends run in this one program for demonstration; cmd/encdbdb-server
+// and cmd/encdbdb-proxy are the split binaries.
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"github.com/encdbdb/encdbdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// ---- Provider side (untrusted, would run at the DBaaS). ----
+	provider, err := encdbdb.Open()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := provider.Serve(ln, nil); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer provider.Shutdown()
+	fmt.Printf("provider listening on %s\n", ln.Addr())
+
+	// ---- Trusted side (data owner premises). ----
+	owner, err := encdbdb.NewDataOwner()
+	if err != nil {
+		return err
+	}
+	client, err := encdbdb.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Remote attestation: the owner pins the enclave identity it audited
+	// and ships SK_DB over the X25519 channel bound into the quote.
+	if err := owner.ProvisionClient(client, encdbdb.Measurement(encdbdb.DefaultEnclaveIdentity)); err != nil {
+		return err
+	}
+	fmt.Println("remote enclave attested and provisioned")
+	return remoteQueries(owner, client)
+}
+
+// remoteQueries bulk-deploys encrypted columns (split and encrypted
+// locally; only ciphertext structures travel) and runs queries remotely.
+func remoteQueries(owner *encdbdb.DataOwner, client *encdbdb.Client) error {
+	schema := encdbdb.Schema{
+		Table: "events",
+		Columns: []encdbdb.ColumnDef{
+			{Name: "day", Kind: encdbdb.ED1, MaxLen: 10},
+			{Name: "kind", Kind: encdbdb.ED5, MaxLen: 12, BSMax: 5},
+		},
+	}
+	rows := [][]string{
+		{"2026-06-01", "login"},
+		{"2026-06-01", "purchase"},
+		{"2026-06-02", "login"},
+		{"2026-06-03", "refund"},
+		{"2026-06-03", "login"},
+	}
+	if err := owner.DeployTableClient(client, schema, rows); err != nil {
+		return err
+	}
+	fmt.Printf("deployed %d encrypted rows\n", len(rows))
+
+	sess, err := owner.RemoteSession(client)
+	if err != nil {
+		return err
+	}
+	res, err := sess.Exec("SELECT day, kind FROM events WHERE day >= '2026-06-02'")
+	if err != nil {
+		return err
+	}
+	fmt.Println("events since 2026-06-02:")
+	for _, r := range res.Rows {
+		fmt.Printf("  %s  %s\n", r[0], r[1])
+	}
+
+	if _, err := sess.Exec("INSERT INTO events VALUES ('2026-06-04', 'login')"); err != nil {
+		return err
+	}
+	cnt, err := sess.Exec("SELECT COUNT(*) FROM events WHERE kind = 'login'")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("logins: %d\n", cnt.Count)
+	return nil
+}

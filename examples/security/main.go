@@ -1,0 +1,152 @@
+// Security: the paper's usage guideline (§6.4) made executable. A data
+// owner evaluates candidate encrypted dictionaries on their own plaintext
+// data before outsourcing: the leakage report quantifies frequency leakage,
+// order leakage, and the success of a frequency-analysis attacker for each
+// ED, and an access-pattern observer shows what the provider's OS sees
+// during queries.
+//
+//	go run ./examples/security
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"github.com/encdbdb/encdbdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	owner, err := encdbdb.NewDataOwner()
+	if err != nil {
+		return err
+	}
+
+	// A skewed column — the worst case for frequency leakage: a handful
+	// of diagnoses dominate, exactly the setting of the inference attacks
+	// the paper cites (Naveed et al.).
+	values := skewedDiagnoses(8000)
+
+	fmt.Println("owner-side leakage evaluation (8000 rows, heavily skewed):")
+	fmt.Printf("%-5s %8s %10s %12s %14s %14s\n",
+		"kind", "|D|", "max freq", "adj. order", "freq attack", "order attack")
+	kinds := []encdbdb.Kind{
+		encdbdb.ED1, encdbdb.ED2, encdbdb.ED3,
+		encdbdb.ED4, encdbdb.ED5, encdbdb.ED6,
+		encdbdb.ED7, encdbdb.ED8, encdbdb.ED9,
+	}
+	for _, k := range kinds {
+		rep, err := owner.EvaluateLeakage(k, 24, 10, values)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-5v %8d %10d %12.3f %13.1f%% %13.1f%%\n",
+			k, rep.DictionaryEntries, rep.MaxValueIDFrequency,
+			rep.AdjacentOrderScore,
+			100*rep.FrequencyAttackRecovery,
+			100*rep.OrderAttackRecovery)
+	}
+	fmt.Println()
+	fmt.Println("reading the table (paper §6.4):")
+	fmt.Println("  ED1 is fastest but falls to both attacks;")
+	fmt.Println("  the frequency attack collapses once smoothing (ED4-6) or hiding (ED7-9) is used;")
+	fmt.Println("  the order attack still breaks sorted dictionaries (ED4, ED7) and degrades for")
+	fmt.Println("  rotated ones — ED5 is the usual tradeoff, ED9 resists both when security dominates.")
+	fmt.Println()
+
+	// What does the provider actually observe during a query? Attach an
+	// access observer to the enclave's untrusted-memory loads.
+	obs := &recorder{}
+	db, err := encdbdb.Open(encdbdb.Options{Observer: obs})
+	if err != nil {
+		return err
+	}
+	if err := owner.Provision(db); err != nil {
+		return err
+	}
+	if err := owner.DeployTable(db, encdbdb.Schema{
+		Table: "patients",
+		Columns: []encdbdb.ColumnDef{
+			{Name: "diagnosis", Kind: encdbdb.ED5, MaxLen: 24, BSMax: 10},
+		},
+	}, toRows(values)); err != nil {
+		return err
+	}
+	sess, err := owner.Session(db)
+	if err != nil {
+		return err
+	}
+	obs.reset()
+	if _, err := sess.Exec("SELECT COUNT(*) FROM patients WHERE diagnosis = 'hypertension'"); err != nil {
+		return err
+	}
+	fmt.Printf("provider-visible access pattern of one ED5 equality query: %d dictionary\n", len(obs.snapshot()))
+	fmt.Printf("entries touched (binary search over %d entries): indices %v\n", dictEntries(db), obs.snapshot())
+	fmt.Println("every touched entry is a PAE ciphertext; the query constants were encrypted too.")
+	return nil
+}
+
+// recorder collects enclave access indices.
+type recorder struct {
+	mu      sync.Mutex
+	indices []int
+}
+
+func (r *recorder) Access(table, column string, index int) {
+	r.mu.Lock()
+	r.indices = append(r.indices, index)
+	r.mu.Unlock()
+}
+
+func (r *recorder) reset() {
+	r.mu.Lock()
+	r.indices = nil
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.indices...)
+}
+
+func skewedDiagnoses(n int) []string {
+	diagnoses := []string{
+		"hypertension", "diabetes-t2", "asthma", "migraine",
+		"arthritis", "anemia", "glaucoma", "psoriasis",
+	}
+	rng := rand.New(rand.NewSource(11))
+	out := make([]string, n)
+	for i := range out {
+		k := 0
+		for k < len(diagnoses)-1 && rng.Intn(2) == 0 {
+			k++
+		}
+		out[i] = diagnoses[k]
+	}
+	return out
+}
+
+func toRows(values []string) [][]string {
+	rows := make([][]string, len(values))
+	for i, v := range values {
+		rows[i] = []string{v}
+	}
+	return rows
+}
+
+func dictEntries(db *encdbdb.Database) int {
+	// The dictionary size is public metadata at the provider.
+	n, err := db.Rows("patients")
+	if err != nil {
+		return 0
+	}
+	return n // upper bound; ED5's |D| is below the row count
+}

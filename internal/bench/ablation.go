@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"text/tabwriter"
+	"time"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/search"
+	"github.com/encdbdb/encdbdb/internal/workload"
+)
+
+// AblationAV compares the three AttrVectSearch strategies for unsorted
+// dictionaries (DESIGN.md ablation A1): the paper's literal nested loop,
+// the default sorted-probe scan, and a bitset.
+func AblationAV(cfg Config) error {
+	rows := cfg.Rows[len(cfg.Rows)-1]
+	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "AV mode\tRS\tavg latency\n")
+	modes := []struct {
+		name string
+		mode search.AVMode
+	}{
+		{name: "nested loop (paper literal)", mode: search.AVNestedLoop},
+		{name: "sorted probe (default)", mode: search.AVSortedProbe},
+		{name: "bitset", mode: search.AVBitset},
+	}
+	for _, rs := range cfg.RangeSizes {
+		if rs > len(col.SortedUnique) {
+			continue
+		}
+		for _, m := range modes {
+			sys, err := newSystem(engine.WithAVMode(m.mode), engine.WithWorkers(cfg.Workers))
+			if err != nil {
+				return err
+			}
+			def := defFor(dict.ED9, col.Profile.ValueLen, 0, false)
+			if err := sys.loadTable("aav", def, col.Values, cfg.Seed); err != nil {
+				return err
+			}
+			gen, err := workload.NewQueryGen(col, rs, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			filters, err := sys.prepareFilters("aav", def, gen, cfg.Queries)
+			if err != nil {
+				return err
+			}
+			lat, _, err := sys.timeQueries("aav", filters)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\n", m.name, rs, ms(workload.Summarize(lat).Mean))
+		}
+	}
+	return tw.Flush()
+}
+
+// AblationBSMax sweeps the frequency smoothing parameter (DESIGN.md
+// ablation A2), extending Table 6's three bsmax points with the latency and
+// leakage-bound tradeoff the paper describes in §4.1.
+func AblationBSMax(cfg Config) error {
+	rows := cfg.Rows[0]
+	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "bsmax\t|D|\tstorage\tfreq bound\tavg latency(RS=%d)\n", cfg.RangeSizes[0])
+	for _, bs := range []int{1, 2, 10, 100} {
+		sys, err := newSystem(engine.WithWorkers(cfg.Workers))
+		if err != nil {
+			return err
+		}
+		def := defFor(dict.ED5, col.Profile.ValueLen, bs, false)
+		if err := sys.loadTable("abs", def, col.Values, cfg.Seed); err != nil {
+			return err
+		}
+		snap, err := sys.db.Snapshot("abs")
+		if err != nil {
+			return err
+		}
+		split, err := dict.FromData(snap.Columns[0].Main)
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewQueryGen(col, cfg.RangeSizes[0], cfg.Seed)
+		if err != nil {
+			return err
+		}
+		filters, err := sys.prepareFilters("abs", def, gen, cfg.Queries)
+		if err != nil {
+			return err
+		}
+		lat, _, err := sys.timeQueries("abs", filters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t<=%d\t%s\n",
+			bs, split.Len(), mb(split.SizeBytes()), bs, ms(workload.Summarize(lat).Mean))
+	}
+	return tw.Flush()
+}
+
+// AblationOptimizer measures the filter-reordering query optimizer
+// (DESIGN.md S19): a conjunctive query whose cheap sorted filter is empty
+// must short-circuit the expensive unsorted scan when reordering is on.
+func AblationOptimizer(cfg Config) error {
+	rows := cfg.Rows[len(cfg.Rows)-1]
+	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "optimizer\tavg latency\tenclave loads/query\n")
+	for _, reorder := range []bool{true, false} {
+		sys, err := newSystem(engine.WithFilterReorder(reorder), engine.WithWorkers(cfg.Workers))
+		if err != nil {
+			return err
+		}
+		cheap := defFor(dict.ED1, col.Profile.ValueLen, 0, false)
+		cheap.Name = "cheap"
+		costly := defFor(dict.ED9, col.Profile.ValueLen, 0, false)
+		costly.Name = "costly"
+		if err := sys.db.CreateTable(engine.Schema{Table: "aopt", Columns: []engine.ColumnDef{cheap, costly}}); err != nil {
+			return err
+		}
+		for _, def := range []engine.ColumnDef{cheap, costly} {
+			split, err := sys.buildSplit("aopt", def, col.Values, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			if err := sys.db.ImportColumn("aopt", def.Name, split); err != nil {
+				return err
+			}
+		}
+		// The cheap filter never matches; the costly filter matches all.
+		noMatch, err := sys.filter("aopt", cheap, search.Eq([]byte("ZZZZ")))
+		if err != nil {
+			return err
+		}
+		all, err := sys.filter("aopt", costly, search.Closed([]byte("a"), []byte("zzzz")))
+		if err != nil {
+			return err
+		}
+		sys.encl.ResetStats()
+		lat := make([]float64, cfg.Queries)
+		for i := range lat {
+			start := time.Now()
+			// Written expensive-first: only the optimizer saves us.
+			if _, err := sys.db.Select(engine.Query{
+				Table:     "aopt",
+				Filters:   []engine.Filter{all, noMatch},
+				CountOnly: true,
+			}); err != nil {
+				return err
+			}
+			lat[i] = float64(time.Since(start).Microseconds())
+		}
+		stats := sys.encl.Stats()
+		label := "on (default)"
+		if !reorder {
+			label = "off"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\n", label,
+			ms(workload.Summarize(lat).Mean),
+			float64(stats.Loads)/float64(cfg.Queries))
+	}
+	return tw.Flush()
+}
+
+// AblationEnclave quantifies the enclave boundary cost (DESIGN.md ablation
+// A3): identical ED1 searches with and without the enclave/PAE, plus the
+// measured boundary counters backing the paper's "one context switch per
+// query" claim.
+func AblationEnclave(cfg Config) error {
+	rows := cfg.Rows[len(cfg.Rows)-1]
+	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
+	gen, err := workload.NewQueryGen(col, cfg.RangeSizes[0], cfg.Seed)
+	if err != nil {
+		return err
+	}
+	queries := make([]search.Range, cfg.Queries)
+	for i := range queries {
+		queries[i] = gen.Next()
+	}
+
+	var encMean, plainMean float64
+	for _, plain := range []bool{false, true} {
+		sys, err := newSystem(engine.WithWorkers(cfg.Workers))
+		if err != nil {
+			return err
+		}
+		def := defFor(dict.ED1, col.Profile.ValueLen, 0, plain)
+		if err := sys.loadTable("aen", def, col.Values, cfg.Seed); err != nil {
+			return err
+		}
+		var filters []engine.Filter
+		for _, q := range queries {
+			f, err := sys.filter("aen", def, q)
+			if err != nil {
+				return err
+			}
+			filters = append(filters, f)
+		}
+		sys.encl.ResetStats()
+		start := time.Now()
+		if _, _, err := sys.timeQueries("aen", filters); err != nil {
+			return err
+		}
+		total := time.Since(start)
+		mean := float64(total.Microseconds()) / float64(len(queries))
+		if plain {
+			plainMean = mean
+		} else {
+			encMean = mean
+			stats := sys.encl.Stats()
+			cfg.printf("enclave boundary per query: %.1f ecalls, %.1f loads, %.1f decryptions\n",
+				float64(stats.ECalls)/float64(len(queries)),
+				float64(stats.Loads)/float64(len(queries)),
+				float64(stats.Decryptions)/float64(len(queries)))
+		}
+	}
+	cfg.printf("ED1 latency: enclave+PAE %s vs plaintext %s (overhead %+.1f%%)\n",
+		ms(encMean), ms(plainMean), 100*(encMean/plainMean-1))
+	return nil
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment self-tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Rows:       []int{600},
+		Queries:    8,
+		RangeSizes: []int{2, 20},
+		BSMax:      5,
+		Seed:       42,
+		Workers:    1,
+		Out:        buf,
+	}
+}
+
+func TestExperimentsProduceOutput(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(Config) error
+		want []string
+	}{
+		{name: "table1", run: Table1, want: []string{"storage vs plaintext", "latency vs PlainDBDB"}},
+		{name: "table3", run: Table3, want: []string{"frequency revealing", "frequency hiding", "|D|"}},
+		{name: "table4", run: Table4, want: []string{"sorted", "rotated", "unsorted", "loads/query"}},
+		{name: "fig6", run: Fig6, want: []string{"ED1", "ED9", "recovery"}},
+		{name: "table6", run: Table6, want: []string{"Plaintext file", "Encrypted file", "MonetDB", "ED1/ED2/ED3", "bsmax=10", "ED7/ED8/ED9"}},
+		{name: "fig7", run: Fig7, want: []string{"C1", "C2", "avg results"}},
+		{name: "ablation-av", run: AblationAV, want: []string{"nested loop", "sorted probe", "bitset"}},
+		{name: "ablation-optimizer", run: AblationOptimizer, want: []string{"on (default)", "off", "loads/query"}},
+		{name: "ablation-bsmax", run: AblationBSMax, want: []string{"bsmax", "freq bound"}},
+		{name: "ablation-enclave", run: AblationEnclave, want: []string{"ecalls", "overhead"}},
+	}
+	for _, tt := range experiments {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := tt.run(tinyConfig(&buf)); err != nil {
+				t.Fatalf("%s: %v\noutput:\n%s", tt.name, err, buf.String())
+			}
+			out := buf.String()
+			for _, w := range tt.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("%s output lacks %q:\n%s", tt.name, w, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig8AllGroups(t *testing.T) {
+	for _, g := range []Fig8Group{Fig8A, Fig8B, Fig8C} {
+		var buf bytes.Buffer
+		cfg := tinyConfig(&buf)
+		cfg.Rows = []int{400}
+		cfg.Queries = 5
+		if err := Fig8(cfg, g); err != nil {
+			t.Fatalf("group %d: %v", g, err)
+		}
+		out := buf.String()
+		for _, w := range []string{"MonetDB", "PlainDBDB", "EncDBDB", "C1", "C2"} {
+			if !strings.Contains(out, w) {
+				t.Errorf("group %d output lacks %q:\n%s", g, w, out)
+			}
+		}
+	}
+}
+
+func TestClaimsHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims need a non-trivial dataset")
+	}
+	var buf bytes.Buffer
+	cfg := Config{
+		Rows:       []int{4000},
+		Queries:    15,
+		RangeSizes: []int{2, 50},
+		BSMax:      10,
+		Seed:       7,
+		Workers:    1,
+		Out:        &buf,
+	}
+	if err := Claims(cfg); err != nil {
+		t.Fatalf("claims failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "passed") {
+		t.Errorf("missing summary:\n%s", buf.String())
+	}
+}
+
+func TestFig6PartialOrderHolds(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Rows = []int{3000}
+	if err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "VIOLATION") {
+		t.Errorf("figure 6 partial order violated:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,137 @@
+// Package dict implements EncDBDB's dictionary encoding core: the split of a
+// column into a dictionary and an attribute vector (paper §2.1, Definition
+// 1), and the nine encrypted dictionary construction algorithms EncDB 1–9
+// (paper §4.1).
+//
+// An encrypted dictionary is defined by one option from each of two
+// dimensions (paper Table 2):
+//
+//	              sorted   rotated  unsorted
+//	revealing      ED1       ED2      ED3
+//	smoothing      ED4       ED5      ED6
+//	hiding         ED7       ED8      ED9
+//
+// The repetition option controls how often each plaintext value is inserted
+// into the dictionary (frequency leakage and |D|, Table 3); the order option
+// controls the arrangement of dictionary entries (order leakage and search
+// complexity, Table 4).
+//
+// Following the paper's implementation (§5), dictionaries are stored as a
+// fixed-size head (offset/length references in dictionary order) pointing
+// into a variable-length tail whose payloads are laid out in random order.
+package dict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies one of the nine encrypted dictionary types.
+type Kind int
+
+// The nine encrypted dictionaries of paper Table 2.
+const (
+	ED1 Kind = iota + 1 // frequency revealing, sorted
+	ED2                 // frequency revealing, rotated
+	ED3                 // frequency revealing, unsorted
+	ED4                 // frequency smoothing, sorted
+	ED5                 // frequency smoothing, rotated
+	ED6                 // frequency smoothing, unsorted
+	ED7                 // frequency hiding, sorted
+	ED8                 // frequency hiding, rotated
+	ED9                 // frequency hiding, unsorted
+)
+
+// Repetition is the repetition dimension of an encrypted dictionary: how
+// often values are repeated in D, which bounds the frequency leakage.
+type Repetition int
+
+// Repetition options (paper Table 3).
+const (
+	RepRevealing Repetition = iota + 1 // each unique value once: full frequency leakage
+	RepSmoothing                       // random buckets of size <= bsmax: bounded leakage
+	RepHiding                          // one entry per row: no frequency leakage
+)
+
+// Order is the order dimension of an encrypted dictionary: the arrangement
+// of values in D, which bounds the order leakage.
+type Order int
+
+// Order options (paper Table 4).
+const (
+	OrderSorted   Order = iota + 1 // lexicographically sorted: full order leakage
+	OrderRotated                   // sorted then rotated by a random offset: bounded leakage
+	OrderUnsorted                  // randomly shuffled: no order leakage
+)
+
+// Valid reports whether k is one of ED1–ED9.
+func (k Kind) Valid() bool { return k >= ED1 && k <= ED9 }
+
+// Repetition returns k's repetition option.
+func (k Kind) Repetition() Repetition {
+	switch k {
+	case ED1, ED2, ED3:
+		return RepRevealing
+	case ED4, ED5, ED6:
+		return RepSmoothing
+	default:
+		return RepHiding
+	}
+}
+
+// Order returns k's order option.
+func (k Kind) Order() Order {
+	switch k {
+	case ED1, ED4, ED7:
+		return OrderSorted
+	case ED2, ED5, ED8:
+		return OrderRotated
+	default:
+		return OrderUnsorted
+	}
+}
+
+// String returns the paper's name for k ("ED1" … "ED9").
+func (k Kind) String() string {
+	if !k.Valid() {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return fmt.Sprintf("ED%d", int(k))
+}
+
+// ParseKind parses "ED1" … "ED9" (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	if len(u) == 3 && strings.HasPrefix(u, "ED") && u[2] >= '1' && u[2] <= '9' {
+		return Kind(u[2]-'1') + ED1, nil
+	}
+	return 0, fmt.Errorf("dict: unknown encrypted dictionary kind %q", s)
+}
+
+// String returns a human-readable name for the repetition option.
+func (r Repetition) String() string {
+	switch r {
+	case RepRevealing:
+		return "frequency revealing"
+	case RepSmoothing:
+		return "frequency smoothing"
+	case RepHiding:
+		return "frequency hiding"
+	default:
+		return fmt.Sprintf("Repetition(%d)", int(r))
+	}
+}
+
+// String returns a human-readable name for the order option.
+func (o Order) String() string {
+	switch o {
+	case OrderSorted:
+		return "sorted"
+	case OrderRotated:
+		return "rotated"
+	case OrderUnsorted:
+		return "unsorted"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}

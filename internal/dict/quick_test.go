@@ -1,0 +1,128 @@
+package dict
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/encdbdb/encdbdb/internal/pae"
+)
+
+// quickColumn generates random NUL-free columns for testing/quick: a small
+// vocabulary drives high duplication, the adversarial regime for the
+// repetition options.
+type quickColumn [][]byte
+
+// Generate implements quick.Generator.
+func (quickColumn) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size*4 + 1)
+	u := 1 + r.Intn(size/2+1)
+	vocab := make([][]byte, u)
+	for i := range vocab {
+		l := 1 + r.Intn(6)
+		v := make([]byte, l)
+		for j := range v {
+			v[j] = byte('a' + r.Intn(6))
+		}
+		vocab[i] = v
+	}
+	col := make(quickColumn, n)
+	for i := range col {
+		col[i] = vocab[r.Intn(u)]
+	}
+	return reflect.ValueOf(col)
+}
+
+// quickKind generates a random encrypted dictionary kind.
+type quickKind Kind
+
+// Generate implements quick.Generator.
+func (quickKind) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickKind(ED1 + Kind(r.Intn(9))))
+}
+
+func TestQuickSplitCorrectnessAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func(col quickColumn, k quickKind, bsmaxSeed uint8) bool {
+		p := Params{
+			Kind:   Kind(k),
+			MaxLen: 8,
+			BSMax:  1 + int(bsmaxSeed%7),
+			Plain:  true,
+			Rand:   rng,
+		}
+		s, err := Build(col, p)
+		if err != nil {
+			return false
+		}
+		return s.VerifyCorrectness(col, func(b []byte) ([]byte, error) { return b, nil }) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitDataRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	cipher, err := pae.NewCipher(pae.MustGen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(col quickColumn, k quickKind) bool {
+		s, err := Build(col, Params{
+			Kind: Kind(k), MaxLen: 8, BSMax: 3, Cipher: cipher, Rand: rng,
+		})
+		if err != nil {
+			return false
+		}
+		back, err := FromData(s.Data())
+		if err != nil {
+			return false
+		}
+		if back.Len() != s.Len() || back.Rows() != s.Rows() || back.Kind != s.Kind {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			if string(back.Entry(i)) != string(s.Entry(i)) {
+				return false
+			}
+		}
+		return back.VerifyCorrectness(col, cipher.Decrypt) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFromDataRejectsCorruptRefs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	col := quickColumn{[]byte("aa"), []byte("bb"), []byte("aa")}
+	s, err := Build(col, Params{Kind: ED1, MaxLen: 8, Plain: true, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off, length uint32, avVid uint32) bool {
+		d := s.Data()
+		// Copy the mutable slices so each trial is independent.
+		d.Head = append([]EntryRef(nil), d.Head...)
+		d.AV = append([]uint32(nil), d.AV...)
+		d.Head[0] = EntryRef{Off: off, Len: length}
+		d.AV[0] = avVid
+		back, err := FromData(d)
+		if err != nil {
+			return true // rejected: fine
+		}
+		// Accepted: every access must stay in bounds.
+		if int(avVid) >= back.Len() {
+			return false
+		}
+		for i := 0; i < back.Len(); i++ {
+			_ = back.Entry(i)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

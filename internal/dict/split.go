@@ -1,0 +1,236 @@
+package dict
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EntryRef locates one dictionary entry's payload inside the tail.
+type EntryRef struct {
+	Off uint32
+	Len uint32
+}
+
+// entryRefSize is the serialized size of an EntryRef, used for storage
+// accounting (paper Table 6) and the on-disk format.
+const entryRefSize = 8
+
+// Split is the result of splitting a column into a dictionary and an
+// attribute vector under one of the nine encrypted dictionaries. Dictionary
+// entries are PAE ciphertexts (or raw values for the PlainDBDB baseline),
+// stored as a head of fixed-size references in dictionary order pointing
+// into a randomly ordered variable-length tail (paper §5).
+type Split struct {
+	// Kind is the encrypted dictionary type used for the split.
+	Kind Kind
+	// Plain marks a PlainDBDB-style split: identical structure and
+	// algorithms, but entries are stored unencrypted.
+	Plain bool
+	// MaxLen is the column's maximum value length in bytes.
+	MaxLen int
+	// BSMax is the maximum bucket size for frequency-smoothing kinds
+	// (0 otherwise).
+	BSMax int
+	// EncRndOffset is the PAE-encrypted rotation offset for rotated kinds
+	// (an 8-byte big-endian integer for plain splits), nil otherwise.
+	EncRndOffset []byte
+	// AV is the attribute vector: AV[j] is the ValueID of row j.
+	AV []uint32
+
+	head []EntryRef
+	tail []byte
+}
+
+// Len returns the number of dictionary entries |D|.
+func (s *Split) Len() int { return len(s.head) }
+
+// Rows returns the number of rows |AV| (= |C|).
+func (s *Split) Rows() int { return len(s.AV) }
+
+// Entry returns the payload of dictionary entry i: a PAE ciphertext, or the
+// raw value for plain splits. The returned slice aliases the tail and must
+// not be modified.
+func (s *Split) Entry(i int) []byte {
+	ref := s.head[i]
+	return s.tail[ref.Off : ref.Off+ref.Len]
+}
+
+// Load is Entry under the name required by the enclave's untrusted-memory
+// interface (search.Region), letting a Split be handed to the enclave
+// directly as the region backing a dictionary search.
+func (s *Split) Load(i int) []byte { return s.Entry(i) }
+
+// Head returns the entry reference table (dictionary order). Exposed for
+// serialization; callers must not modify it.
+func (s *Split) Head() []EntryRef { return s.head }
+
+// Tail returns the raw tail bytes. Exposed for serialization; callers must
+// not modify it.
+func (s *Split) Tail() []byte { return s.tail }
+
+// DictSizeBytes returns the storage size of the dictionary alone
+// (head references plus tail payloads plus the encrypted rotation offset).
+func (s *Split) DictSizeBytes() int {
+	return len(s.head)*entryRefSize + len(s.tail) + len(s.EncRndOffset)
+}
+
+// SizeBytes returns the total storage size of the split column: dictionary
+// plus the 4-byte-per-row attribute vector. This is the quantity compared in
+// paper Table 6.
+func (s *Split) SizeBytes() int {
+	return s.DictSizeBytes() + 4*len(s.AV)
+}
+
+// Empty returns a split with zero rows and zero dictionary entries, used as
+// the initial main store of a freshly created table whose data arrives
+// exclusively through the delta store.
+func Empty(kind Kind, maxLen, bsmax int, plain bool) *Split {
+	return &Split{Kind: kind, Plain: plain, MaxLen: maxLen, BSMax: bsmax}
+}
+
+// SplitData is the exported, serializable form of a Split, used by the
+// on-disk column store format and the client/server wire protocol.
+type SplitData struct {
+	Kind         Kind
+	Plain        bool
+	MaxLen       int
+	BSMax        int
+	EncRndOffset []byte
+	AV           []uint32
+	Head         []EntryRef
+	Tail         []byte
+}
+
+// Data returns the serializable form of s. The returned slices alias s.
+func (s *Split) Data() SplitData {
+	return SplitData{
+		Kind:         s.Kind,
+		Plain:        s.Plain,
+		MaxLen:       s.MaxLen,
+		BSMax:        s.BSMax,
+		EncRndOffset: s.EncRndOffset,
+		AV:           s.AV,
+		Head:         s.head,
+		Tail:         s.tail,
+	}
+}
+
+// FromData reconstructs a Split from its serialized form, validating the
+// structural invariants an untrusted file or peer could violate.
+func FromData(d SplitData) (*Split, error) {
+	if !d.Kind.Valid() {
+		return nil, fmt.Errorf("dict: invalid kind %d", int(d.Kind))
+	}
+	if d.MaxLen <= 0 {
+		return nil, fmt.Errorf("dict: invalid max length %d", d.MaxLen)
+	}
+	for i, ref := range d.Head {
+		end := uint64(ref.Off) + uint64(ref.Len)
+		if end > uint64(len(d.Tail)) {
+			return nil, fmt.Errorf("dict: entry %d reference [%d,%d) exceeds tail size %d",
+				i, ref.Off, end, len(d.Tail))
+		}
+	}
+	for j, vid := range d.AV {
+		if int(vid) >= len(d.Head) {
+			return nil, fmt.Errorf("dict: row %d references ValueID %d >= |D|=%d", j, vid, len(d.Head))
+		}
+	}
+	if d.Kind.Order() == OrderRotated && len(d.Head) > 0 && len(d.EncRndOffset) == 0 {
+		return nil, fmt.Errorf("dict: rotated dictionary lacks rotation offset")
+	}
+	return &Split{
+		Kind:         d.Kind,
+		Plain:        d.Plain,
+		MaxLen:       d.MaxLen,
+		BSMax:        d.BSMax,
+		EncRndOffset: d.EncRndOffset,
+		AV:           d.AV,
+		head:         d.Head,
+		tail:         d.Tail,
+	}, nil
+}
+
+// rotOffsetPlain encodes a rotation offset for plain splits.
+func rotOffsetPlain(off uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, off)
+	return b
+}
+
+// DecodeRotOffset decodes an 8-byte big-endian rotation offset as produced
+// for plain splits or decrypted from EncRndOffset inside the enclave.
+func DecodeRotOffset(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("dict: rotation offset has %d bytes, want 8", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+// VerifyCorrectness checks split correctness per Definition 1: for every row
+// j, decrypt(D[AV[j]]) must equal col[j]. decrypt is applied to each entry
+// payload; pass an identity function for plain splits. Intended for tests
+// and the data owner's post-build sanity check.
+func (s *Split) VerifyCorrectness(col [][]byte, decrypt func([]byte) ([]byte, error)) error {
+	if len(col) != len(s.AV) {
+		return fmt.Errorf("dict: column has %d rows, split has %d", len(col), len(s.AV))
+	}
+	// Decrypt each dictionary entry once, then check all rows.
+	plain := make([][]byte, s.Len())
+	for i := range plain {
+		v, err := decrypt(s.Entry(i))
+		if err != nil {
+			return fmt.Errorf("dict: decrypt entry %d: %w", i, err)
+		}
+		plain[i] = v
+	}
+	for j, vid := range s.AV {
+		if int(vid) >= len(plain) {
+			return fmt.Errorf("dict: row %d references ValueID %d >= |D|=%d", j, vid, len(plain))
+		}
+		if string(plain[vid]) != string(col[j]) {
+			return fmt.Errorf("dict: row %d: D[%d]=%q != C[%d]=%q", j, vid, plain[vid], j, col[j])
+		}
+	}
+	if err := s.verifyRepetition(plain); err != nil {
+		return err
+	}
+	return nil
+}
+
+// verifyRepetition checks the repetition option's structural invariants on
+// the decrypted dictionary (paper Table 3).
+func (s *Split) verifyRepetition(plain [][]byte) error {
+	counts := make(map[string]int, len(plain))
+	for _, v := range plain {
+		counts[string(v)]++
+	}
+	vidUse := make([]int, len(plain))
+	for _, vid := range s.AV {
+		vidUse[vid]++
+	}
+	switch s.Kind.Repetition() {
+	case RepRevealing:
+		for v, c := range counts {
+			if c != 1 {
+				return fmt.Errorf("dict: revealing split stores %q %d times", v, c)
+			}
+		}
+	case RepSmoothing:
+		for i, use := range vidUse {
+			if use < 1 || use > s.BSMax {
+				return fmt.Errorf("dict: smoothing bucket %d used %d times, want 1..%d", i, use, s.BSMax)
+			}
+		}
+	case RepHiding:
+		if len(plain) != len(s.AV) {
+			return fmt.Errorf("dict: hiding split has |D|=%d != |AV|=%d", len(plain), len(s.AV))
+		}
+		for i, use := range vidUse {
+			if use != 1 {
+				return fmt.Errorf("dict: hiding ValueID %d used %d times, want 1", i, use)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,590 @@
+package enclave
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/ordenc"
+	"github.com/encdbdb/encdbdb/internal/pae"
+	"github.com/encdbdb/encdbdb/internal/search"
+)
+
+// DefaultMemoryBudget is the simulated usable enclave page cache: SGX v2
+// reserves 128 MB of RAM of which about 96 MB are usable for enclave code
+// and data (paper §2.2).
+const DefaultMemoryBudget = 96 << 20
+
+// Config configures an enclave launch.
+type Config struct {
+	// Identity is the enclave's code identity string; its hash is the
+	// measurement that remote attestation reports.
+	Identity string
+	// MemoryBudget is the simulated EPC budget in bytes. Zero means
+	// DefaultMemoryBudget.
+	MemoryBudget int
+	// Observer, if set, receives every untrusted-memory access the
+	// enclave performs. It models the honest-but-curious attacker of
+	// paper §3.2 and is used by the leakage evaluation.
+	Observer AccessObserver
+	// PadProbes hardens sorted and rotated dictionary searches against
+	// access-pattern analysis: every search issues dummy loads (with
+	// dummy decryptions) until it reaches a fixed, size-dependent probe
+	// count, so the observable number of untrusted accesses no longer
+	// depends on the queried range. The paper treats side channels as
+	// orthogonal (§3.2) but designed the enclave to make such
+	// mitigations easy to integrate; this is one of them. Pathological
+	// wrapped-duplicate runs in ED5/ED8 can still exceed the target.
+	PadProbes bool
+}
+
+// AccessObserver sees each untrusted memory access: which column region was
+// touched and which entry index was loaded. Everything it observes is
+// ciphertext — the point of the leakage evaluation is what the pattern
+// itself reveals.
+type AccessObserver interface {
+	Access(table, column string, index int)
+}
+
+// Stats counts the enclave's boundary traffic.
+type Stats struct {
+	// ECalls is the number of enclave entries. EncDBDB needs exactly one
+	// per dictionary search (paper §5: "only one context switch is
+	// necessary for each query").
+	ECalls uint64
+	// Loads is the number of dictionary entries pulled in from untrusted
+	// memory; BytesLoaded the bytes they contained.
+	Loads       uint64
+	BytesLoaded uint64
+	// Decryptions and Encryptions count PAE operations inside the enclave.
+	Decryptions uint64
+	Encryptions uint64
+}
+
+// Enclave is the simulated trusted module. All its state — provisioned
+// keys, derived ciphers — is private; the untrusted engine interacts with
+// it exclusively through the ECALL methods.
+type Enclave struct {
+	platform    *Platform
+	measurement Measurement
+	priv        *ecdh.PrivateKey
+	budget      int
+	observer    AccessObserver
+	padProbes   bool
+
+	mu      sync.Mutex
+	master  pae.Key
+	ciphers map[string]*pae.Cipher
+	rng     *mrand.Rand
+	stats   Stats
+}
+
+// Errors returned by enclave ECALLs.
+var (
+	ErrNotProvisioned = errors.New("enclave: master key not provisioned")
+	ErrUnseal         = errors.New("enclave: unsealing master key failed")
+	ErrBudget         = errors.New("enclave: memory budget exceeded")
+	ErrBadRange       = errors.New("enclave: malformed query range")
+	ErrBadRotOffset   = errors.New("enclave: rotation offset invalid")
+)
+
+// Launch creates an enclave on this platform and measures it.
+func (p *Platform) Launch(cfg Config) (*Enclave, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: channel key: %w", err)
+	}
+	budget := cfg.MemoryBudget
+	if budget == 0 {
+		budget = DefaultMemoryBudget
+	}
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("enclave: seed: %w", err)
+	}
+	return &Enclave{
+		platform:    p,
+		measurement: Measure(cfg.Identity),
+		priv:        priv,
+		budget:      budget,
+		observer:    cfg.Observer,
+		padProbes:   cfg.PadProbes,
+		ciphers:     make(map[string]*pae.Cipher),
+		rng: mrand.New(mrand.NewSource(int64(seed[0]) | int64(seed[1])<<8 |
+			int64(seed[2])<<16 | int64(seed[3])<<24 | int64(seed[4])<<32 |
+			int64(seed[5])<<40 | int64(seed[6])<<48 | int64(seed[7])<<56)),
+	}, nil
+}
+
+// Measurement returns the enclave's measurement (public, as in SGX).
+func (e *Enclave) Measurement() Measurement { return e.measurement }
+
+// Quote produces a remote attestation quote for the verifier's nonce,
+// binding the enclave's provisioning public key.
+func (e *Enclave) Quote(nonce []byte) Quote {
+	pub := e.priv.PublicKey().Bytes()
+	return Quote{
+		Measurement: e.measurement,
+		PublicKey:   pub,
+		Nonce:       append([]byte(nil), nonce...),
+		MAC:         e.platform.quoteMAC(e.measurement, pub, nonce),
+	}
+}
+
+// Provision completes the secure channel: the enclave unseals the master
+// database key SK_DB shipped by the data owner (paper Fig. 5 step 2).
+func (e *Enclave) Provision(sk SealedKey) error {
+	ownerPub, err := ecdh.X25519().NewPublicKey(sk.OwnerPublicKey)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnseal, err)
+	}
+	shared, err := e.priv.ECDH(ownerPub)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnseal, err)
+	}
+	master, err := pae.Decrypt(channelKey(shared), sk.Ciphertext)
+	if err != nil {
+		return ErrUnseal
+	}
+	if len(master) != pae.KeySize {
+		return ErrUnseal
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.master = pae.Key(master)
+	e.ciphers = make(map[string]*pae.Cipher)
+	return nil
+}
+
+// Provisioned reports whether the master key has been deployed.
+func (e *Enclave) Provisioned() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.master != nil
+}
+
+// Stats returns a snapshot of the boundary counters.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the boundary counters.
+func (e *Enclave) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = Stats{}
+}
+
+// cipherFor derives (and caches) the column key SK_D and its AES schedule.
+func (e *Enclave) cipherFor(table, column string) (*pae.Cipher, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.master == nil {
+		return nil, ErrNotProvisioned
+	}
+	id := fmt.Sprintf("%d:%s\x00%s", len(table), table, column)
+	if c, ok := e.ciphers[id]; ok {
+		return c, nil
+	}
+	key, err := pae.Derive(e.master, table, column)
+	if err != nil {
+		return nil, err
+	}
+	c, err := pae.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	e.ciphers[id] = c
+	return c, nil
+}
+
+// ColumnMeta identifies the dictionary a search runs against; the query
+// evaluation engine attaches it before the ECALL (paper Fig. 5 step 7
+// "enriches eD with metadata: the table name, the column name, and the
+// column size").
+type ColumnMeta struct {
+	Table  string
+	Column string
+	Kind   dict.Kind
+	MaxLen int
+}
+
+// EncRange is the encrypted filter τ: PAE ciphertexts of the range bounds
+// plus inclusivity flags. The proxy converts every filter type into this
+// uniform two-sided shape so the provider cannot distinguish query types.
+type EncRange struct {
+	Start     []byte
+	End       []byte
+	StartIncl bool
+	EndIncl   bool
+}
+
+// SearchResult is the output of a dictionary search ECALL: ValueID ranges
+// for sorted and rotated dictionaries (at most two), a ValueID list for
+// unsorted dictionaries.
+type SearchResult struct {
+	Ranges []search.VidRange
+	IDs    []uint32
+}
+
+// DictSearch is the EnclDictSearch ECALL (paper Fig. 5 steps 8-10): it
+// derives SK_D, decrypts the query range inside the enclave, and runs the
+// dictionary search matching the column's encrypted dictionary kind,
+// loading entries from untrusted memory one at a time. The whole search
+// costs a single context switch.
+func (e *Enclave) DictSearch(meta ColumnMeta, region search.Region, encRndOffset []byte, q EncRange) (SearchResult, error) {
+	e.enterECall()
+	cipher, err := e.cipherFor(meta.Table, meta.Column)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	if err := e.chargeScratch(meta.MaxLen, region); err != nil {
+		return SearchResult{}, err
+	}
+	rng, err := e.decryptRange(cipher, meta, q)
+	if err != nil {
+		return SearchResult{}, err
+	}
+
+	mr := &callRegion{inner: e.instrument(meta, region)}
+	dec := &countingDecryptor{e: e, d: cipher}
+	switch meta.Kind.Order() {
+	case dict.OrderSorted:
+		vr, ok, err := search.SortedDict(mr, dec, rng)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		e.padLoads(mr, dec)
+		if !ok {
+			return SearchResult{}, nil
+		}
+		return SearchResult{Ranges: []search.VidRange{vr}}, nil
+	case dict.OrderRotated:
+		if err := e.checkRotOffset(cipher, encRndOffset, region.Len()); err != nil {
+			return SearchResult{}, err
+		}
+		enc, err := ordenc.NewEncoder(meta.MaxLen)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		ranges, err := search.RotatedDict(mr, dec, enc, rng)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		e.padLoads(mr, dec)
+		return SearchResult{Ranges: ranges}, nil
+	default:
+		ids, err := search.UnsortedDict(mr, dec, rng)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		return SearchResult{IDs: ids}, nil
+	}
+}
+
+// callRegion counts the loads of one ECALL so probe padding can top them up
+// to a fixed target.
+type callRegion struct {
+	inner *meteredRegion
+	loads int
+}
+
+func (c *callRegion) Len() int { return c.inner.Len() }
+
+func (c *callRegion) Load(i int) []byte {
+	c.loads++
+	return c.inner.Load(i)
+}
+
+// padLoads issues dummy loads (with dummy decryptions) until the call's
+// probe count reaches the fixed target for the dictionary size, making the
+// observable access count independent of the queried range. Queries that
+// naturally exceed the target (long wrapped duplicate runs) are not
+// truncated.
+func (e *Enclave) padLoads(cr *callRegion, dec *countingDecryptor) {
+	n := cr.Len()
+	if !e.padProbes || n == 0 {
+		return
+	}
+	target := 2*bitsCeil(n) + 8
+	need := target - cr.loads
+	if need <= 0 {
+		return
+	}
+	e.mu.Lock()
+	idxs := make([]int, need)
+	for i := range idxs {
+		idxs[i] = e.rng.Intn(n)
+	}
+	e.mu.Unlock()
+	for _, idx := range idxs {
+		ct := cr.Load(idx)
+		dec.Decrypt(ct) //nolint:errcheck // dummy probe, result discarded
+	}
+}
+
+// bitsCeil returns ceil(log2(n)) + 1 for n >= 1.
+func bitsCeil(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// decryptRange decrypts and validates the query bounds (Algorithm 1 line 2).
+func (e *Enclave) decryptRange(cipher *pae.Cipher, meta ColumnMeta, q EncRange) (search.Range, error) {
+	start, err := cipher.Decrypt(q.Start)
+	if err != nil {
+		return search.Range{}, fmt.Errorf("%w: start bound: %v", ErrBadRange, err)
+	}
+	end, err := cipher.Decrypt(q.End)
+	if err != nil {
+		return search.Range{}, fmt.Errorf("%w: end bound: %v", ErrBadRange, err)
+	}
+	e.addDecryptions(2)
+	// Bounds follow column value rules except that the all-0xFF padding
+	// sentinel for +inf of short columns is produced at full width.
+	if len(start) > meta.MaxLen || len(end) > meta.MaxLen {
+		return search.Range{}, fmt.Errorf("%w: bound exceeds column width", ErrBadRange)
+	}
+	for _, b := range [][]byte{start, end} {
+		for _, c := range b {
+			if c == 0 {
+				return search.Range{}, fmt.Errorf("%w: bound contains NUL", ErrBadRange)
+			}
+		}
+	}
+	return search.Range{Start: start, End: end, StartIncl: q.StartIncl, EndIncl: q.EndIncl}, nil
+}
+
+// checkRotOffset decrypts encRndOffset inside the enclave (Algorithm 2 line
+// 3) and validates it against the dictionary size. The offset itself is not
+// otherwise needed: the rotated search operates purely in the transformed
+// domain, which keeps its access pattern independent of the offset.
+func (e *Enclave) checkRotOffset(cipher *pae.Cipher, encRndOffset []byte, dictLen int) error {
+	raw, err := cipher.Decrypt(encRndOffset)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRotOffset, err)
+	}
+	e.addDecryptions(1)
+	off, err := dict.DecodeRotOffset(raw)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRotOffset, err)
+	}
+	if dictLen > 0 && off >= uint64(dictLen) {
+		return fmt.Errorf("%w: offset %d >= |D| = %d", ErrBadRotOffset, off, dictLen)
+	}
+	return nil
+}
+
+// ReencryptValue is the delta-store insert ECALL (paper §4.3): a value
+// arriving from the proxy is re-encrypted with a fresh IV before being
+// appended to the ED9 delta dictionary, unlinking the stored ciphertext from
+// the query ciphertext.
+func (e *Enclave) ReencryptValue(meta ColumnMeta, ciphertext []byte) ([]byte, error) {
+	e.enterECall()
+	cipher, err := e.cipherFor(meta.Table, meta.Column)
+	if err != nil {
+		return nil, err
+	}
+	v, err := cipher.Decrypt(ciphertext)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRange, err)
+	}
+	e.addDecryptions(1)
+	enc, err := ordenc.NewEncoder(meta.MaxLen)
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Validate(v); err != nil {
+		return nil, err
+	}
+	out, err := cipher.Encrypt(v)
+	if err != nil {
+		return nil, err
+	}
+	e.addEncryptions(1)
+	return out, nil
+}
+
+// BuildColumn is the trusted-setup ECALL (paper §4.2: "In one possible
+// EncDBDB variant, the DBaaS provider is assumed trusted for the initial
+// setup. The data owner can upload plaintext columns ... Afterwards, the
+// DBaaS performs the appropriate column splits and encryptions."): the
+// enclave splits an uploaded plaintext column under the column's encrypted
+// dictionary and encrypts it with SK_D, so the owner needs no local build
+// tooling. Outside this deliberately chosen variant, plaintext never
+// reaches the provider.
+func (e *Enclave) BuildColumn(meta ColumnMeta, bsmax int, values [][]byte) (*dict.Split, error) {
+	e.enterECall()
+	cipher, err := e.cipherFor(meta.Table, meta.Column)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	rng := e.rng
+	e.mu.Unlock()
+	split, err := dict.Build(values, dict.Params{
+		Kind:   meta.Kind,
+		MaxLen: meta.MaxLen,
+		BSMax:  bsmax,
+		Cipher: cipher,
+		Rand:   rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("enclave: trusted-setup build: %w", err)
+	}
+	e.addEncryptions(uint64(split.Len()))
+	return split, nil
+}
+
+// MergeInput is one store participating in a delta merge: the dictionary
+// region, attribute vector, and validity flags (nil means all rows valid).
+type MergeInput struct {
+	Region search.Region
+	AV     []uint32
+	Valid  []bool
+}
+
+// MergeColumns is the delta-merge ECALL (paper §4.3): it reconstructs the
+// valid rows of the main and delta stores inside the enclave, re-encrypts
+// every value with fresh IVs, and rebuilds the column under the main
+// store's encrypted dictionary kind with a fresh rotation offset or shuffle.
+// The returned split carries no linkable relation to the old stores.
+func (e *Enclave) MergeColumns(meta ColumnMeta, bsmax int, main, delta MergeInput) (*dict.Split, error) {
+	e.enterECall()
+	cipher, err := e.cipherFor(meta.Table, meta.Column)
+	if err != nil {
+		return nil, err
+	}
+	var col [][]byte
+	for _, in := range []MergeInput{main, delta} {
+		rows, err := e.decryptRows(meta, cipher, in)
+		if err != nil {
+			return nil, err
+		}
+		col = append(col, rows...)
+	}
+	e.mu.Lock()
+	rng := e.rng
+	e.mu.Unlock()
+	split, err := dict.Build(col, dict.Params{
+		Kind:   meta.Kind,
+		MaxLen: meta.MaxLen,
+		BSMax:  bsmax,
+		Cipher: cipher,
+		Rand:   rng,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("enclave: merge rebuild: %w", err)
+	}
+	e.addEncryptions(uint64(split.Len()))
+	return split, nil
+}
+
+// decryptRows materializes the valid rows of one store inside the enclave.
+func (e *Enclave) decryptRows(meta ColumnMeta, cipher *pae.Cipher, in MergeInput) ([][]byte, error) {
+	if in.Region == nil {
+		return nil, nil
+	}
+	mr := e.instrument(meta, in.Region)
+	plain := make([][]byte, mr.Len())
+	rows := make([][]byte, 0, len(in.AV))
+	for j, vid := range in.AV {
+		if in.Valid != nil && !in.Valid[j] {
+			continue
+		}
+		if int(vid) >= mr.Len() {
+			return nil, fmt.Errorf("enclave: merge: ValueID %d out of range", vid)
+		}
+		if plain[vid] == nil {
+			v, err := cipher.Decrypt(mr.Load(int(vid)))
+			if err != nil {
+				return nil, fmt.Errorf("enclave: merge: entry %d: %w", vid, err)
+			}
+			e.addDecryptions(1)
+			plain[vid] = v
+		}
+		rows = append(rows, plain[vid])
+	}
+	return rows, nil
+}
+
+// chargeScratch models the EPC budget: a dictionary search needs a constant
+// working set (a few value-width buffers plus one entry buffer), never the
+// dictionary itself — the paper stresses that required enclave memory is
+// independent of |D|. An enclave configured with a tiny budget (for tests)
+// rejects searches whose working set would not fit.
+func (e *Enclave) chargeScratch(maxLen int, region search.Region) error {
+	entry := 0
+	if region.Len() > 0 {
+		entry = len(region.Load(0))
+	}
+	need := 4*maxLen + entry + 4096
+	if need > e.budget {
+		return fmt.Errorf("%w: need %d bytes, budget %d", ErrBudget, need, e.budget)
+	}
+	return nil
+}
+
+func (e *Enclave) enterECall() {
+	e.mu.Lock()
+	e.stats.ECalls++
+	e.mu.Unlock()
+}
+
+func (e *Enclave) addDecryptions(n uint64) {
+	e.mu.Lock()
+	e.stats.Decryptions += n
+	e.mu.Unlock()
+}
+
+func (e *Enclave) addEncryptions(n uint64) {
+	e.mu.Lock()
+	e.stats.Encryptions += n
+	e.mu.Unlock()
+}
+
+// instrument wraps a region so loads are counted and reported to the
+// observer.
+func (e *Enclave) instrument(meta ColumnMeta, r search.Region) *meteredRegion {
+	return &meteredRegion{e: e, meta: meta, r: r}
+}
+
+type meteredRegion struct {
+	e    *Enclave
+	meta ColumnMeta
+	r    search.Region
+}
+
+func (m *meteredRegion) Len() int { return m.r.Len() }
+
+func (m *meteredRegion) Load(i int) []byte {
+	b := m.r.Load(i)
+	m.e.mu.Lock()
+	m.e.stats.Loads++
+	m.e.stats.BytesLoaded += uint64(len(b))
+	m.e.mu.Unlock()
+	if m.e.observer != nil {
+		m.e.observer.Access(m.meta.Table, m.meta.Column, i)
+	}
+	return b
+}
+
+type countingDecryptor struct {
+	e *Enclave
+	d search.Decryptor
+}
+
+func (c *countingDecryptor) Decrypt(ct []byte) ([]byte, error) {
+	c.e.addDecryptions(1)
+	return c.d.Decrypt(ct)
+}

@@ -1,0 +1,216 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/search"
+)
+
+// TestConcurrentReadersAndWriters exercises the engine under parallel
+// selects, inserts, deletes and merges. Run with -race to validate the
+// locking discipline; assertions check only invariants that hold under any
+// interleaving.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	v := newEnv(t)
+	def := engine.ColumnDef{Name: "c", Kind: dict.ED5, MaxLen: 8, BSMax: 3}
+	if err := v.db.CreateTable(engine.Schema{Table: "cc", Columns: []engine.ColumnDef{def}}); err != nil {
+		t.Fatal(err)
+	}
+	var seedRows [][]byte
+	for i := 0; i < 50; i++ {
+		seedRows = append(seedRows, []byte(fmt.Sprintf("v%03d", i%10)))
+	}
+	v.loadColumn(t, "cc", def, seedRows)
+
+	const (
+		readers = 3
+		writers = 2
+		rounds  = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+writers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := search.Eq([]byte(fmt.Sprintf("v%03d", i%10)))
+				f := v.filter(t, "cc", def, q)
+				if _, err := v.db.Select(engine.Query{Table: "cc", Filters: []engine.Filter{f}, CountOnly: true}); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				val := fmt.Sprintf("w%d_%03d", w, i)
+				if err := v.db.Insert("cc", engine.Row{"c": v.encryptValue(t, "cc", "c", val)}); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			if err := v.db.Merge("cc"); err != nil {
+				errs <- fmt.Errorf("merger: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// All writes must be present afterwards.
+	res, err := v.db.Select(engine.Query{Table: "cc", CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(seedRows) + writers*rounds
+	if res.Count != want {
+		t.Errorf("final count = %d, want %d", res.Count, want)
+	}
+}
+
+// TestConcurrentDeleteUpdateMerge interleaves the write operations whose
+// match/mutate sequences must be atomic against merges: every update
+// preserves the row count, every delete removes exactly the rows it
+// reported.
+func TestConcurrentDeleteUpdateMerge(t *testing.T) {
+	v := newEnv(t)
+	def := engine.ColumnDef{Name: "c", Kind: dict.ED1, MaxLen: 12}
+	if err := v.db.CreateTable(engine.Schema{Table: "dm", Columns: []engine.ColumnDef{def}}); err != nil {
+		t.Fatal(err)
+	}
+	var seedRows [][]byte
+	for i := 0; i < 60; i++ {
+		seedRows = append(seedRows, []byte(fmt.Sprintf("keep%03d", i)))
+	}
+	v.loadColumn(t, "dm", def, seedRows)
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		deleted int
+	)
+	errs := make(chan error, 8)
+	// Updaters rewrite values (count-preserving).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				f := v.filter(t, "dm", def, search.Eq([]byte(fmt.Sprintf("keep%03d", w*10+i))))
+				set := engine.Row{"c": v.encryptValue(t, "dm", "c", fmt.Sprintf("upd%d_%03d", w, i))}
+				if _, err := v.db.Update("dm", []engine.Filter{f}, set); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// A deleter removes a disjoint value range and tallies removals.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 40; i < 50; i++ {
+			f := v.filter(t, "dm", def, search.Eq([]byte(fmt.Sprintf("keep%03d", i))))
+			n, err := v.db.Delete("dm", []engine.Filter{f})
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			deleted += n
+			mu.Unlock()
+		}
+	}()
+	// A merger runs throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := v.db.Merge("dm"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	res, err := v.db.Select(engine.Query{Table: "dm", CountOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	want := len(seedRows) - deleted
+	mu.Unlock()
+	if res.Count != want {
+		t.Errorf("final count = %d, want %d (updates preserve, deletes removed %d)",
+			res.Count, want, deleted)
+	}
+	if deleted != 10 {
+		t.Errorf("deleted = %d, want 10", deleted)
+	}
+}
+
+// TestConcurrentDistinctTables checks independent tables do not contend
+// incorrectly.
+func TestConcurrentDistinctTables(t *testing.T) {
+	v := newEnv(t)
+	const tables = 4
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("t%d", i)
+		def := engine.ColumnDef{Name: "c", Kind: dict.ED1, MaxLen: 8}
+		if err := v.db.CreateTable(engine.Schema{Table: name, Columns: []engine.ColumnDef{def}}); err != nil {
+			t.Fatal(err)
+		}
+		v.loadColumn(t, name, def, [][]byte{[]byte("x"), []byte("y")})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, tables)
+	for i := 0; i < tables; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			def := engine.ColumnDef{Name: "c", Kind: dict.ED1, MaxLen: 8}
+			for j := 0; j < 20; j++ {
+				f := v.filter(t, name, def, search.Eq([]byte("x")))
+				res, err := v.db.Select(engine.Query{Table: name, Filters: []engine.Filter{f}, CountOnly: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Count != 1 {
+					errs <- fmt.Errorf("table %s count = %d", name, res.Count)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+package engine
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"fmt"
+	mrand "math/rand"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+)
+
+// deltaStore is the write-optimized store of paper §4.3: an append-only ED9
+// dictionary (one entry per inserted row, unsorted by arrival, frequency
+// hiding by construction) with an identity attribute vector. Inserting into
+// it leaks neither order nor frequency.
+type deltaStore struct {
+	entries [][]byte
+	avCache []uint32
+	bytes   int
+}
+
+func newDeltaStore() *deltaStore {
+	return &deltaStore{}
+}
+
+// Len returns the number of delta rows (implements search.Region).
+func (d *deltaStore) Len() int { return len(d.entries) }
+
+// Load returns delta entry i (implements search.Region).
+func (d *deltaStore) Load(i int) []byte { return d.entries[i] }
+
+// entry is Load under the rendering path's name.
+func (d *deltaStore) entry(i int) []byte { return d.entries[i] }
+
+// append adds one re-encrypted value.
+func (d *deltaStore) append(payload []byte) {
+	d.entries = append(d.entries, payload)
+	d.avCache = append(d.avCache, uint32(len(d.avCache)))
+	d.bytes += len(payload)
+}
+
+// av returns the identity attribute vector (AV[i] = i for ED9 appends).
+func (d *deltaStore) av() []uint32 { return d.avCache }
+
+// sizeBytes returns the storage footprint of the delta store.
+func (d *deltaStore) sizeBytes() int { return d.bytes + 4*len(d.avCache) }
+
+// reset clears the delta store after a merge.
+func (d *deltaStore) reset() {
+	d.entries = nil
+	d.avCache = nil
+	d.bytes = 0
+}
+
+// Row is one inserted row: column name to value. Values of encrypted columns
+// are PAE ciphertexts under the column key (produced by the proxy); values
+// of plain columns are plaintext.
+type Row map[string][]byte
+
+// Insert appends a row to the table's delta stores. Each encrypted value is
+// re-encrypted inside the enclave with a fresh IV before being stored, so
+// the stored ciphertext cannot be linked to the insert message (paper §4.3).
+func (db *DB) Insert(tableName string, row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	return db.insertLocked(t, row)
+}
+
+// insertLocked appends one row; the caller holds the write lock.
+func (db *DB) insertLocked(t *table, row Row) error {
+	if err := t.ready(); err != nil {
+		return err
+	}
+	// Validate the row is complete before mutating anything.
+	payloads := make(map[string][]byte, len(t.cols))
+	for name, c := range t.cols {
+		v, ok := row[name]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrMissingColumn, name)
+		}
+		if c.def.Plain {
+			if len(v) > c.def.MaxLen {
+				return fmt.Errorf("engine: value for %q exceeds max length %d", name, c.def.MaxLen)
+			}
+			payloads[name] = append([]byte(nil), v...)
+			continue
+		}
+		fresh, err := db.encl.ReencryptValue(db.columnMeta(c), v)
+		if err != nil {
+			return fmt.Errorf("engine: insert %q: %w", name, err)
+		}
+		payloads[name] = fresh
+	}
+	for name, c := range t.cols {
+		c.delta.append(payloads[name])
+	}
+	t.deltaRows++
+	t.deltaValid = append(t.deltaValid, true)
+	return nil
+}
+
+// Delete invalidates all rows matching the filters and returns how many rows
+// it removed. Deletions are realized as validity-bit updates (paper §4.3).
+// Match and invalidation happen atomically under the table write lock so a
+// concurrent merge cannot remap RecordIDs in between.
+func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	if err := t.ready(); err != nil {
+		return 0, err
+	}
+	rids, err := db.matchValidLocked(t, filters)
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range rids {
+		if int(r) < t.mainRows {
+			t.mainValid[r] = false
+		} else {
+			t.deltaValid[int(r)-t.mainRows] = false
+		}
+	}
+	return len(rids), nil
+}
+
+// Update rewrites all rows matching the filters: the old row is invalidated
+// and a new row — the old cells with the set values substituted — is
+// appended to the delta store. Match, render, invalidate and append happen
+// atomically under the write lock. Returns the number of updated rows.
+func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	if err := t.ready(); err != nil {
+		return 0, err
+	}
+	rids, err := db.matchValidLocked(t, filters)
+	if err != nil {
+		return 0, err
+	}
+	if len(rids) == 0 {
+		return 0, nil
+	}
+	// Render the full matching rows (all columns) before invalidating.
+	rows := make([]Row, len(rids))
+	for i := range rows {
+		rows[i] = make(Row, len(t.cols))
+	}
+	for name, c := range t.cols {
+		cells := t.render(c, rids)
+		for i, cell := range cells {
+			rows[i][name] = append([]byte(nil), cell...)
+		}
+	}
+	for _, r := range rids {
+		if int(r) < t.mainRows {
+			t.mainValid[r] = false
+		} else {
+			t.deltaValid[int(r)-t.mainRows] = false
+		}
+	}
+	for _, row := range rows {
+		for name, v := range set {
+			row[name] = v
+		}
+		if err := db.insertLocked(t, row); err != nil {
+			return 0, err
+		}
+	}
+	return len(rids), nil
+}
+
+// matchValidLocked evaluates filters and applies validity; the caller holds
+// at least a read lock.
+func (db *DB) matchValidLocked(t *table, filters []Filter) ([]uint32, error) {
+	rids, err := db.matchRows(t, filters)
+	if err != nil {
+		return nil, err
+	}
+	return t.filterValid(rids), nil
+}
+
+// Merge folds each column's delta store into its main store (paper §4.3):
+// inside the enclave, the valid rows of both stores are reconstructed,
+// re-encrypted under fresh IVs, and rebuilt under the column's encrypted
+// dictionary with a fresh rotation/shuffle, so the new main store carries no
+// linkable relation to the old stores. Invalidated rows are garbage
+// collected. Plain columns are rebuilt locally with the same algorithms.
+func (db *DB) Merge(tableName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	if err := t.ready(); err != nil {
+		return err
+	}
+	merged := make(map[string]*dict.Split, len(t.cols))
+	var newRows int
+	for name, c := range t.cols {
+		var (
+			s   *dict.Split
+			err error
+		)
+		if c.def.Plain {
+			s, err = mergePlain(t, c)
+		} else {
+			s, err = db.encl.MergeColumns(db.columnMeta(c), c.def.BSMax,
+				enclave.MergeInput{Region: c.main, AV: c.main.AV, Valid: t.mainValid},
+				enclave.MergeInput{Region: c.delta, AV: c.delta.av(), Valid: t.deltaValid},
+			)
+		}
+		if err != nil {
+			return fmt.Errorf("engine: merge %q.%q: %w", tableName, name, err)
+		}
+		merged[name] = s
+		newRows = s.Rows()
+	}
+	for name, c := range t.cols {
+		c.main = merged[name]
+		c.imported = c.imported || newRows > 0
+		c.delta.reset()
+	}
+	t.mainRows = newRows
+	t.deltaRows = 0
+	t.mainValid = make([]bool, newRows)
+	for i := range t.mainValid {
+		t.mainValid[i] = true
+	}
+	t.deltaValid = nil
+	return nil
+}
+
+// mergePlain rebuilds a plain column locally from its valid rows.
+func mergePlain(t *table, c *column) (*dict.Split, error) {
+	var col [][]byte
+	for j := 0; j < t.mainRows; j++ {
+		if t.mainValid[j] {
+			col = append(col, c.main.Entry(int(c.main.AV[j])))
+		}
+	}
+	for j := 0; j < t.deltaRows; j++ {
+		if t.deltaValid[j] {
+			col = append(col, c.delta.entry(j))
+		}
+	}
+	return dict.Build(col, dict.Params{
+		Kind:   c.def.Kind,
+		MaxLen: c.def.MaxLen,
+		BSMax:  c.def.BSMax,
+		Plain:  true,
+		Rand:   newBuildRand(),
+	})
+}
+
+// newBuildRand seeds a math/rand generator from crypto randomness for the
+// security-relevant shuffles and rotations of plain rebuilds.
+func newBuildRand() *mrand.Rand {
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// fixed seed rather than aborting a merge.
+		return mrand.New(mrand.NewSource(1))
+	}
+	return mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
+}

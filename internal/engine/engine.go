@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/search"
+)
+
+// Errors returned by the engine.
+var (
+	ErrNoSuchTable    = errors.New("engine: no such table")
+	ErrNoSuchColumn   = errors.New("engine: no such column")
+	ErrTableExists    = errors.New("engine: table already exists")
+	ErrRowMismatch    = errors.New("engine: column row counts differ")
+	ErrNotImported    = errors.New("engine: column has no imported data")
+	ErrAlreadyLoaded  = errors.New("engine: column already imported")
+	ErrMissingColumn  = errors.New("engine: row is missing a column value")
+	ErrEnclaveMissing = errors.New("engine: encrypted columns require an enclave")
+)
+
+// Option configures a DB.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	avMode  search.AVMode
+	workers int
+	reorder bool
+}
+
+type avModeOption search.AVMode
+
+func (o avModeOption) apply(opts *options) { opts.avMode = search.AVMode(o) }
+
+// WithAVMode selects the attribute-vector membership strategy for unsorted
+// dictionaries (ablation A1). The default is search.AVSortedProbe.
+func WithAVMode(m search.AVMode) Option { return avModeOption(m) }
+
+type workersOption int
+
+func (o workersOption) apply(opts *options) { opts.workers = int(o) }
+
+// WithWorkers fixes the attribute vector scan parallelism. The default (0)
+// uses GOMAXPROCS.
+func WithWorkers(n int) Option { return workersOption(n) }
+
+type reorderOption bool
+
+func (o reorderOption) apply(opts *options) { opts.reorder = bool(o) }
+
+// WithFilterReorder toggles the query optimizer's cheapest-first filter
+// ordering (default on). Disabled, filters run in the order given — useful
+// for measuring the optimizer's effect.
+func WithFilterReorder(on bool) Option { return reorderOption(on) }
+
+// DB is an EncDBDB database instance at the DBaaS provider: a set of tables
+// plus the enclave used for protected dictionary searches.
+type DB struct {
+	encl *enclave.Enclave
+	opts options
+
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// table is the per-table store: one column store per column plus row
+// validity for the main and delta stores (paper §4.3).
+type table struct {
+	schema     Schema
+	cols       map[string]*column
+	mainRows   int
+	deltaRows  int
+	mainValid  []bool
+	deltaValid []bool
+}
+
+// column pairs the read-optimized main store with the write-optimized delta
+// store.
+type column struct {
+	table string
+	def   ColumnDef
+	main  *dict.Split
+	delta *deltaStore
+	// imported marks a bulk-loaded main store; tables may also start
+	// empty and grow purely through the delta store.
+	imported bool
+}
+
+// New creates a database backed by the given enclave. A nil enclave is
+// allowed for plaintext-only databases (the PlainDBDB baseline).
+func New(encl *enclave.Enclave, opts ...Option) *DB {
+	o := options{avMode: search.AVSortedProbe, reorder: true}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return &DB{encl: encl, opts: o, tables: make(map[string]*table)}
+}
+
+// Enclave returns the enclave backing this database (nil for plaintext-only
+// databases). The data owner uses it for attestation and provisioning.
+func (db *DB) Enclave() *enclave.Enclave { return db.encl }
+
+// CreateTable registers a table schema with empty column stores.
+func (db *DB) CreateTable(s Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Table]; ok {
+		return fmt.Errorf("%w: %q", ErrTableExists, s.Table)
+	}
+	t := &table{schema: s, cols: make(map[string]*column, len(s.Columns))}
+	for _, def := range s.Columns {
+		if !def.Plain && db.encl == nil {
+			return fmt.Errorf("%w: column %q", ErrEnclaveMissing, def.Name)
+		}
+		t.cols[def.Name] = &column{
+			table: s.Table,
+			def:   def,
+			main:  dict.Empty(def.Kind, def.MaxLen, def.BSMax, def.Plain),
+			delta: newDeltaStore(),
+		}
+	}
+	db.tables[s.Table] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// Tables lists the registered table names.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Schema returns the schema of the named table.
+func (db *DB) Schema(name string) (Schema, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return Schema{}, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t.schema, nil
+}
+
+// ImportColumn installs a pre-built split as the main store of a column —
+// the data owner's bulk deployment (paper Fig. 5 step 4). Every column of a
+// table must be imported with the same row count; the first import fixes it.
+func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	c, ok := t.cols[columnName]
+	if !ok {
+		return fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tableName, columnName)
+	}
+	if c.imported {
+		return fmt.Errorf("%w: %q.%q", ErrAlreadyLoaded, tableName, columnName)
+	}
+	if t.deltaRows > 0 {
+		return fmt.Errorf("engine: cannot bulk import %q.%q after inserts", tableName, columnName)
+	}
+	if s.Kind != c.def.Kind || s.Plain != c.def.Plain {
+		return fmt.Errorf("engine: split kind %v/plain=%v does not match column %q (%v/plain=%v)",
+			s.Kind, s.Plain, columnName, c.def.Kind, c.def.Plain)
+	}
+	loaded := t.importedRows()
+	if loaded >= 0 && s.Rows() != loaded {
+		return fmt.Errorf("%w: %q.%q has %d rows, table has %d",
+			ErrRowMismatch, tableName, columnName, s.Rows(), loaded)
+	}
+	c.main = s
+	c.imported = true
+	if loaded < 0 {
+		t.mainRows = s.Rows()
+		t.mainValid = make([]bool, s.Rows())
+		for i := range t.mainValid {
+			t.mainValid[i] = true
+		}
+	}
+	return nil
+}
+
+// ImportPlaintextColumn is the trusted-setup bulk load variant of paper
+// §4.2: the uploaded plaintext column is split and encrypted inside the
+// enclave, then installed as the main store. Use only when the provider is
+// trusted during setup; the standard path (ImportColumn) never exposes
+// plaintext to the provider.
+func (db *DB) ImportPlaintextColumn(tableName, columnName string, values [][]byte) error {
+	db.mu.RLock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		db.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	c, ok := t.cols[columnName]
+	db.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tableName, columnName)
+	}
+	var (
+		split *dict.Split
+		err   error
+	)
+	if c.def.Plain {
+		split, err = dict.Build(values, dict.Params{
+			Kind:   c.def.Kind,
+			MaxLen: c.def.MaxLen,
+			BSMax:  c.def.BSMax,
+			Plain:  true,
+			Rand:   newBuildRand(),
+		})
+	} else {
+		if db.encl == nil {
+			return fmt.Errorf("%w: column %q", ErrEnclaveMissing, columnName)
+		}
+		split, err = db.encl.BuildColumn(db.columnMeta(c), c.def.BSMax, values)
+	}
+	if err != nil {
+		return fmt.Errorf("engine: trusted setup %q.%q: %w", tableName, columnName, err)
+	}
+	return db.ImportColumn(tableName, columnName, split)
+}
+
+// importedRows returns the row count fixed by previous imports, or -1 if no
+// column is imported yet.
+func (t *table) importedRows() int {
+	for _, c := range t.cols {
+		if c.imported {
+			return c.main.Rows()
+		}
+	}
+	return -1
+}
+
+// ready reports whether the table is queryable: either no column was bulk
+// imported (the table grows purely through inserts) or every column was.
+func (t *table) ready() error {
+	imported := 0
+	for _, c := range t.cols {
+		if c.imported {
+			imported++
+		}
+	}
+	if imported == 0 || imported == len(t.cols) {
+		return nil
+	}
+	for name, c := range t.cols {
+		if !c.imported {
+			return fmt.Errorf("%w: %q", ErrNotImported, name)
+		}
+	}
+	return nil
+}
+
+// Rows returns the table's total row count including invalidated rows.
+func (db *DB) Rows(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	return t.mainRows + t.deltaRows, nil
+}
+
+// StorageBytes returns the summed storage footprint of all column stores of
+// a table (paper Table 6 accounting).
+func (db *DB) StorageBytes(tableName string) (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	total := 0
+	for _, c := range t.cols {
+		if c.main != nil {
+			total += c.main.SizeBytes()
+		}
+		total += c.delta.sizeBytes()
+	}
+	return total, nil
+}

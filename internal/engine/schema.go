@@ -1,0 +1,89 @@
+// Package engine implements the EncDBDB database engine: tables whose
+// columns are protected by per-column encrypted dictionaries, the query
+// evaluation pipeline of paper §4.2 (Fig. 5 steps 6-13), and the delta-store
+// mechanism for dynamic data of paper §4.3.
+//
+// The engine runs entirely in the untrusted realm. It never holds plaintext
+// for encrypted columns: dictionary searches are delegated to the enclave,
+// attribute vector searches operate on plaintext ValueIDs (which is exactly
+// what the paper's attacker may see), and result rendering copies ciphertext
+// cells that only the trusted proxy can decrypt.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+)
+
+// ColumnDef declares one column of a table.
+type ColumnDef struct {
+	// Name is the column name, unique within the table.
+	Name string
+	// Kind is the encrypted dictionary protecting the column.
+	Kind dict.Kind
+	// MaxLen is the maximum value length in bytes (VARCHAR(n) semantics).
+	MaxLen int
+	// BSMax is the frequency-smoothing bucket bound, required for ED4-ED6.
+	BSMax int
+	// Plain stores the column as a PlainDBDB-style plaintext dictionary
+	// using identical algorithms without encryption or enclave use. The
+	// paper supports plaintext dictionaries alongside encrypted ones and
+	// uses them as the PlainDBDB baseline.
+	Plain bool
+}
+
+// Validate checks the definition for internal consistency.
+func (c ColumnDef) Validate() error {
+	if c.Name == "" {
+		return errors.New("engine: column name must not be empty")
+	}
+	if !c.Kind.Valid() {
+		return fmt.Errorf("engine: column %q: invalid dictionary kind", c.Name)
+	}
+	if c.MaxLen <= 0 {
+		return fmt.Errorf("engine: column %q: max length must be positive", c.Name)
+	}
+	if c.Kind.Repetition() == dict.RepSmoothing && c.BSMax < 1 {
+		return fmt.Errorf("engine: column %q: %v requires bsmax >= 1", c.Name, c.Kind)
+	}
+	return nil
+}
+
+// Schema declares a table.
+type Schema struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+// Validate checks the schema for internal consistency.
+func (s Schema) Validate() error {
+	if s.Table == "" {
+		return errors.New("engine: table name must not be empty")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("engine: table %q has no columns", s.Table)
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("engine: table %q: duplicate column %q", s.Table, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// Column returns the definition of the named column.
+func (s Schema) Column(name string) (ColumnDef, bool) {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnDef{}, false
+}

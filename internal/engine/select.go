@@ -1,0 +1,385 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/ordenc"
+	"github.com/encdbdb/encdbdb/internal/search"
+)
+
+// Filter is one encrypted predicate on a column: the union (OR) of one or
+// more two-sided ranges. Plain equality and range predicates carry exactly
+// one range; IN-lists carry one equality range per member. For encrypted
+// columns the bounds are PAE ciphertexts produced by the proxy; for plain
+// columns they are raw plaintext bounds. The proxy has already normalized
+// every filter type into this uniform shape (paper §4.2 step 5).
+type Filter struct {
+	Column string
+	Ranges []enclave.EncRange
+}
+
+// SingleRange builds the common one-range filter.
+func SingleRange(column string, r enclave.EncRange) Filter {
+	return Filter{Column: column, Ranges: []enclave.EncRange{r}}
+}
+
+// Query is a decomposed single-table query: conjunctive range filters plus a
+// projection list (paper Fig. 5 step 6 output).
+type Query struct {
+	Table   string
+	Filters []Filter
+	// Project lists the columns to render. Empty means all columns in
+	// schema order.
+	Project []string
+	// CountOnly suppresses result rendering and returns only the match
+	// count (the paper notes counts are straightforward on top of range
+	// search).
+	CountOnly bool
+}
+
+// ResultColumn is one rendered output column: ciphertext cells for encrypted
+// columns (step 12: eC = (eD_j | j = AV_i, i in rid)), plaintext cells for
+// plain columns.
+type ResultColumn struct {
+	Table  string
+	Column string
+	Cells  [][]byte
+}
+
+// Result is the provider-side query result returned to the proxy.
+type Result struct {
+	RecordIDs []uint32
+	Columns   []ResultColumn
+	Count     int
+}
+
+// Select evaluates a query: each filter runs the two-phase search on its
+// column (dictionary search in the enclave, attribute vector search in the
+// untrusted realm), the per-filter RecordID lists are intersected, validity
+// is applied, and the projected columns are rendered (paper Fig. 5 steps
+// 6-13).
+func (db *DB) Select(q Query) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[q.Table]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, q.Table)
+	}
+	if err := t.ready(); err != nil {
+		return nil, err
+	}
+
+	rids, err := db.matchRows(t, q.Filters)
+	if err != nil {
+		return nil, err
+	}
+	rids = t.filterValid(rids)
+
+	res := &Result{RecordIDs: rids, Count: len(rids)}
+	if q.CountOnly {
+		return res, nil
+	}
+	project := q.Project
+	if len(project) == 0 {
+		for _, def := range t.schema.Columns {
+			project = append(project, def.Name)
+		}
+	}
+	for _, name := range project {
+		c, ok := t.cols[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, q.Table, name)
+		}
+		res.Columns = append(res.Columns, ResultColumn{
+			Table:  q.Table,
+			Column: name,
+			Cells:  t.render(c, rids),
+		})
+	}
+	return res, nil
+}
+
+// matchRows evaluates the conjunction of all filters and returns the
+// ascending RecordID list. With no filters, all rows match.
+func (db *DB) matchRows(t *table, filters []Filter) ([]uint32, error) {
+	if len(filters) == 0 {
+		all := make([]uint32, t.mainRows+t.deltaRows)
+		for i := range all {
+			all[i] = uint32(i)
+		}
+		return all, nil
+	}
+	var acc []uint32
+	for i, f := range db.planFilters(t, filters) {
+		rids, err := db.filterRows(t, f)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			acc = rids
+		} else {
+			acc = intersectSorted(acc, rids)
+		}
+		if len(acc) == 0 {
+			return nil, nil
+		}
+	}
+	return acc, nil
+}
+
+// planFilters is the query optimizer of the pipeline (paper Fig. 5 step 6:
+// "the query optimizer selects a query plan"): filters are evaluated
+// cheapest dictionary search first, so an empty intermediate result
+// short-circuits the expensive linear scans of unsorted dictionaries.
+// Filters on unknown columns keep their position and fail in filterRows
+// with a proper error.
+func (db *DB) planFilters(t *table, filters []Filter) []Filter {
+	if !db.opts.reorder || len(filters) < 2 {
+		return filters
+	}
+	cost := func(f Filter) int {
+		c, ok := t.cols[f.Column]
+		if !ok {
+			return 0 // surface ErrNoSuchColumn first
+		}
+		// Delta stores always scan linearly but are small by design.
+		perRange := c.delta.Len()
+		if c.def.Kind.Order() == dict.OrderUnsorted {
+			perRange += c.main.Len()
+		} else {
+			perRange += bitsLen(c.main.Len())
+		}
+		return perRange * len(f.Ranges)
+	}
+	out := append([]Filter(nil), filters...)
+	sort.SliceStable(out, func(a, b int) bool { return cost(out[a]) < cost(out[b]) })
+	return out
+}
+
+// bitsLen approximates log2(n)+1 for plan costing.
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// filterRows runs one filter against the main store and the delta store and
+// concatenates the RecordID lists (delta RecordIDs are offset by the main
+// row count). The paper's delta-store design executes every read query on
+// both stores and merges the results (§4.3). Multi-range filters (IN-lists)
+// take the union of the per-range results.
+func (db *DB) filterRows(t *table, f Filter) ([]uint32, error) {
+	c, ok := t.cols[f.Column]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Column)
+	}
+	var acc []uint32
+	for i, rng := range f.Ranges {
+		rids, err := db.searchMain(c, rng)
+		if err != nil {
+			return nil, err
+		}
+		deltaRids, err := db.searchDelta(c, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range deltaRids {
+			rids = append(rids, r+uint32(t.mainRows))
+		}
+		if i == 0 {
+			acc = rids
+		} else {
+			acc = unionSorted(acc, rids)
+		}
+	}
+	return acc, nil
+}
+
+// searchMain performs the two-phase search on the main store.
+func (db *DB) searchMain(c *column, q enclave.EncRange) ([]uint32, error) {
+	s := c.main
+	if s.Rows() == 0 {
+		return nil, nil
+	}
+	if c.def.Plain {
+		return db.plainSearch(c.def, s, s.EncRndOffset, s.AV, q)
+	}
+	meta := db.columnMeta(c)
+	res, err := db.encl.DictSearch(meta, s, s.EncRndOffset, q)
+	if err != nil {
+		return nil, err
+	}
+	if c.def.Kind.Order() == dict.OrderUnsorted {
+		return search.AttrVectList(s.AV, res.IDs, s.Len(), db.opts.avMode, db.opts.workers), nil
+	}
+	return search.AttrVectRanges(s.AV, res.Ranges, db.opts.workers), nil
+}
+
+// searchDelta performs the search on the write-optimized delta store, which
+// always uses ED9 semantics (unsorted, frequency hiding; paper §4.3).
+func (db *DB) searchDelta(c *column, q enclave.EncRange) ([]uint32, error) {
+	d := c.delta
+	if d.Len() == 0 {
+		return nil, nil
+	}
+	if c.def.Plain {
+		pq, err := plainRange(c.def, q)
+		if err != nil {
+			return nil, err
+		}
+		ids, err := search.UnsortedDict(d, search.PlainDecryptor{}, pq)
+		if err != nil {
+			return nil, err
+		}
+		return search.AttrVectList(d.av(), ids, d.Len(), db.opts.avMode, db.opts.workers), nil
+	}
+	meta := db.columnMeta(c)
+	meta.Kind = dict.ED9
+	res, err := db.encl.DictSearch(meta, d, nil, q)
+	if err != nil {
+		return nil, err
+	}
+	return search.AttrVectList(d.av(), res.IDs, d.Len(), db.opts.avMode, db.opts.workers), nil
+}
+
+// plainSearch runs the PlainDBDB search path: identical algorithms, no
+// enclave, plaintext bounds.
+func (db *DB) plainSearch(def ColumnDef, region search.Region, rotOffset []byte, av []uint32, q enclave.EncRange) ([]uint32, error) {
+	pq, err := plainRange(def, q)
+	if err != nil {
+		return nil, err
+	}
+	dec := search.PlainDecryptor{}
+	switch def.Kind.Order() {
+	case dict.OrderSorted:
+		vr, ok, err := search.SortedDict(region, dec, pq)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return search.AttrVectRanges(av, []search.VidRange{vr}, db.opts.workers), nil
+	case dict.OrderRotated:
+		if _, err := dict.DecodeRotOffset(rotOffset); err != nil {
+			return nil, err
+		}
+		enc, err := ordenc.NewEncoder(def.MaxLen)
+		if err != nil {
+			return nil, err
+		}
+		ranges, err := search.RotatedDict(region, dec, enc, pq)
+		if err != nil {
+			return nil, err
+		}
+		return search.AttrVectRanges(av, ranges, db.opts.workers), nil
+	default:
+		ids, err := search.UnsortedDict(region, dec, pq)
+		if err != nil {
+			return nil, err
+		}
+		return search.AttrVectList(av, ids, region.Len(), db.opts.avMode, db.opts.workers), nil
+	}
+}
+
+// plainRange validates and converts a plaintext-bound filter. Bounds follow
+// the same rules as column values (length limit, no NUL bytes) so the
+// rotated search's order encoding stays consistent with plaintext order.
+func plainRange(def ColumnDef, q enclave.EncRange) (search.Range, error) {
+	for _, b := range [][]byte{q.Start, q.End} {
+		if len(b) > def.MaxLen {
+			return search.Range{}, fmt.Errorf("engine: bound %q exceeds column width %d", b, def.MaxLen)
+		}
+		for _, ch := range b {
+			if ch == 0 {
+				return search.Range{}, fmt.Errorf("engine: bound contains NUL byte")
+			}
+		}
+	}
+	return search.Range{Start: q.Start, End: q.End, StartIncl: q.StartIncl, EndIncl: q.EndIncl}, nil
+}
+
+// columnMeta builds the enclave metadata for a column (paper Fig. 5 step 7).
+func (db *DB) columnMeta(c *column) enclave.ColumnMeta {
+	return enclave.ColumnMeta{
+		Table:  c.table,
+		Column: c.def.Name,
+		Kind:   c.def.Kind,
+		MaxLen: c.def.MaxLen,
+	}
+}
+
+// filterValid drops RecordIDs whose validity flag is cleared (deleted rows).
+func (t *table) filterValid(rids []uint32) []uint32 {
+	out := rids[:0]
+	for _, r := range rids {
+		if int(r) < t.mainRows {
+			if t.mainValid[r] {
+				out = append(out, r)
+			}
+			continue
+		}
+		if t.deltaValid[int(r)-t.mainRows] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// render reconstructs the projected cells for the matched rows by undoing
+// the split: cell = D[AV[rid]] (paper Fig. 5 step 12). Cells remain
+// ciphertexts for encrypted columns.
+func (t *table) render(c *column, rids []uint32) [][]byte {
+	cells := make([][]byte, len(rids))
+	for i, r := range rids {
+		if int(r) < t.mainRows {
+			cells[i] = c.main.Entry(int(c.main.AV[r]))
+			continue
+		}
+		cells[i] = c.delta.entry(int(r) - t.mainRows)
+	}
+	return cells
+}
+
+// unionSorted merges two ascending RecordID lists, dropping duplicates.
+func unionSorted(a, b []uint32) []uint32 {
+	out := make([]uint32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// intersectSorted intersects two ascending RecordID lists.
+func intersectSorted(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

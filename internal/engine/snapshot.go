@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+)
+
+// ColumnSnapshot is the serializable state of one column store.
+type ColumnSnapshot struct {
+	Name  string
+	Main  dict.SplitData
+	Delta [][]byte
+}
+
+// TableSnapshot is the serializable state of one table: schema, validity
+// vectors and all column stores. The storage package persists it to disk
+// (the paper's in-memory database uses disk as secondary storage for
+// persistency, §2.1); the wire package ships it for bulk deployment.
+type TableSnapshot struct {
+	Schema     Schema
+	MainValid  []bool
+	DeltaValid []bool
+	Columns    []ColumnSnapshot
+}
+
+// Snapshot captures the full state of a table.
+func (db *DB) Snapshot(tableName string) (*TableSnapshot, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	}
+	snap := &TableSnapshot{
+		Schema:     t.schema,
+		MainValid:  append([]bool(nil), t.mainValid...),
+		DeltaValid: append([]bool(nil), t.deltaValid...),
+	}
+	for _, def := range t.schema.Columns {
+		c := t.cols[def.Name]
+		cs := ColumnSnapshot{Name: def.Name, Main: c.main.Data()}
+		for i := 0; i < c.delta.Len(); i++ {
+			cs.Delta = append(cs.Delta, c.delta.entry(i))
+		}
+		snap.Columns = append(snap.Columns, cs)
+	}
+	return snap, nil
+}
+
+// Restore installs a snapshot as a new table. The table must not exist.
+func (db *DB) Restore(snap *TableSnapshot) error {
+	if err := snap.Schema.Validate(); err != nil {
+		return err
+	}
+	if len(snap.Columns) != len(snap.Schema.Columns) {
+		return fmt.Errorf("engine: snapshot has %d column stores for %d schema columns",
+			len(snap.Columns), len(snap.Schema.Columns))
+	}
+	if err := db.CreateTable(snap.Schema); err != nil {
+		return err
+	}
+	restore := func() error {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		t := db.tables[snap.Schema.Table]
+		mainRows := -1
+		for _, cs := range snap.Columns {
+			c, ok := t.cols[cs.Name]
+			if !ok {
+				return fmt.Errorf("%w: %q", ErrNoSuchColumn, cs.Name)
+			}
+			s, err := dict.FromData(cs.Main)
+			if err != nil {
+				return fmt.Errorf("engine: restore %q: %w", cs.Name, err)
+			}
+			if s.Kind != c.def.Kind || s.Plain != c.def.Plain {
+				return fmt.Errorf("engine: restore %q: split kind mismatch", cs.Name)
+			}
+			if mainRows >= 0 && s.Rows() != mainRows {
+				return fmt.Errorf("%w: %q", ErrRowMismatch, cs.Name)
+			}
+			mainRows = s.Rows()
+			c.main = s
+			c.imported = s.Rows() > 0
+			for _, e := range cs.Delta {
+				c.delta.append(e)
+			}
+			if len(cs.Delta) != len(snap.DeltaValid) {
+				return fmt.Errorf("engine: restore %q: %d delta rows, %d validity flags",
+					cs.Name, len(cs.Delta), len(snap.DeltaValid))
+			}
+		}
+		if mainRows != len(snap.MainValid) {
+			return fmt.Errorf("engine: snapshot has %d main rows but %d validity flags",
+				mainRows, len(snap.MainValid))
+		}
+		t.mainRows = mainRows
+		t.deltaRows = len(snap.DeltaValid)
+		t.mainValid = append([]bool(nil), snap.MainValid...)
+		t.deltaValid = append([]bool(nil), snap.DeltaValid...)
+		return nil
+	}
+	if err := restore(); err != nil {
+		// Leave no half-restored table behind.
+		_ = db.DropTable(snap.Schema.Table)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package fixint implements fixed-width, big-endian, unsigned modular
+// integers.
+//
+// EncDBDB's rotated dictionary search (paper Algorithm 3) compares values in
+// a transformed domain: every value v is mapped to (encode(v) - r) mod N,
+// where r is the encoding of the first dictionary entry and N is one past
+// the largest value that fits the column. The original system linked a
+// general-purpose C++ big-integer library into the enclave for this; because
+// ENCODE right-pads values to the column's maximum byte length L, the
+// modulus is always N = 256^L, and the entire arithmetic reduces to
+// fixed-width byte-string operations:
+//
+//   - encode(v)            = v right-padded with zero bytes to L bytes,
+//   - (x - r) mod 256^L    = big-endian subtraction with borrow (wraparound),
+//   - order comparison     = lexicographic byte comparison.
+//
+// This package provides those primitives plus addition, increment and
+// conversions, all property-tested against math/big. Widths are arbitrary;
+// a Value of width L represents an element of Z_(256^L).
+package fixint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Value is a fixed-width big-endian unsigned integer. The width (in bytes)
+// is len(v); all operations require equal widths. The zero-length Value
+// represents the single element of Z_1 (always zero).
+type Value []byte
+
+// ErrWidthMismatch is returned when two operands have different widths.
+var ErrWidthMismatch = errors.New("fixint: operand widths differ")
+
+// New returns a zero Value of the given byte width.
+func New(width int) Value {
+	if width < 0 {
+		width = 0
+	}
+	return make(Value, width)
+}
+
+// FromBytes returns a Value of the given width holding b interpreted as a
+// big-endian integer. If b is longer than width, it is reduced mod 256^width
+// (the leading bytes are dropped); if shorter, it is left-padded with zeros.
+func FromBytes(b []byte, width int) Value {
+	v := New(width)
+	if len(b) > width {
+		b = b[len(b)-width:]
+	}
+	copy(v[width-len(b):], b)
+	return v
+}
+
+// FromUint64 returns a Value of the given width holding x mod 256^width.
+func FromUint64(x uint64, width int) Value {
+	v := New(width)
+	for i := len(v) - 1; i >= 0 && x > 0; i-- {
+		v[i] = byte(x)
+		x >>= 8
+	}
+	return v
+}
+
+// Width returns the width of v in bytes.
+func (v Value) Width() int { return len(v) }
+
+// Clone returns an independent copy of v.
+func (v Value) Clone() Value {
+	c := make(Value, len(v))
+	copy(c, v)
+	return c
+}
+
+// IsZero reports whether v represents zero.
+func (v Value) IsZero() bool {
+	for _, b := range v {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares v and u as unsigned integers, returning -1, 0, or +1.
+// It panics if widths differ; use CmpChecked for an error-returning variant.
+func (v Value) Cmp(u Value) int {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("fixint: Cmp width mismatch %d != %d", len(v), len(u)))
+	}
+	return bytes.Compare(v, u)
+}
+
+// CmpChecked is Cmp with an error instead of a panic on width mismatch.
+func (v Value) CmpChecked(u Value) (int, error) {
+	if len(v) != len(u) {
+		return 0, ErrWidthMismatch
+	}
+	return bytes.Compare(v, u), nil
+}
+
+// SubMod sets dst = (v - u) mod 256^width and returns dst. dst may alias v
+// or u. It panics if widths differ.
+func (v Value) SubMod(u Value, dst Value) Value {
+	if len(v) != len(u) || len(dst) != len(v) {
+		panic(fmt.Sprintf("fixint: SubMod width mismatch %d/%d/%d", len(v), len(u), len(dst)))
+	}
+	var borrow uint16
+	for i := len(v) - 1; i >= 0; i-- {
+		d := uint16(v[i]) - uint16(u[i]) - borrow
+		dst[i] = byte(d)
+		borrow = (d >> 8) & 1 // 1 if the subtraction wrapped below zero
+	}
+	return dst
+}
+
+// Sub returns (v - u) mod 256^width as a fresh Value.
+func (v Value) Sub(u Value) Value { return v.SubMod(u, New(len(v))) }
+
+// AddMod sets dst = (v + u) mod 256^width and returns dst. dst may alias v
+// or u. It panics if widths differ.
+func (v Value) AddMod(u Value, dst Value) Value {
+	if len(v) != len(u) || len(dst) != len(v) {
+		panic(fmt.Sprintf("fixint: AddMod width mismatch %d/%d/%d", len(v), len(u), len(dst)))
+	}
+	var carry uint16
+	for i := len(v) - 1; i >= 0; i-- {
+		s := uint16(v[i]) + uint16(u[i]) + carry
+		dst[i] = byte(s)
+		carry = s >> 8
+	}
+	return dst
+}
+
+// Add returns (v + u) mod 256^width as a fresh Value.
+func (v Value) Add(u Value) Value { return v.AddMod(u, New(len(v))) }
+
+// Inc increments v in place modulo 256^width and returns v.
+func (v Value) Inc() Value {
+	for i := len(v) - 1; i >= 0; i-- {
+		v[i]++
+		if v[i] != 0 {
+			break
+		}
+	}
+	return v
+}
+
+// Dec decrements v in place modulo 256^width and returns v.
+func (v Value) Dec() Value {
+	for i := len(v) - 1; i >= 0; i-- {
+		v[i]--
+		if v[i] != 0xFF {
+			break
+		}
+	}
+	return v
+}
+
+// Max returns the maximum representable Value of the given width
+// (all bytes 0xFF), i.e. 256^width - 1.
+func Max(width int) Value {
+	v := New(width)
+	for i := range v {
+		v[i] = 0xFF
+	}
+	return v
+}
+
+// Big returns v as a math/big.Int. Intended for tests and diagnostics.
+func (v Value) Big() *big.Int { return new(big.Int).SetBytes(v) }
+
+// String returns a hexadecimal representation of v.
+func (v Value) String() string { return fmt.Sprintf("0x%x", []byte(v)) }

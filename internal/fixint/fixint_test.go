@@ -1,0 +1,236 @@
+package fixint
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	tests := []struct {
+		give int
+		want int
+	}{
+		{give: 0, want: 0},
+		{give: 1, want: 1},
+		{give: 16, want: 16},
+		{give: -3, want: 0},
+	}
+	for _, tt := range tests {
+		v := New(tt.give)
+		if v.Width() != tt.want {
+			t.Errorf("New(%d).Width() = %d, want %d", tt.give, v.Width(), tt.want)
+		}
+		if !v.IsZero() {
+			t.Errorf("New(%d) is not zero", tt.give)
+		}
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	tests := []struct {
+		name  string
+		give  []byte
+		width int
+		want  []byte
+	}{
+		{name: "exact", give: []byte{1, 2}, width: 2, want: []byte{1, 2}},
+		{name: "pad", give: []byte{7}, width: 3, want: []byte{0, 0, 7}},
+		{name: "truncate", give: []byte{9, 1, 2}, width: 2, want: []byte{1, 2}},
+		{name: "empty", give: nil, width: 2, want: []byte{0, 0}},
+		{name: "zero width", give: []byte{5}, width: 0, want: []byte{}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FromBytes(tt.give, tt.width)
+			if got.Cmp(Value(tt.want)) != 0 {
+				t.Errorf("FromBytes(%v, %d) = %v, want %v", tt.give, tt.width, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	tests := []struct {
+		give  uint64
+		width int
+		want  Value
+	}{
+		{give: 0, width: 4, want: Value{0, 0, 0, 0}},
+		{give: 1, width: 4, want: Value{0, 0, 0, 1}},
+		{give: 0x0102, width: 4, want: Value{0, 0, 1, 2}},
+		{give: 0x0102, width: 1, want: Value{2}}, // reduced mod 256
+		{give: ^uint64(0), width: 8, want: Max(8)},
+	}
+	for _, tt := range tests {
+		got := FromUint64(tt.give, tt.width)
+		if got.Cmp(tt.want) != 0 {
+			t.Errorf("FromUint64(%#x, %d) = %v, want %v", tt.give, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestSubModWraparound(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b uint64
+		want uint64
+	}{
+		{name: "no borrow", a: 10, b: 3, want: 7},
+		{name: "equal", a: 42, b: 42, want: 0},
+		{name: "wrap", a: 3, b: 10, want: 0x100000000 - 7},
+		{name: "wrap from zero", a: 0, b: 1, want: 0xFFFFFFFF},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FromUint64(tt.a, 4).Sub(FromUint64(tt.b, 4))
+			if want := FromUint64(tt.want, 4); got.Cmp(want) != 0 {
+				t.Errorf("%d - %d = %v, want %v", tt.a, tt.b, got, want)
+			}
+		})
+	}
+}
+
+func TestAddModWraparound(t *testing.T) {
+	got := Max(3).Add(FromUint64(1, 3))
+	if !got.IsZero() {
+		t.Errorf("max + 1 = %v, want 0", got)
+	}
+}
+
+func TestIncDec(t *testing.T) {
+	v := Max(2).Clone()
+	if v.Inc(); !v.IsZero() {
+		t.Errorf("Inc(max) = %v, want 0", v)
+	}
+	if v.Dec(); v.Cmp(Max(2)) != 0 {
+		t.Errorf("Dec(0) = %v, want max", v)
+	}
+	w := FromUint64(41, 2)
+	if w.Inc(); w.Cmp(FromUint64(42, 2)) != 0 {
+		t.Errorf("Inc(41) = %v, want 42", w)
+	}
+}
+
+func TestCmpCheckedWidthMismatch(t *testing.T) {
+	if _, err := New(2).CmpChecked(New(3)); err != ErrWidthMismatch {
+		t.Errorf("CmpChecked width mismatch: err = %v, want ErrWidthMismatch", err)
+	}
+}
+
+func TestCmpPanicsOnWidthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cmp with mismatched widths did not panic")
+		}
+	}()
+	New(2).Cmp(New(3))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := FromUint64(7, 2)
+	c := v.Clone()
+	c.Inc()
+	if v.Cmp(FromUint64(7, 2)) != 0 {
+		t.Errorf("mutating clone changed original: %v", v)
+	}
+}
+
+func TestZeroWidth(t *testing.T) {
+	a, b := New(0), New(0)
+	if a.Cmp(b) != 0 {
+		t.Error("zero-width values should be equal")
+	}
+	if got := a.Sub(b); got.Width() != 0 {
+		t.Errorf("zero-width Sub has width %d", got.Width())
+	}
+	if !a.Inc().IsZero() {
+		t.Error("zero-width Inc should remain zero")
+	}
+}
+
+// modulus returns 256^width.
+func modulus(width int) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(8*width))
+}
+
+func TestSubModMatchesBigInt(t *testing.T) {
+	const width = 9
+	mod := modulus(width)
+	f := func(a, b [width]byte) bool {
+		va, vb := Value(a[:]).Clone(), Value(b[:]).Clone()
+		got := va.Sub(vb).Big()
+		want := new(big.Int).Sub(va.Big(), vb.Big())
+		want.Mod(want, mod)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddModMatchesBigInt(t *testing.T) {
+	const width = 9
+	mod := modulus(width)
+	f := func(a, b [width]byte) bool {
+		va, vb := Value(a[:]).Clone(), Value(b[:]).Clone()
+		got := va.Add(vb).Big()
+		want := new(big.Int).Add(va.Big(), vb.Big())
+		want.Mod(want, mod)
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpMatchesBigInt(t *testing.T) {
+	const width = 7
+	f := func(a, b [width]byte) bool {
+		va, vb := Value(a[:]), Value(b[:])
+		return va.Cmp(vb) == va.Big().Cmp(vb.Big())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubThenAddRoundTrips(t *testing.T) {
+	const width = 6
+	f := func(a, b [width]byte) bool {
+		va, vb := Value(a[:]), Value(b[:])
+		return va.Sub(vb).Add(vb).Cmp(va) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAliasedDst(t *testing.T) {
+	a := FromUint64(100, 4)
+	b := FromUint64(58, 4)
+	a.SubMod(b, a) // dst aliases receiver
+	if a.Cmp(FromUint64(42, 4)) != 0 {
+		t.Errorf("aliased SubMod = %v, want 42", a)
+	}
+	b.AddMod(b, b) // dst aliases both
+	if b.Cmp(FromUint64(116, 4)) != 0 {
+		t.Errorf("aliased AddMod = %v, want 116", b)
+	}
+}
+
+func BenchmarkSubMod16(b *testing.B) {
+	x, y, dst := Max(16), FromUint64(12345, 16), New(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.SubMod(y, dst)
+	}
+}
+
+func BenchmarkCmp16(b *testing.B) {
+	x, y := Max(16), FromUint64(12345, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}

@@ -1,0 +1,273 @@
+package leakage_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/leakage"
+)
+
+// skewedColumn builds a column with a heavily skewed value distribution —
+// the setting in which frequency analysis is most damaging.
+func skewedColumn(rng *rand.Rand, rows, unique int) [][]byte {
+	col := make([][]byte, rows)
+	for i := range col {
+		// Value k occurs with probability proportional to 2^-k.
+		k := 0
+		for k < unique-1 && rng.Intn(2) == 0 {
+			k++
+		}
+		col[i] = []byte(fmt.Sprintf("val%03d", k))
+	}
+	return col
+}
+
+func buildSplit(t testing.TB, col [][]byte, k dict.Kind, bsmax int, rng *rand.Rand) *dict.Split {
+	t.Helper()
+	s, err := dict.Build(col, dict.Params{
+		Kind: k, MaxLen: 10, BSMax: bsmax, Plain: true, Rand: rng,
+	})
+	if err != nil {
+		t.Fatalf("Build(%v): %v", k, err)
+	}
+	return s
+}
+
+func identity(b []byte) ([]byte, error) { return b, nil }
+
+func TestVidHistogram(t *testing.T) {
+	av := []uint32{0, 1, 1, 2, 2, 2}
+	hist := leakage.VidHistogram(av, 3)
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if hist[i] != w {
+			t.Errorf("hist[%d] = %d, want %d", i, hist[i], w)
+		}
+	}
+}
+
+func TestFrequencyLeakageBounds(t *testing.T) {
+	// Table 3: revealing leaks the full histogram, smoothing bounds every
+	// ValueID count by bsmax, hiding flattens to 1.
+	rng := rand.New(rand.NewSource(1))
+	col := skewedColumn(rng, 2000, 8)
+	const bsmax = 5
+
+	rev, err := leakage.Analyze(buildSplit(t, col, dict.ED1, 0, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.MaxVidFrequency < 500 {
+		t.Errorf("revealing max frequency = %d, want the full skew visible", rev.MaxVidFrequency)
+	}
+
+	smooth, err := leakage.Analyze(buildSplit(t, col, dict.ED4, bsmax, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smooth.MaxVidFrequency > bsmax {
+		t.Errorf("smoothing max frequency = %d, want <= bsmax = %d", smooth.MaxVidFrequency, bsmax)
+	}
+
+	hide, err := leakage.Analyze(buildSplit(t, col, dict.ED7, 0, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hide.MaxVidFrequency != 1 || hide.MinVidFrequency != 1 {
+		t.Errorf("hiding frequencies = [%d, %d], want exactly 1",
+			hide.MinVidFrequency, hide.MaxVidFrequency)
+	}
+}
+
+func TestOrderLeakageMetrics(t *testing.T) {
+	// Table 4: sorted leaks full order, rotated leaks modular order,
+	// unsorted leaks none.
+	rng := rand.New(rand.NewSource(2))
+	col := skewedColumn(rng, 3000, 64)
+
+	sorted, err := leakage.Analyze(buildSplit(t, col, dict.ED1, 0, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.AdjacentOrderScore < 0.999 {
+		t.Errorf("sorted adjacent score = %v, want 1.0", sorted.AdjacentOrderScore)
+	}
+	if sorted.RankCorrelation < 0.999 {
+		t.Errorf("sorted rank correlation = %v, want 1.0", sorted.RankCorrelation)
+	}
+
+	// ED7 duplicates every row in the dictionary; tie-averaged ranks push
+	// Spearman below 1 but the order signal stays strong.
+	sortedHiding, err := leakage.Analyze(buildSplit(t, col, dict.ED7, 0, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sortedHiding.AdjacentOrderScore < 0.999 {
+		t.Errorf("ED7 adjacent score = %v, want 1.0", sortedHiding.AdjacentOrderScore)
+	}
+	if sortedHiding.RankCorrelation < 0.85 {
+		t.Errorf("ED7 rank correlation = %v, want high", sortedHiding.RankCorrelation)
+	}
+
+	rotated, err := leakage.Analyze(buildSplit(t, col, dict.ED8, 0, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modular order: all but (at most) one adjacent pair stay ordered.
+	if rotated.AdjacentOrderScore < 0.99 {
+		t.Errorf("rotated adjacent score = %v, want ~1.0", rotated.AdjacentOrderScore)
+	}
+
+	unsorted, err := leakage.Analyze(buildSplit(t, col, dict.ED9, 0, rng), identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsorted.AdjacentOrderScore > 0.75 {
+		t.Errorf("unsorted adjacent score = %v, want ~0.5", unsorted.AdjacentOrderScore)
+	}
+	if unsorted.RankCorrelation > 0.3 || unsorted.RankCorrelation < -0.3 {
+		t.Errorf("unsorted rank correlation = %v, want ~0", unsorted.RankCorrelation)
+	}
+}
+
+func TestFrequencyAttackOrdering(t *testing.T) {
+	// Figure 6: recovery under frequency analysis must not increase when
+	// moving from revealing to smoothing to hiding.
+	rng := rand.New(rand.NewSource(3))
+	col := skewedColumn(rng, 4000, 10)
+	aux := leakage.BuildAuxiliary(col)
+
+	recover := func(k dict.Kind, bsmax int) float64 {
+		s := buildSplit(t, col, k, bsmax, rng)
+		rate, err := leakage.FrequencyAttack(s, identity, aux)
+		if err != nil {
+			t.Fatalf("FrequencyAttack(%v): %v", k, err)
+		}
+		return rate
+	}
+
+	rev := recover(dict.ED3, 0)
+	smooth := recover(dict.ED6, 4)
+	hide := recover(dict.ED9, 0)
+	t.Logf("frequency attack recovery: revealing=%.3f smoothing=%.3f hiding=%.3f", rev, smooth, hide)
+
+	if rev < 0.85 {
+		t.Errorf("revealing recovery = %v; the attack should succeed on skewed data", rev)
+	}
+	if smooth > rev {
+		t.Errorf("smoothing recovery %v > revealing %v", smooth, rev)
+	}
+	if hide > smooth+0.05 {
+		t.Errorf("hiding recovery %v > smoothing %v", hide, smooth)
+	}
+	// Frequency hiding flattens all counts; the rank-matching attacker
+	// does no better than mass guessing, far below the revealing case.
+	if hide > 0.6*rev {
+		t.Errorf("hiding recovery %v too close to revealing %v", hide, rev)
+	}
+}
+
+func TestFrequencyAttackWeakerOnUniformData(t *testing.T) {
+	// Frequency analysis keys on distinctive counts. Near-uniform data
+	// produces colliding counts, so recovery must drop well below the
+	// skewed-data case (though values with unique counts still fall).
+	rng := rand.New(rand.NewSource(4))
+	const unique = 50
+	uniform := make([][]byte, 5000)
+	for i := range uniform {
+		uniform[i] = []byte(fmt.Sprintf("u%04d", rng.Intn(unique)))
+	}
+	sUniform := buildSplit(t, uniform, dict.ED3, 0, rng)
+	rateUniform, err := leakage.FrequencyAttack(sUniform, identity, leakage.BuildAuxiliary(uniform))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	skewed := skewedColumn(rng, 5000, unique)
+	sSkewed := buildSplit(t, skewed, dict.ED3, 0, rng)
+	rateSkewed, err := leakage.FrequencyAttack(sSkewed, identity, leakage.BuildAuxiliary(skewed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovery: uniform=%.3f skewed=%.3f", rateUniform, rateSkewed)
+	if rateUniform >= rateSkewed {
+		t.Errorf("uniform recovery %v >= skewed recovery %v", rateUniform, rateSkewed)
+	}
+	if rateUniform > 0.85 {
+		t.Errorf("uniform recovery = %v, want substantially degraded", rateUniform)
+	}
+}
+
+func TestOrderAttackOrdering(t *testing.T) {
+	// The order dimension of Figure 6: the sorted-order attack must
+	// succeed against sorted dictionaries (even frequency-hiding ones),
+	// degrade for rotated ones (secret offset), and fail for shuffled
+	// ones.
+	rng := rand.New(rand.NewSource(7))
+	col := skewedColumn(rng, 4000, 10)
+	aux := leakage.BuildAuxiliary(col)
+
+	attack := func(k dict.Kind) float64 {
+		s := buildSplit(t, col, k, 0, rng)
+		rate, err := leakage.OrderAttack(s, identity, aux)
+		if err != nil {
+			t.Fatalf("OrderAttack(%v): %v", k, err)
+		}
+		return rate
+	}
+	sorted := attack(dict.ED7)   // hiding + sorted: frequency attack fails, order attack must not
+	rotated := attack(dict.ED8)  // hiding + rotated
+	unsorted := attack(dict.ED9) // hiding + unsorted
+	t.Logf("order attack recovery: sorted=%.3f rotated=%.3f unsorted=%.3f", sorted, rotated, unsorted)
+	if sorted < 0.9 {
+		t.Errorf("sorted recovery = %v; full order leakage should let the attack succeed", sorted)
+	}
+	if rotated >= sorted {
+		t.Errorf("rotated recovery %v >= sorted %v", rotated, sorted)
+	}
+	if unsorted > 0.75 {
+		t.Errorf("unsorted recovery = %v, want low", unsorted)
+	}
+}
+
+func TestOrderAttackEmptyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := buildSplit(t, nil, dict.ED1, 0, rng)
+	if rate, err := leakage.OrderAttack(s, identity, nil); err != nil || rate != 0 {
+		t.Errorf("empty: %v, %v", rate, err)
+	}
+	s2 := buildSplit(t, [][]byte{[]byte("x")}, dict.ED1, 0, rng)
+	if rate, err := leakage.OrderAttack(s2, identity, leakage.AuxiliaryDistribution{}); err != nil || rate != 0 {
+		t.Errorf("empty aux: %v, %v", rate, err)
+	}
+}
+
+func TestAnalyzeEmptySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := buildSplit(t, nil, dict.ED1, 0, rng)
+	r, err := leakage.Analyze(s, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DictLen != 0 || r.Rows != 0 {
+		t.Errorf("report = %+v", r)
+	}
+	rate, err := leakage.FrequencyAttack(s, identity, nil)
+	if err != nil || rate != 0 {
+		t.Errorf("attack on empty split = %v, %v", rate, err)
+	}
+}
+
+func TestAnalyzePropagatesDecryptError(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := buildSplit(t, [][]byte{[]byte("x")}, dict.ED1, 0, rng)
+	boom := func([]byte) ([]byte, error) { return nil, fmt.Errorf("boom") }
+	if _, err := leakage.Analyze(s, boom); err == nil {
+		t.Error("decrypt error swallowed")
+	}
+	if _, err := leakage.FrequencyAttack(s, boom, leakage.AuxiliaryDistribution{"x": 1}); err == nil {
+		t.Error("decrypt error swallowed in attack")
+	}
+}

@@ -1,0 +1,109 @@
+// Package ordenc implements the ENCODE operation of EncDBDB's rotated
+// dictionary search (paper Algorithm 3).
+//
+// ENCODE converts string values of a fixed maximal length L into an integer
+// representation that preserves lexicographical order: each byte is a base-256
+// digit and the value is right-padded with zero bytes to L bytes. The column
+// maximum is the all-0xFF string of length L, so the modulus used by the
+// rotated search is N = 256^L, and the transform
+//
+//	T_r(v) = (ENCODE(v) - r) mod N
+//
+// maps a rotated-sorted dictionary back to a monotonically increasing
+// sequence (except for a possible wrapped run of values equal to the
+// dictionary's first entry, which internal/search handles explicitly).
+//
+// Because right padding makes a trailing NUL byte indistinguishable from no
+// byte at all, values must not contain NUL bytes; Validate enforces this,
+// mirroring VARCHAR semantics.
+package ordenc
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/encdbdb/encdbdb/internal/fixint"
+)
+
+var (
+	// ErrTooLong is returned when a value exceeds the column's maximum length.
+	ErrTooLong = errors.New("ordenc: value exceeds column maximum length")
+	// ErrNULByte is returned when a value contains a NUL byte.
+	ErrNULByte = errors.New("ordenc: value contains NUL byte")
+	// ErrBadMaxLen is returned for non-positive column maximum lengths.
+	ErrBadMaxLen = errors.New("ordenc: column maximum length must be positive")
+)
+
+// Encoder encodes values of one column with a fixed maximum byte length.
+type Encoder struct {
+	maxLen int
+}
+
+// NewEncoder returns an Encoder for a column whose values are at most maxLen
+// bytes long (e.g. 30 for a VARCHAR(30) column).
+func NewEncoder(maxLen int) (*Encoder, error) {
+	if maxLen <= 0 {
+		return nil, ErrBadMaxLen
+	}
+	return &Encoder{maxLen: maxLen}, nil
+}
+
+// MaxLen returns the column maximum length in bytes.
+func (e *Encoder) MaxLen() int { return e.maxLen }
+
+// Validate checks that v fits the column: at most maxLen bytes, no NUL bytes.
+func (e *Encoder) Validate(v []byte) error {
+	if len(v) > e.maxLen {
+		return fmt.Errorf("%w: %d > %d", ErrTooLong, len(v), e.maxLen)
+	}
+	for i, b := range v {
+		if b == 0 {
+			return fmt.Errorf("%w at index %d", ErrNULByte, i)
+		}
+	}
+	return nil
+}
+
+// Encode returns ENCODE(v): v right-padded with zeros to maxLen bytes,
+// interpreted as a big-endian integer. The caller must have validated v.
+func (e *Encoder) Encode(v []byte) fixint.Value {
+	out := fixint.New(e.maxLen)
+	copy(out, v)
+	return out
+}
+
+// EncodeInto writes ENCODE(v) into dst, which must have width maxLen.
+// It avoids per-value allocation on the search hot path.
+func (e *Encoder) EncodeInto(v []byte, dst fixint.Value) fixint.Value {
+	copy(dst, v)
+	for i := len(v); i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// ColumnMax returns ENCODE of the maximum value that fits the column: the
+// all-0xFF string of length maxLen (Algorithm 3, line 3). N = ColumnMax + 1
+// = 256^maxLen is the modulus of the rotation transform; since N is a power
+// of 256, "mod N" is fixint's natural fixed-width wraparound.
+func (e *Encoder) ColumnMax() fixint.Value { return fixint.Max(e.maxLen) }
+
+// Transform computes T_r(v) = (ENCODE(v) - r) mod 256^maxLen into dst and
+// returns it. r must be an encoded value of width maxLen.
+func (e *Encoder) Transform(v []byte, r fixint.Value, dst fixint.Value) fixint.Value {
+	e.EncodeInto(v, dst)
+	return dst.SubMod(r, dst)
+}
+
+// Compare compares two raw (unencoded, unpadded) values in plaintext order.
+// For NUL-free values this equals the order of their encodings.
+func Compare(a, b []byte) int {
+	switch {
+	case string(a) < string(b):
+		return -1
+	case string(a) > string(b):
+		return 1
+	default:
+		return 0
+	}
+}

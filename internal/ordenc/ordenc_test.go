@@ -1,0 +1,193 @@
+package ordenc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/encdbdb/encdbdb/internal/fixint"
+)
+
+func mustEncoder(t *testing.T, maxLen int) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(maxLen)
+	if err != nil {
+		t.Fatalf("NewEncoder(%d): %v", maxLen, err)
+	}
+	return e
+}
+
+func TestNewEncoderRejectsBadMaxLen(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewEncoder(n); !errors.Is(err, ErrBadMaxLen) {
+			t.Errorf("NewEncoder(%d): err = %v, want ErrBadMaxLen", n, err)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	e := mustEncoder(t, 4)
+	tests := []struct {
+		name    string
+		give    []byte
+		wantErr error
+	}{
+		{name: "empty", give: []byte{}},
+		{name: "fits", give: []byte("abcd")},
+		{name: "short", give: []byte("a")},
+		{name: "too long", give: []byte("abcde"), wantErr: ErrTooLong},
+		{name: "nul", give: []byte{'a', 0, 'b'}, wantErr: ErrNULByte},
+		{name: "leading nul", give: []byte{0}, wantErr: ErrNULByte},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := e.Validate(tt.give)
+			if tt.wantErr == nil && err != nil {
+				t.Errorf("Validate(%q) = %v, want nil", tt.give, err)
+			}
+			if tt.wantErr != nil && !errors.Is(err, tt.wantErr) {
+				t.Errorf("Validate(%q) = %v, want %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEncodePaperExample(t *testing.T) {
+	// The paper encodes "AB" for a VARCHAR(5) column as the digit pair of
+	// each character followed by right padding. With base-256 digits the
+	// analogous property is: ENCODE("AB") = 'A','B',0,0,0 as a big-endian
+	// integer, and ENCODE("AB") < ENCODE("BA").
+	e := mustEncoder(t, 5)
+	ab, ba := e.Encode([]byte("AB")), e.Encode([]byte("BA"))
+	if want := (fixint.Value{'A', 'B', 0, 0, 0}); ab.Cmp(want) != 0 {
+		t.Errorf("Encode(AB) = %v, want %v", ab, want)
+	}
+	if ab.Cmp(ba) != -1 {
+		t.Error("ENCODE(AB) should be < ENCODE(BA)")
+	}
+}
+
+func TestEncodePreservesOrderTable(t *testing.T) {
+	e := mustEncoder(t, 6)
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{a: "A", b: "B", want: -1},
+		{a: "AB", b: "ABA", want: -1}, // prefix sorts first
+		{a: "ABA", b: "AB", want: 1},
+		{a: "same", b: "same", want: 0},
+		{a: "", b: "a", want: -1},
+		{a: "zz", b: "za", want: 1},
+	}
+	for _, tt := range tests {
+		got := e.Encode([]byte(tt.a)).Cmp(e.Encode([]byte(tt.b)))
+		if got != tt.want {
+			t.Errorf("Encode(%q).Cmp(Encode(%q)) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// randomValue returns a NUL-free value of length <= maxLen.
+func randomValue(rng *rand.Rand, maxLen int) []byte {
+	n := rng.Intn(maxLen + 1)
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte(1 + rng.Intn(255))
+	}
+	return v
+}
+
+func TestEncodeOrderMatchesBytesCompareProperty(t *testing.T) {
+	const maxLen = 10
+	e := mustEncoder(t, maxLen)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randomValue(rng, maxLen), randomValue(rng, maxLen)
+		got := e.Encode(a).Cmp(e.Encode(b))
+		want := bytes.Compare(a, b)
+		if got != want {
+			t.Fatalf("order mismatch for %q vs %q: encode %d, bytes %d", a, b, got, want)
+		}
+	}
+}
+
+func TestTransformPreservesRotatedOrder(t *testing.T) {
+	// For any r, the transform must order values by their "modular distance"
+	// above r: values >= r come first (in order), then values < r.
+	const maxLen = 8
+	e := mustEncoder(t, maxLen)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		r := e.Encode(randomValue(rng, maxLen))
+		a, b := randomValue(rng, maxLen), randomValue(rng, maxLen)
+		ta := e.Transform(a, r, fixint.New(maxLen))
+		tb := e.Transform(b, r, fixint.New(maxLen))
+
+		ea, eb := e.Encode(a), e.Encode(b)
+		aAbove, bAbove := ea.Cmp(r) >= 0, eb.Cmp(r) >= 0
+		var want int
+		switch {
+		case aAbove == bAbove:
+			want = ea.Cmp(eb)
+		case aAbove:
+			want = -1
+		default:
+			want = 1
+		}
+		if got := ta.Cmp(tb); got != want {
+			t.Fatalf("transform order mismatch: a=%q b=%q r=%v got %d want %d", a, b, r, got, want)
+		}
+	}
+}
+
+func TestTransformOfRIsZero(t *testing.T) {
+	e := mustEncoder(t, 5)
+	v := []byte("pivot")
+	r := e.Encode(v)
+	if tr := e.Transform(v, r, fixint.New(5)); !tr.IsZero() {
+		t.Errorf("Transform(v, Encode(v)) = %v, want 0", tr)
+	}
+}
+
+func TestEncodeIntoReusesBuffer(t *testing.T) {
+	e := mustEncoder(t, 4)
+	dst := fixint.FromBytes([]byte{9, 9, 9, 9}, 4)
+	got := e.EncodeInto([]byte("ab"), dst)
+	if want := (fixint.Value{'a', 'b', 0, 0}); got.Cmp(want) != 0 {
+		t.Errorf("EncodeInto = %v, want %v (stale bytes not cleared?)", got, want)
+	}
+}
+
+func TestColumnMax(t *testing.T) {
+	e := mustEncoder(t, 3)
+	if got := e.ColumnMax(); got.Cmp(fixint.Max(3)) != 0 {
+		t.Errorf("ColumnMax = %v, want all-0xFF", got)
+	}
+	// Every encodable value must be <= ColumnMax.
+	if e.Encode([]byte{0xFF, 0xFF, 0xFF}).Cmp(e.ColumnMax()) != 0 {
+		t.Error("max value should encode to ColumnMax")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return Compare(a, b) == bytes.Compare(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTransform(b *testing.B) {
+	e, _ := NewEncoder(12)
+	r := e.Encode([]byte("rotationbase"))
+	dst := fixint.New(12)
+	v := []byte("benchvalue")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Transform(v, r, dst)
+	}
+}

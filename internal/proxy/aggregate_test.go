@@ -1,0 +1,195 @@
+package proxy_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/proxy"
+)
+
+// seedNumeric creates a table with zero-padded numeric prices.
+func seedNumeric(t testing.TB) *proxy.Proxy {
+	t.Helper()
+	p := newStack(t)
+	mustExec(t, p, "CREATE TABLE orders (item ED1(16), price ED5(8) BSMAX 4)")
+	rows := [][2]string{
+		{"apple", "00000300"},
+		{"banana", "00000150"},
+		{"cherry", "00000700"},
+		{"apple", "00000250"},
+	}
+	for _, r := range rows {
+		mustExec(t, p, fmt.Sprintf("INSERT INTO orders VALUES ('%s', '%s')", r[0], r[1]))
+	}
+	return p
+}
+
+func TestAggregateMinMax(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT MIN(price), MAX(price) FROM orders")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Rows[0][0] != "00000150" || res.Rows[0][1] != "00000700" {
+		t.Errorf("min/max = %v, want 00000150/00000700", res.Rows[0])
+	}
+	if res.Columns[0] != "min(price)" || res.Columns[1] != "max(price)" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+func TestAggregateSumAvg(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT SUM(price), AVG(price) FROM orders WHERE item = 'apple'")
+	if res.Rows[0][0] != "550" {
+		t.Errorf("sum = %q, want 550", res.Rows[0][0])
+	}
+	if res.Rows[0][1] != "275" {
+		t.Errorf("avg = %q, want 275", res.Rows[0][1])
+	}
+}
+
+func TestAggregateSumRejectsNonNumeric(t *testing.T) {
+	p := seedNumeric(t)
+	if _, err := p.Execute("SELECT SUM(item) FROM orders"); err == nil {
+		t.Error("SUM over non-numeric column succeeded")
+	}
+}
+
+func TestAggregateEmptyResult(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT MIN(price) FROM orders WHERE item = 'durian'")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "" {
+		t.Errorf("rows = %v, want one empty cell", res.Rows)
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item, price FROM orders ORDER BY price")
+	want := []string{"banana", "apple", "apple", "cherry"}
+	for i, w := range want {
+		if res.Rows[i][0] != w {
+			t.Fatalf("row %d = %v, want item %q (rows: %v)", i, res.Rows[i], w, res.Rows)
+		}
+	}
+}
+
+func TestOrderByDesc(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT price FROM orders ORDER BY price DESC LIMIT 1")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "00000700" {
+		t.Errorf("rows = %v, want the max price only", res.Rows)
+	}
+}
+
+func TestOrderByUnprojectedColumn(t *testing.T) {
+	// Sorting by a column that is not in the projection: it is rendered
+	// internally and stripped again.
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item FROM orders ORDER BY price DESC")
+	if len(res.Columns) != 1 || res.Columns[0] != "item" {
+		t.Fatalf("columns = %v, want [item]", res.Columns)
+	}
+	want := []string{"cherry", "apple", "apple", "banana"}
+	for i, w := range want {
+		if res.Rows[i][0] != w {
+			t.Fatalf("row %d = %v, want %q", i, res.Rows[i], w)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item FROM orders LIMIT 2")
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %d, want 2", len(res.Rows))
+	}
+	res = mustExec(t, p, "SELECT item FROM orders LIMIT 0")
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(res.Rows))
+	}
+	res = mustExec(t, p, "SELECT item FROM orders LIMIT 99")
+	if len(res.Rows) != 4 {
+		t.Errorf("rows = %d, want all 4", len(res.Rows))
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	p := seedNumeric(t)
+	if _, err := p.Execute("SELECT item FROM orders ORDER BY nope"); err == nil {
+		t.Error("unknown ORDER BY column accepted")
+	}
+}
+
+func TestInList(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item FROM orders WHERE item IN ('banana', 'cherry') ORDER BY item")
+	if len(res.Rows) != 2 || res.Rows[0][0] != "banana" || res.Rows[1][0] != "cherry" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestInListWithDuplicateMembersAndRows(t *testing.T) {
+	p := seedNumeric(t)
+	// 'apple' occurs twice in the table; duplicate IN members must not
+	// duplicate rows.
+	res := mustExec(t, p, "SELECT item FROM orders WHERE item IN ('apple', 'apple')")
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v, want the two apple rows once each", res.Rows)
+	}
+}
+
+func TestInListIntersectsRangePredicate(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item FROM orders WHERE item IN ('apple', 'cherry') AND item < 'b'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v, want 2 apples", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[0] != "apple" {
+			t.Errorf("row = %v, want apple", r)
+		}
+	}
+}
+
+func TestTwoInListsIntersect(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item FROM orders WHERE item IN ('apple', 'banana') AND item IN ('banana', 'cherry')")
+	if len(res.Rows) != 1 || res.Rows[0][0] != "banana" {
+		t.Errorf("rows = %v, want [banana]", res.Rows)
+	}
+}
+
+func TestInListNoSurvivors(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT COUNT(*) FROM orders WHERE item IN ('apple') AND item IN ('cherry')")
+	if res.Count != 0 {
+		t.Errorf("count = %d, want 0", res.Count)
+	}
+}
+
+func TestInListAcrossColumnsAndKinds(t *testing.T) {
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT item FROM orders WHERE price IN ('00000150', '00000700') ORDER BY item")
+	if len(res.Rows) != 2 || res.Rows[0][0] != "banana" || res.Rows[1][0] != "cherry" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestInListRejectsOversizedMember(t *testing.T) {
+	p := seedNumeric(t)
+	if _, err := p.Execute("SELECT item FROM orders WHERE item IN ('waaaaaaaaaaaaaaaaaaytoolong')"); err == nil {
+		t.Error("oversized IN member accepted")
+	}
+}
+
+func TestAggregateWithRangeFilter(t *testing.T) {
+	// Aggregation composes with encrypted range filters: the provider
+	// evaluates the range, the proxy aggregates the decrypted result.
+	p := seedNumeric(t)
+	res := mustExec(t, p, "SELECT SUM(price) FROM orders WHERE price >= '00000200' AND price <= '00000400'")
+	if res.Rows[0][0] != "550" { // 300 + 250
+		t.Errorf("sum = %q, want 550", res.Rows[0][0])
+	}
+}

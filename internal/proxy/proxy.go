@@ -1,0 +1,644 @@
+// Package proxy implements EncDBDB's trusted proxy (paper §3.1, §4.2 steps
+// 5 and 14): the component on the data owner's side that holds the master
+// key SK_DB, rewrites application SQL into encrypted range queries, and
+// decrypts results.
+//
+// Every WHERE predicate — equality, inequality, one- or two-sided range —
+// is converted into one uniform, closed, two-sided range per column with
+// -infinity / +infinity sentinels where a bound is absent, and the bounds
+// are encrypted with PAE under fresh IVs. The untrusted provider therefore
+// can distinguish neither the query type nor repeated queries.
+package proxy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/pae"
+	"github.com/encdbdb/encdbdb/internal/search"
+	"github.com/encdbdb/encdbdb/internal/sqlparse"
+)
+
+// Executor is the provider-side surface the proxy drives. *engine.DB
+// implements it for embedded deployments; the wire client implements it for
+// remote ones.
+type Executor interface {
+	Schema(table string) (engine.Schema, error)
+	CreateTable(s engine.Schema) error
+	DropTable(name string) error
+	Select(q engine.Query) (*engine.Result, error)
+	Insert(table string, row engine.Row) error
+	Delete(table string, filters []engine.Filter) (int, error)
+	Update(table string, filters []engine.Filter, set engine.Row) (int, error)
+	Merge(table string) error
+}
+
+// Statically ensure the embedded engine satisfies the executor surface.
+var _ Executor = (*engine.DB)(nil)
+
+// ResultKind tells callers how to interpret a Result.
+type ResultKind int
+
+// Result kinds.
+const (
+	// KindRows carries decrypted result rows.
+	KindRows ResultKind = iota + 1
+	// KindCount carries a COUNT(*) result.
+	KindCount
+	// KindAffected carries the row count of a write statement.
+	KindAffected
+	// KindOK carries no payload (DDL statements).
+	KindOK
+)
+
+// Result is a decrypted, application-facing query result.
+type Result struct {
+	Kind     ResultKind
+	Columns  []string
+	Rows     [][]string
+	Count    int
+	Affected int
+}
+
+// Proxy is the trusted query gateway.
+type Proxy struct {
+	master pae.Key
+	exec   Executor
+}
+
+// New creates a proxy holding the data owner's master key.
+func New(master pae.Key, exec Executor) (*Proxy, error) {
+	if len(master) != pae.KeySize {
+		return nil, pae.ErrBadKeySize
+	}
+	if exec == nil {
+		return nil, errors.New("proxy: executor must not be nil")
+	}
+	return &Proxy{master: master, exec: exec}, nil
+}
+
+// Execute parses and runs one SQL statement, returning a decrypted result.
+func (p *Proxy) Execute(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *sqlparse.CreateTable:
+		return p.createTable(s)
+	case *sqlparse.Select:
+		return p.selectStmt(s)
+	case *sqlparse.Insert:
+		return p.insert(s)
+	case *sqlparse.Update:
+		return p.update(s)
+	case *sqlparse.Delete:
+		return p.delete(s)
+	case *sqlparse.DropTable:
+		if err := p.exec.DropTable(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindOK}, nil
+	case *sqlparse.MergeTable:
+		if err := p.exec.Merge(s.Table); err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindOK}, nil
+	default:
+		return nil, fmt.Errorf("proxy: unsupported statement %T", st)
+	}
+}
+
+func (p *Proxy) createTable(s *sqlparse.CreateTable) (*Result, error) {
+	schema := engine.Schema{Table: s.Table}
+	for _, c := range s.Columns {
+		schema.Columns = append(schema.Columns, engine.ColumnDef{
+			Name:   c.Name,
+			Kind:   c.Kind,
+			MaxLen: c.MaxLen,
+			BSMax:  c.BSMax,
+			Plain:  c.Plain,
+		})
+	}
+	if err := p.exec.CreateTable(schema); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: KindOK}, nil
+}
+
+func (p *Proxy) selectStmt(s *sqlparse.Select) (*Result, error) {
+	schema, err := p.exec.Schema(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	filters, err := p.Filters(schema, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	q := engine.Query{Table: s.Table, Filters: filters, CountOnly: s.Count}
+	switch {
+	case s.Count:
+	case len(s.Aggregates) > 0:
+		q.Project = aggregateColumns(s.Aggregates)
+	case !s.Star:
+		q.Project = s.Columns
+	}
+	// The sort column must be rendered even if not requested; it is
+	// stripped again after sorting.
+	extraSort := false
+	if s.OrderBy != "" && len(s.Aggregates) == 0 && !s.Star && !s.Count && !contains(q.Project, s.OrderBy) {
+		q.Project = append(append([]string(nil), q.Project...), s.OrderBy)
+		extraSort = true
+	}
+	res, err := p.exec.Select(q)
+	if err != nil {
+		return nil, err
+	}
+	if s.Count {
+		return &Result{Kind: KindCount, Count: res.Count}, nil
+	}
+	out, err := p.decryptResult(schema, res)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Aggregates) > 0 {
+		return aggregate(s.Aggregates, out)
+	}
+	if err := orderAndLimit(s, out, extraSort); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// aggregateColumns lists the distinct columns the aggregates reference.
+func aggregateColumns(aggs []sqlparse.Aggregate) []string {
+	var cols []string
+	for _, a := range aggs {
+		if !contains(cols, a.Column) {
+			cols = append(cols, a.Column)
+		}
+	}
+	return cols
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// aggregate computes MIN/MAX/SUM/AVG over the decrypted result at the
+// trusted side. The paper notes these "are easier to support than range
+// searches" (§4.2); performing them after decryption keeps the provider's
+// view unchanged. SUM and AVG require decimal integer values (store
+// numbers zero-padded so lexicographic range filters work too).
+func aggregate(aggs []sqlparse.Aggregate, rows *Result) (*Result, error) {
+	colIdx := make(map[string]int, len(rows.Columns))
+	for i, c := range rows.Columns {
+		colIdx[c] = i
+	}
+	out := &Result{Kind: KindRows, Count: 1, Rows: [][]string{{}}}
+	for _, a := range aggs {
+		out.Columns = append(out.Columns, fmt.Sprintf("%s(%s)", strings.ToLower(a.Func.String()), a.Column))
+		idx, ok := colIdx[a.Column]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, a.Column)
+		}
+		val, err := aggregateOne(a, rows.Rows, idx)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows[0] = append(out.Rows[0], val)
+	}
+	return out, nil
+}
+
+func aggregateOne(a sqlparse.Aggregate, rows [][]string, idx int) (string, error) {
+	if len(rows) == 0 {
+		return "", nil
+	}
+	switch a.Func {
+	case sqlparse.AggMin, sqlparse.AggMax:
+		best := rows[0][idx]
+		for _, r := range rows[1:] {
+			v := r[idx]
+			if (a.Func == sqlparse.AggMin && v < best) || (a.Func == sqlparse.AggMax && v > best) {
+				best = v
+			}
+		}
+		return best, nil
+	default: // SUM, AVG
+		var sum int64
+		for _, r := range rows {
+			n, err := strconv.ParseInt(strings.TrimLeft(r[idx], "0"), 10, 64)
+			if err != nil {
+				if strings.Trim(r[idx], "0") == "" && r[idx] != "" {
+					n = 0 // all-zero value
+				} else {
+					return "", fmt.Errorf("proxy: %s(%s): value %q is not numeric", a.Func, a.Column, r[idx])
+				}
+			}
+			sum += n
+		}
+		if a.Func == sqlparse.AggSum {
+			return strconv.FormatInt(sum, 10), nil
+		}
+		return strconv.FormatFloat(float64(sum)/float64(len(rows)), 'f', -1, 64), nil
+	}
+}
+
+// orderAndLimit applies ORDER BY and LIMIT at the trusted side, then strips
+// a sort column that was rendered only for ordering.
+func orderAndLimit(s *sqlparse.Select, out *Result, extraSort bool) error {
+	if s.OrderBy != "" {
+		idx := -1
+		for i, c := range out.Columns {
+			if c == s.OrderBy {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, s.OrderBy)
+		}
+		sort.SliceStable(out.Rows, func(a, b int) bool {
+			if s.OrderDesc {
+				return out.Rows[a][idx] > out.Rows[b][idx]
+			}
+			return out.Rows[a][idx] < out.Rows[b][idx]
+		})
+		if extraSort {
+			for i := range out.Rows {
+				out.Rows[i] = append(out.Rows[i][:idx], out.Rows[i][idx+1:]...)
+			}
+			out.Columns = append(out.Columns[:idx], out.Columns[idx+1:]...)
+		}
+	}
+	if s.Limit >= 0 && len(out.Rows) > s.Limit {
+		out.Rows = out.Rows[:s.Limit]
+		out.Count = len(out.Rows)
+	}
+	return nil
+}
+
+func (p *Proxy) insert(s *sqlparse.Insert) (*Result, error) {
+	schema, err := p.exec.Schema(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		for _, def := range schema.Columns {
+			cols = append(cols, def.Name)
+		}
+	}
+	if len(cols) != len(s.Values) {
+		return nil, fmt.Errorf("proxy: INSERT has %d columns but %d values", len(cols), len(s.Values))
+	}
+	row := make(engine.Row, len(cols))
+	for i, name := range cols {
+		def, ok := schema.Column(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, name)
+		}
+		v := []byte(s.Values[i])
+		if err := validateValue(def, v); err != nil {
+			return nil, err
+		}
+		cell, err := p.encryptCell(s.Table, def, v)
+		if err != nil {
+			return nil, err
+		}
+		row[name] = cell
+	}
+	if err := p.exec.Insert(s.Table, row); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: KindAffected, Affected: 1}, nil
+}
+
+func (p *Proxy) update(s *sqlparse.Update) (*Result, error) {
+	schema, err := p.exec.Schema(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	filters, err := p.Filters(schema, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	set := make(engine.Row, len(s.Set))
+	for _, a := range s.Set {
+		def, ok := schema.Column(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, a.Column)
+		}
+		v := []byte(a.Value)
+		if err := validateValue(def, v); err != nil {
+			return nil, err
+		}
+		cell, err := p.encryptCell(s.Table, def, v)
+		if err != nil {
+			return nil, err
+		}
+		set[a.Column] = cell
+	}
+	n, err := p.exec.Update(s.Table, filters, set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: KindAffected, Affected: n}, nil
+}
+
+func (p *Proxy) delete(s *sqlparse.Delete) (*Result, error) {
+	schema, err := p.exec.Schema(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	filters, err := p.Filters(schema, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	n, err := p.exec.Delete(s.Table, filters)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Kind: KindAffected, Affected: n}, nil
+}
+
+// encryptCell encrypts one value for an encrypted column; plain columns pass
+// through.
+func (p *Proxy) encryptCell(table string, def engine.ColumnDef, v []byte) ([]byte, error) {
+	if def.Plain {
+		return v, nil
+	}
+	c, err := p.cipher(table, def.Name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Encrypt(v)
+}
+
+func (p *Proxy) cipher(table, column string) (*pae.Cipher, error) {
+	key, err := pae.Derive(p.master, table, column)
+	if err != nil {
+		return nil, err
+	}
+	return pae.NewCipher(key)
+}
+
+// decryptResult turns the provider's ciphertext cells into plaintext rows
+// (paper step 14).
+func (p *Proxy) decryptResult(schema engine.Schema, res *engine.Result) (*Result, error) {
+	out := &Result{Kind: KindRows, Count: res.Count}
+	if len(res.Columns) == 0 {
+		return out, nil
+	}
+	out.Rows = make([][]string, res.Count)
+	for i := range out.Rows {
+		out.Rows[i] = make([]string, len(res.Columns))
+	}
+	for ci, rc := range res.Columns {
+		out.Columns = append(out.Columns, rc.Column)
+		def, ok := schema.Column(rc.Column)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, rc.Column)
+		}
+		if len(rc.Cells) != res.Count {
+			return nil, fmt.Errorf("proxy: column %q has %d cells, want %d", rc.Column, len(rc.Cells), res.Count)
+		}
+		if def.Plain {
+			for ri, cell := range rc.Cells {
+				out.Rows[ri][ci] = string(cell)
+			}
+			continue
+		}
+		c, err := p.cipher(rc.Table, rc.Column)
+		if err != nil {
+			return nil, err
+		}
+		for ri, cell := range rc.Cells {
+			v, err := c.Decrypt(cell)
+			if err != nil {
+				return nil, fmt.Errorf("proxy: decrypt %q row %d: %w", rc.Column, ri, err)
+			}
+			out.Rows[ri][ci] = string(v)
+		}
+	}
+	return out, nil
+}
+
+// validateValue enforces column value rules at the trusted side for friendly
+// errors (the enclave re-validates).
+func validateValue(def engine.ColumnDef, v []byte) error {
+	if len(v) > def.MaxLen {
+		return fmt.Errorf("proxy: value %q exceeds %s(%d)", v, def.Kind, def.MaxLen)
+	}
+	for _, b := range v {
+		if b == 0 {
+			return fmt.Errorf("proxy: value for %q contains NUL byte", def.Name)
+		}
+	}
+	return nil
+}
+
+// Filters converts the conjunctive WHERE predicates into one encrypted
+// filter per referenced column. Range/equality predicates on the same
+// column are intersected into a single two-sided range (the paper's example
+// rewrites `FName < 'Ella'` into `FName >= -inf AND FName < 'Ella'`;
+// conversely two user bounds merge into one range); IN-lists become the
+// union of per-member equality ranges, each intersected with the column's
+// range constraints.
+func (p *Proxy) Filters(schema engine.Schema, preds []sqlparse.Predicate) ([]engine.Filter, error) {
+	type colState struct {
+		def      engine.ColumnDef
+		r        search.Range
+		hasIn    bool
+		inValues [][]byte
+	}
+	var order []string
+	states := make(map[string]*colState)
+	for _, pred := range preds {
+		def, ok := schema.Column(pred.Column)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, pred.Column)
+		}
+		cs, ok := states[pred.Column]
+		if !ok {
+			cs = &colState{def: def, r: fullRange(def)}
+			states[pred.Column] = cs
+			order = append(order, pred.Column)
+		}
+		if pred.Op == sqlparse.OpIn {
+			members, err := inMembers(def, pred)
+			if err != nil {
+				return nil, err
+			}
+			if !cs.hasIn {
+				cs.hasIn = true
+				cs.inValues = members
+			} else {
+				cs.inValues = intersectValues(cs.inValues, members)
+			}
+			continue
+		}
+		pr, err := predicateRange(def, pred)
+		if err != nil {
+			return nil, err
+		}
+		cs.r = intersectRanges(cs.r, pr)
+	}
+	filters := make([]engine.Filter, 0, len(order))
+	for _, name := range order {
+		cs := states[name]
+		ranges := []search.Range{cs.r}
+		if cs.hasIn {
+			ranges = ranges[:0]
+			for _, v := range cs.inValues {
+				r := intersectRanges(search.Eq(v), cs.r)
+				if !r.Empty() {
+					ranges = append(ranges, r)
+				}
+			}
+			if len(ranges) == 0 {
+				// Contradictory predicates: an explicitly empty range
+				// keeps the provider's view uniform.
+				ranges = []search.Range{{Start: []byte{0x01}, End: []byte{0x01}}}
+			}
+		}
+		f, err := p.encryptFilter(schema.Table, cs.def, ranges)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, f)
+	}
+	return filters, nil
+}
+
+// inMembers validates and deduplicates an IN list.
+func inMembers(def engine.ColumnDef, pred sqlparse.Predicate) ([][]byte, error) {
+	seen := make(map[string]bool, len(pred.Values))
+	var out [][]byte
+	for _, s := range pred.Values {
+		v := []byte(s)
+		if err := validateValue(def, v); err != nil {
+			return nil, err
+		}
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// intersectValues keeps the values present in both lists (conjunction of
+// two IN predicates), preserving the first list's order.
+func intersectValues(a, b [][]byte) [][]byte {
+	inB := make(map[string]bool, len(b))
+	for _, v := range b {
+		inB[string(v)] = true
+	}
+	var out [][]byte
+	for _, v := range a {
+		if inB[string(v)] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fullRange is the column's [-inf, +inf] range: the empty string is the
+// minimum NUL-free value, the all-0xFF string of the column width the
+// maximum.
+func fullRange(def engine.ColumnDef) search.Range {
+	maxVal := make([]byte, def.MaxLen)
+	for i := range maxVal {
+		maxVal[i] = 0xFF
+	}
+	return search.Range{Start: nil, End: maxVal, StartIncl: true, EndIncl: true}
+}
+
+// predicateRange converts one SQL predicate into a range.
+func predicateRange(def engine.ColumnDef, pred sqlparse.Predicate) (search.Range, error) {
+	v := []byte(pred.Value)
+	if err := validateValue(def, v); err != nil {
+		return search.Range{}, err
+	}
+	full := fullRange(def)
+	switch pred.Op {
+	case sqlparse.OpEq:
+		return search.Eq(v), nil
+	case sqlparse.OpLt:
+		return search.Range{Start: full.Start, End: v, StartIncl: true}, nil
+	case sqlparse.OpLe:
+		return search.Range{Start: full.Start, End: v, StartIncl: true, EndIncl: true}, nil
+	case sqlparse.OpGt:
+		return search.Range{Start: v, End: full.End, EndIncl: true}, nil
+	case sqlparse.OpGe:
+		return search.Range{Start: v, End: full.End, StartIncl: true, EndIncl: true}, nil
+	case sqlparse.OpBetween:
+		v2 := []byte(pred.Value2)
+		if err := validateValue(def, v2); err != nil {
+			return search.Range{}, err
+		}
+		return search.Closed(v, v2), nil
+	default:
+		return search.Range{}, fmt.Errorf("proxy: unsupported operator %v", pred.Op)
+	}
+}
+
+// intersectRanges computes the conjunction of two ranges on one column.
+func intersectRanges(a, b search.Range) search.Range {
+	out := a
+	switch c := bytes.Compare(a.Start, b.Start); {
+	case c < 0:
+		out.Start, out.StartIncl = b.Start, b.StartIncl
+	case c == 0:
+		out.StartIncl = a.StartIncl && b.StartIncl
+	}
+	switch c := bytes.Compare(a.End, b.End); {
+	case c > 0:
+		out.End, out.EndIncl = b.End, b.EndIncl
+	case c == 0:
+		out.EndIncl = a.EndIncl && b.EndIncl
+	}
+	return out
+}
+
+// encryptFilter encrypts the final per-column range set (plain columns keep
+// plaintext bounds).
+func (p *Proxy) encryptFilter(table string, def engine.ColumnDef, ranges []search.Range) (engine.Filter, error) {
+	f := engine.Filter{Column: def.Name, Ranges: make([]enclave.EncRange, 0, len(ranges))}
+	var c *pae.Cipher
+	if !def.Plain {
+		var err error
+		if c, err = p.cipher(table, def.Name); err != nil {
+			return engine.Filter{}, err
+		}
+	}
+	for _, r := range ranges {
+		enc := enclave.EncRange{StartIncl: r.StartIncl, EndIncl: r.EndIncl}
+		if def.Plain {
+			enc.Start, enc.End = r.Start, r.End
+		} else {
+			var err error
+			if enc.Start, err = c.Encrypt(r.Start); err != nil {
+				return engine.Filter{}, err
+			}
+			if enc.End, err = c.Encrypt(r.End); err != nil {
+				return engine.Filter{}, err
+			}
+		}
+		f.Ranges = append(f.Ranges, enc)
+	}
+	return f, nil
+}

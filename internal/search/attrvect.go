@@ -1,0 +1,148 @@
+package search
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// AVMode selects the membership test used by AttrVectSearch for unsorted
+// dictionaries (ED3/ED6/ED9), where the dictionary search returns a list of
+// ValueIDs rather than ranges. The paper's algorithm compares every
+// attribute vector entry with every returned ValueID (O(|AV|·|vid|)); this
+// repository defaults to a sorted-list binary search and also offers a
+// bitset, both preserved side by side for ablation A1 (see DESIGN.md).
+type AVMode int
+
+const (
+	// AVSortedProbe binary-searches a sorted copy of the ValueID list for
+	// each attribute vector entry: O(|AV|·log|vid|). The default.
+	AVSortedProbe AVMode = iota + 1
+	// AVNestedLoop is the paper's literal algorithm: compare each entry
+	// against each ValueID, O(|AV|·|vid|), with early exit on match.
+	AVNestedLoop
+	// AVBitset materializes a |D|-bit set of matching ValueIDs, then
+	// scans the attribute vector with O(1) probes.
+	AVBitset
+)
+
+// Parallelism picks the worker count for attribute vector scans: the paper
+// notes the scan "is parallelizable with a speedup expected to be linear in
+// the number of threads". Zero or negative means GOMAXPROCS.
+func parallelism(p int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// AttrVectRanges implements AttrVectSearch 1/2/4/5/7/8: it scans the
+// attribute vector and returns, in ascending order, the RecordIDs whose
+// ValueID falls into any of the given inclusive ranges (at most two ranges
+// are produced by the dictionary searches). workers <= 0 uses GOMAXPROCS.
+func AttrVectRanges(av []uint32, ranges []VidRange, workers int) []uint32 {
+	if len(av) == 0 || len(ranges) == 0 {
+		return nil
+	}
+	match := func(vid uint32) bool {
+		for _, r := range ranges {
+			if vid >= r.Lo && vid <= r.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	return parallelScan(av, workers, match)
+}
+
+// AttrVectList implements AttrVectSearch 3/6/9: it returns, in ascending
+// order, the RecordIDs whose ValueID appears in vids. dictLen is |D|,
+// needed by the bitset mode. workers <= 0 uses GOMAXPROCS.
+func AttrVectList(av []uint32, vids []uint32, dictLen int, mode AVMode, workers int) []uint32 {
+	if len(av) == 0 || len(vids) == 0 {
+		return nil
+	}
+	var match func(uint32) bool
+	switch mode {
+	case AVNestedLoop:
+		match = func(vid uint32) bool {
+			for _, u := range vids {
+				if vid == u {
+					return true
+				}
+			}
+			return false
+		}
+	case AVBitset:
+		bits := make([]uint64, (dictLen+63)/64)
+		for _, u := range vids {
+			bits[u/64] |= 1 << (u % 64)
+		}
+		match = func(vid uint32) bool {
+			return bits[vid/64]&(1<<(vid%64)) != 0
+		}
+	default: // AVSortedProbe
+		sorted := vids
+		if !sort.SliceIsSorted(sorted, func(a, b int) bool { return sorted[a] < sorted[b] }) {
+			sorted = append([]uint32(nil), vids...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		}
+		match = func(vid uint32) bool {
+			i := sort.Search(len(sorted), func(k int) bool { return sorted[k] >= vid })
+			return i < len(sorted) && sorted[i] == vid
+		}
+	}
+	return parallelScan(av, workers, match)
+}
+
+// parallelScan shards av across workers, collects matching indices per
+// shard, and concatenates the shard results in order so RecordIDs come back
+// ascending.
+func parallelScan(av []uint32, workers int, match func(uint32) bool) []uint32 {
+	w := parallelism(workers)
+	if w > len(av) {
+		w = len(av)
+	}
+	if w <= 1 {
+		return scanChunk(av, 0, match)
+	}
+	results := make([][]uint32, w)
+	chunk := (len(av) + w - 1) / w
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(av) {
+			hi = len(av)
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			results[i] = scanChunk(av[lo:hi], uint32(lo), match)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// scanChunk scans one shard, offsetting indices by base.
+func scanChunk(av []uint32, base uint32, match func(uint32) bool) []uint32 {
+	var out []uint32
+	for j, vid := range av {
+		if match(vid) {
+			out = append(out, base+uint32(j))
+		}
+	}
+	return out
+}

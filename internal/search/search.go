@@ -1,0 +1,126 @@
+// Package search implements EncDBDB's two-phase range search (paper §4.1):
+// the dictionary searches EnclDictSearch 1–9, which the enclave executes
+// against ciphertexts held in untrusted memory, and the attribute vector
+// searches AttrVectSearch 1–9, which run in the untrusted realm.
+//
+// The dictionary searches are grouped by order option, since the repetition
+// options share their search algorithms (EnclDictSearch 4 equals
+// EnclDictSearch 1, etc.; paper §4.1):
+//
+//   - SortedDict   — ED1/ED4/ED7: leftmost + rightmost binary search
+//     (Algorithm 1), O(log |D|) loads and decryptions.
+//   - RotatedDict  — ED2/ED5/ED8: binary search in the rotation-invariant
+//     transformed domain (Algorithms 2 and 3), including the corner case
+//     where a run of equal plaintexts wraps around the rotation point.
+//   - UnsortedDict — ED3/ED6/ED9: linear scan (Algorithm 4), O(|D|) loads
+//     and decryptions.
+//
+// All functions access ciphertexts exclusively through the Region and
+// Decryptor interfaces so the enclave can meter and observe every untrusted
+// memory access, and so the PlainDBDB baseline can reuse the identical
+// algorithms with an identity Decryptor.
+package search
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Region is an indexed sequence of dictionary entry payloads residing in
+// untrusted memory. Load returns the payload of entry i; the enclave copies
+// it inside the boundary before decrypting.
+type Region interface {
+	// Len returns the number of entries |D|.
+	Len() int
+	// Load returns entry i. The returned slice must stay valid until the
+	// next Load call and must not be modified.
+	Load(i int) []byte
+}
+
+// Decryptor authenticates and decrypts one dictionary entry payload. It is
+// *pae.Cipher for encrypted dictionaries and PlainDecryptor for PlainDBDB.
+type Decryptor interface {
+	Decrypt(ciphertext []byte) ([]byte, error)
+}
+
+// PlainDecryptor is the identity Decryptor used for plaintext dictionaries.
+type PlainDecryptor struct{}
+
+// Decrypt returns the payload unchanged.
+func (PlainDecryptor) Decrypt(ct []byte) ([]byte, error) { return ct, nil }
+
+// Range is a plaintext search range with per-bound inclusivity. The proxy
+// normalizes every filter (equality, inequality, one- and two-sided ranges)
+// into this closed/open two-sided form so the untrusted provider cannot
+// distinguish query types (paper §4.2 step 5).
+type Range struct {
+	Start     []byte
+	End       []byte
+	StartIncl bool
+	EndIncl   bool
+}
+
+// Eq returns the range matching exactly v.
+func Eq(v []byte) Range {
+	return Range{Start: v, End: v, StartIncl: true, EndIncl: true}
+}
+
+// Closed returns the inclusive range [start, end].
+func Closed(start, end []byte) Range {
+	return Range{Start: start, End: end, StartIncl: true, EndIncl: true}
+}
+
+// Contains reports whether v falls into r.
+func (r Range) Contains(v []byte) bool {
+	cs := bytes.Compare(v, r.Start)
+	if cs < 0 || (cs == 0 && !r.StartIncl) {
+		return false
+	}
+	ce := bytes.Compare(v, r.End)
+	if ce > 0 || (ce == 0 && !r.EndIncl) {
+		return false
+	}
+	return true
+}
+
+// Empty reports whether r cannot match any value.
+func (r Range) Empty() bool {
+	c := bytes.Compare(r.Start, r.End)
+	return c > 0 || (c == 0 && !(r.StartIncl && r.EndIncl))
+}
+
+// VidRange is an inclusive range of ValueIDs [Lo, Hi] returned by the sorted
+// and rotated dictionary searches.
+type VidRange struct {
+	Lo uint32
+	Hi uint32
+}
+
+// Count returns the number of ValueIDs covered by v.
+func (v VidRange) Count() int { return int(v.Hi) - int(v.Lo) + 1 }
+
+// ErrDecrypt wraps decryption failures during a dictionary search; it
+// indicates tampered ciphertexts or a wrong column key.
+var ErrDecrypt = errors.New("search: dictionary entry failed to decrypt")
+
+// loadPlain loads entry i from the region and decrypts it.
+func loadPlain(r Region, dec Decryptor, i int) ([]byte, error) {
+	v, err := dec.Decrypt(r.Load(i))
+	if err != nil {
+		return nil, fmt.Errorf("%w: entry %d: %v", ErrDecrypt, i, err)
+	}
+	return v, nil
+}
+
+// startAdmits reports whether value v satisfies the range's lower bound.
+func startAdmits(q Range, v []byte) bool {
+	c := bytes.Compare(v, q.Start)
+	return c > 0 || (c == 0 && q.StartIncl)
+}
+
+// endAdmits reports whether value v satisfies the range's upper bound.
+func endAdmits(q Range, v []byte) bool {
+	c := bytes.Compare(v, q.End)
+	return c < 0 || (c == 0 && q.EndIncl)
+}

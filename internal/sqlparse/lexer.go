@@ -1,0 +1,142 @@
+// Package sqlparse implements the SQL subset that fronts EncDBDB (paper §5:
+// "The front-end query language of MonetDB is SQL. We implemented the nine
+// encrypted dictionaries as SQL data types in the frontend").
+//
+// Supported statements:
+//
+//	CREATE TABLE t1 (fname ED5(30) BSMAX 10, city ED1(20), note PLAIN ED3(40))
+//	SELECT fname, city FROM t1 WHERE fname >= 'A' AND fname < 'F'
+//	SELECT * FROM t1
+//	SELECT COUNT(*) FROM t1 WHERE city = 'Berlin'
+//	SELECT fname FROM t1 WHERE fname BETWEEN 'A' AND 'C'
+//	INSERT INTO t1 (fname, city) VALUES ('Ada', 'London')
+//	INSERT INTO t1 VALUES ('Ada', 'London')
+//	UPDATE t1 SET city = 'Paris' WHERE fname = 'Ada'
+//	DELETE FROM t1 WHERE city = 'Paris'
+//	DROP TABLE t1
+//	MERGE TABLE t1            -- fold the delta store (paper §4.3)
+//
+// WHERE clauses are conjunctions of comparisons (=, <, <=, >, >=, BETWEEN)
+// against string literals; the proxy later converts them into the uniform
+// encrypted two-sided ranges of paper §4.2 step 5.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // ( ) , * = < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers/keywords normalized to upper case; strings unquoted
+	raw  string // original spelling (identifiers fold to lower case, Postgres-style)
+	pos  int
+}
+
+// SyntaxError reports a parse failure with its byte offset in the input.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes the input. String literals use single quotes with ”
+// escaping. Identifiers and keywords are case-insensitive.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			s, next, err := lexString(input, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s, pos: i})
+			i = next
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == ';':
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '<' || c == '>':
+			text := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				text += "="
+			}
+			toks = append(toks, token{kind: tokSymbol, text: text, pos: i})
+			i += len(text)
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			toks = append(toks, token{
+				kind: tokIdent,
+				text: strings.ToUpper(word),
+				raw:  strings.ToLower(word),
+				pos:  i,
+			})
+			i = j
+		default:
+			return nil, errAt(i, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// lexString scans a single-quoted string literal starting at input[start].
+func lexString(input string, start int) (value string, next int, err error) {
+	var sb strings.Builder
+	i := start + 1
+	for i < len(input) {
+		if input[i] != '\'' {
+			sb.WriteByte(input[i])
+			i++
+			continue
+		}
+		if i+1 < len(input) && input[i+1] == '\'' { // escaped quote
+			sb.WriteByte('\'')
+			i += 2
+			continue
+		}
+		return sb.String(), i + 1, nil
+	}
+	return "", 0, errAt(start, "unterminated string literal")
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

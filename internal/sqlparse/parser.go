@@ -1,0 +1,679 @@
+package sqlparse
+
+import (
+	"strconv"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+)
+
+// Statement is a parsed SQL statement: one of *CreateTable, *Select,
+// *Insert, *Update, *Delete, *DropTable, *MergeTable.
+type Statement interface {
+	stmt()
+}
+
+// ColumnSpec is one column declaration of a CREATE TABLE statement.
+type ColumnSpec struct {
+	Name   string
+	Kind   dict.Kind
+	MaxLen int
+	BSMax  int
+	Plain  bool
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Table   string
+	Columns []ColumnSpec
+}
+
+func (*CreateTable) stmt() {}
+
+// CompareOp is a WHERE-clause comparison operator.
+type CompareOp int
+
+// Comparison operators. Between carries both bounds; In carries a value
+// list.
+const (
+	OpEq CompareOp = iota + 1
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween
+	OpIn
+)
+
+// String returns the SQL spelling of the operator.
+func (op CompareOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "BETWEEN"
+	case OpIn:
+		return "IN"
+	default:
+		return "?"
+	}
+}
+
+// Predicate is one comparison of the conjunctive WHERE clause.
+type Predicate struct {
+	Column string
+	Op     CompareOp
+	Value  string
+	// Value2 is the upper bound for BETWEEN.
+	Value2 string
+	// Values is the member list for IN.
+	Values []string
+}
+
+// AggFunc is an aggregate function in a SELECT list.
+type AggFunc int
+
+// Aggregate functions. COUNT is represented by the Select.Count flag when
+// it is COUNT(*); column aggregates use Aggregate entries.
+const (
+	AggMin AggFunc = iota + 1
+	AggMax
+	AggSum
+	AggAvg
+)
+
+// String returns the SQL spelling of the aggregate function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	default:
+		return "?"
+	}
+}
+
+// Aggregate is one aggregate select item, e.g. MIN(price).
+type Aggregate struct {
+	Func   AggFunc
+	Column string
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Table string
+	// Columns are the projected column names; empty with Star set means
+	// all columns.
+	Columns []string
+	Star    bool
+	// Count marks SELECT COUNT(*).
+	Count bool
+	// Aggregates holds column aggregates (MIN/MAX/SUM/AVG); mutually
+	// exclusive with Columns/Star/Count.
+	Aggregates []Aggregate
+	Where      []Predicate
+	// OrderBy optionally names the sort column ("" = unsorted result).
+	OrderBy   string
+	OrderDesc bool
+	// Limit caps the result rows; negative means no limit.
+	Limit int
+}
+
+func (*Select) stmt() {}
+
+// Insert is an INSERT statement. Columns may be empty (schema order).
+type Insert struct {
+	Table   string
+	Columns []string
+	Values  []string
+}
+
+func (*Insert) stmt() {}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  string
+}
+
+// Update is an UPDATE statement.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where []Predicate
+}
+
+func (*Update) stmt() {}
+
+// Delete is a DELETE statement.
+type Delete struct {
+	Table string
+	Where []Predicate
+}
+
+func (*Delete) stmt() {}
+
+// DropTable is a DROP TABLE statement.
+type DropTable struct {
+	Table string
+}
+
+func (*DropTable) stmt() {}
+
+// MergeTable is the EncDBDB extension statement MERGE TABLE t, triggering a
+// delta-store merge (paper §4.3).
+type MergeTable struct {
+	Table string
+}
+
+func (*MergeTable) stmt() {}
+
+// Parse parses one SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().text == ";" {
+		p.next()
+	}
+	if tok := p.peek(); tok.kind != tokEOF {
+		return nil, errAt(tok.pos, "unexpected trailing input %q", tok.text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// expect consumes the next token if it matches the given upper-case keyword
+// or symbol text.
+func (p *parser) expect(text string) (token, error) {
+	t := p.next()
+	if t.text != text {
+		return t, errAt(t.pos, "expected %q, found %q", text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) accept(text string) bool {
+	if p.peek().text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", errAt(t.pos, "expected identifier, found %q", t.text)
+	}
+	return t.raw, nil
+}
+
+func (p *parser) stringLit() (string, error) {
+	t := p.next()
+	if t.kind != tokString {
+		return "", errAt(t.pos, "expected string literal, found %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) number() (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, errAt(t.pos, "expected number, found %q", t.text)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, errAt(t.pos, "bad number %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	t := p.peek()
+	switch t.text {
+	case "CREATE":
+		return p.createTable()
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	case "DROP":
+		return p.dropTable()
+	case "MERGE":
+		return p.mergeTable()
+	default:
+		return nil, errAt(t.pos, "expected statement, found %q", t.text)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	p.next() // CREATE
+	if _, err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnSpec
+	for {
+		col, err := p.columnSpec()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.accept(",") {
+			continue
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	return &CreateTable{Table: name, Columns: cols}, nil
+}
+
+// columnSpec parses `name [PLAIN] EDk(maxlen) [BSMAX n]`.
+func (p *parser) columnSpec() (ColumnSpec, error) {
+	var spec ColumnSpec
+	name, err := p.ident()
+	if err != nil {
+		return spec, err
+	}
+	spec.Name = name
+	if p.accept("PLAIN") {
+		spec.Plain = true
+	}
+	kindTok := p.next()
+	if kindTok.kind != tokIdent {
+		return spec, errAt(kindTok.pos, "expected dictionary type, found %q", kindTok.text)
+	}
+	kind, err := dict.ParseKind(kindTok.text)
+	if err != nil {
+		return spec, errAt(kindTok.pos, "unknown dictionary type %q (want ED1..ED9)", kindTok.text)
+	}
+	spec.Kind = kind
+	if _, err := p.expect("("); err != nil {
+		return spec, err
+	}
+	if spec.MaxLen, err = p.number(); err != nil {
+		return spec, err
+	}
+	if _, err := p.expect(")"); err != nil {
+		return spec, err
+	}
+	if p.accept("BSMAX") {
+		if spec.BSMax, err = p.number(); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	sel := &Select{Limit: -1}
+	switch {
+	case p.accept("*"):
+		sel.Star = true
+	case p.accept("COUNT"):
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("*"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		sel.Count = true
+	case p.peekAggregate():
+		for {
+			agg, err := p.aggregate()
+			if err != nil {
+				return nil, err
+			}
+			sel.Aggregates = append(sel.Aggregates, agg)
+			if !p.accept(",") {
+				break
+			}
+		}
+	default:
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Columns = append(sel.Columns, col)
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	if sel.Where, err = p.whereClause(); err != nil {
+		return nil, err
+	}
+	if err := p.orderLimit(sel); err != nil {
+		return nil, err
+	}
+	return sel, nil
+}
+
+// peekAggregate reports whether the next tokens start an aggregate call.
+func (p *parser) peekAggregate() bool {
+	t := p.peek()
+	switch t.text {
+	case "MIN", "MAX", "SUM", "AVG":
+		return p.toks[p.i+1].text == "("
+	default:
+		return false
+	}
+}
+
+// aggregate parses FUNC(column).
+func (p *parser) aggregate() (Aggregate, error) {
+	var agg Aggregate
+	t := p.next()
+	switch t.text {
+	case "MIN":
+		agg.Func = AggMin
+	case "MAX":
+		agg.Func = AggMax
+	case "SUM":
+		agg.Func = AggSum
+	case "AVG":
+		agg.Func = AggAvg
+	default:
+		return agg, errAt(t.pos, "expected aggregate function, found %q", t.text)
+	}
+	if _, err := p.expect("("); err != nil {
+		return agg, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return agg, err
+	}
+	agg.Column = col
+	if _, err := p.expect(")"); err != nil {
+		return agg, err
+	}
+	return agg, nil
+}
+
+// orderLimit parses optional `ORDER BY col [ASC|DESC]` and `LIMIT n`.
+func (p *parser) orderLimit(sel *Select) error {
+	if p.accept("ORDER") {
+		if _, err := p.expect("BY"); err != nil {
+			return err
+		}
+		col, err := p.ident()
+		if err != nil {
+			return err
+		}
+		sel.OrderBy = col
+		if p.accept("DESC") {
+			sel.OrderDesc = true
+		} else {
+			p.accept("ASC")
+		}
+	}
+	if p.accept("LIMIT") {
+		n, err := p.number()
+		if err != nil {
+			return err
+		}
+		sel.Limit = n
+	}
+	return nil
+}
+
+// whereClause parses an optional `WHERE pred [AND pred]...`.
+func (p *parser) whereClause() ([]Predicate, error) {
+	if !p.accept("WHERE") {
+		return nil, nil
+	}
+	var preds []Predicate
+	for {
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		if !p.accept("AND") {
+			return preds, nil
+		}
+	}
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	var pred Predicate
+	col, err := p.ident()
+	if err != nil {
+		return pred, err
+	}
+	pred.Column = col
+	opTok := p.next()
+	switch opTok.text {
+	case "=":
+		pred.Op = OpEq
+	case "<":
+		pred.Op = OpLt
+	case "<=":
+		pred.Op = OpLe
+	case ">":
+		pred.Op = OpGt
+	case ">=":
+		pred.Op = OpGe
+	case "BETWEEN":
+		pred.Op = OpBetween
+		if pred.Value, err = p.stringLit(); err != nil {
+			return pred, err
+		}
+		if _, err := p.expect("AND"); err != nil {
+			return pred, err
+		}
+		if pred.Value2, err = p.stringLit(); err != nil {
+			return pred, err
+		}
+		return pred, nil
+	case "IN":
+		pred.Op = OpIn
+		if _, err := p.expect("("); err != nil {
+			return pred, err
+		}
+		for {
+			v, err := p.stringLit()
+			if err != nil {
+				return pred, err
+			}
+			pred.Values = append(pred.Values, v)
+			if p.accept(",") {
+				continue
+			}
+			if _, err := p.expect(")"); err != nil {
+				return pred, err
+			}
+			return pred, nil
+		}
+	default:
+		return pred, errAt(opTok.pos, "expected comparison operator, found %q", opTok.text)
+	}
+	if pred.Value, err = p.stringLit(); err != nil {
+		return pred, err
+	}
+	return pred, nil
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.accept("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.accept(",") {
+				continue
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if _, err := p.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		ins.Values = append(ins.Values, v)
+		if p.accept(",") {
+			continue
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if len(ins.Columns) > 0 && len(ins.Columns) != len(ins.Values) {
+		return nil, errAt(0, "INSERT has %d columns but %d values", len(ins.Columns), len(ins.Values))
+	}
+	return ins, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("SET"); err != nil {
+		return nil, err
+	}
+	up := &Update{Table: table}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, Assignment{Column: col, Value: val})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if up.Where, err = p.whereClause(); err != nil {
+		return nil, err
+	}
+	return up, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	var err2 error
+	if del.Where, err2 = p.whereClause(); err2 != nil {
+		return nil, err2
+	}
+	return del, nil
+}
+
+func (p *parser) dropTable() (Statement, error) {
+	p.next() // DROP
+	if _, err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Table: table}, nil
+}
+
+func (p *parser) mergeTable() (Statement, error) {
+	p.next() // MERGE
+	if _, err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &MergeTable{Table: table}, nil
+}

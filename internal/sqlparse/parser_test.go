@@ -1,0 +1,335 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE t1 (fname ED5(30) BSMAX 10, city ED1(20), note PLAIN ED3(40))")
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T, want *CreateTable", st)
+	}
+	if ct.Table != "t1" {
+		t.Errorf("table = %q", ct.Table)
+	}
+	want := []ColumnSpec{
+		{Name: "fname", Kind: dict.ED5, MaxLen: 30, BSMax: 10},
+		{Name: "city", Kind: dict.ED1, MaxLen: 20},
+		{Name: "note", Kind: dict.ED3, MaxLen: 40, Plain: true},
+	}
+	if len(ct.Columns) != len(want) {
+		t.Fatalf("columns = %d, want %d", len(ct.Columns), len(want))
+	}
+	for i, w := range want {
+		if ct.Columns[i] != w {
+			t.Errorf("column %d = %+v, want %+v", i, ct.Columns[i], w)
+		}
+	}
+}
+
+func TestParseCreateTableCaseInsensitiveKeywords(t *testing.T) {
+	st := mustParse(t, "create table T2 (C ed1(5))")
+	ct := st.(*CreateTable)
+	if ct.Table != "t2" || ct.Columns[0].Name != "c" {
+		t.Errorf("identifiers not folded: %+v", ct)
+	}
+	if ct.Columns[0].Kind != dict.ED1 {
+		t.Errorf("kind = %v", ct.Columns[0].Kind)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st := mustParse(t, "SELECT fname, city FROM t1 WHERE fname >= 'A' AND fname < 'F' AND city = 'Berlin'")
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("got %T, want *Select", st)
+	}
+	if sel.Table != "t1" || len(sel.Columns) != 2 || sel.Star || sel.Count {
+		t.Errorf("select head = %+v", sel)
+	}
+	want := []Predicate{
+		{Column: "fname", Op: OpGe, Value: "A"},
+		{Column: "fname", Op: OpLt, Value: "F"},
+		{Column: "city", Op: OpEq, Value: "Berlin"},
+	}
+	if len(sel.Where) != len(want) {
+		t.Fatalf("predicates = %d, want %d", len(sel.Where), len(want))
+	}
+	for i, w := range want {
+		if !predEq(sel.Where[i], w) {
+			t.Errorf("pred %d = %+v, want %+v", i, sel.Where[i], w)
+		}
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t1").(*Select)
+	if !sel.Star || sel.Count || len(sel.Where) != 0 {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseSelectCount(t *testing.T) {
+	sel := mustParse(t, "SELECT COUNT(*) FROM t1 WHERE c = 'x'").(*Select)
+	if !sel.Count || sel.Star {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseSelectBetween(t *testing.T) {
+	sel := mustParse(t, "SELECT c FROM t WHERE c BETWEEN 'a' AND 'b'").(*Select)
+	want := Predicate{Column: "c", Op: OpBetween, Value: "a", Value2: "b"}
+	if len(sel.Where) != 1 || !predEq(sel.Where[0], want) {
+		t.Errorf("where = %+v, want %+v", sel.Where, want)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t1 (fname, city) VALUES ('Ada', 'London')").(*Insert)
+	if ins.Table != "t1" {
+		t.Errorf("table = %q", ins.Table)
+	}
+	if len(ins.Columns) != 2 || ins.Columns[0] != "fname" || ins.Columns[1] != "city" {
+		t.Errorf("columns = %v", ins.Columns)
+	}
+	if len(ins.Values) != 2 || ins.Values[0] != "Ada" || ins.Values[1] != "London" {
+		t.Errorf("values = %v", ins.Values)
+	}
+}
+
+func TestParseInsertWithoutColumns(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t1 VALUES ('Ada', 'London')").(*Insert)
+	if len(ins.Columns) != 0 || len(ins.Values) != 2 {
+		t.Errorf("ins = %+v", ins)
+	}
+}
+
+func TestParseInsertColumnValueMismatch(t *testing.T) {
+	if _, err := Parse("INSERT INTO t1 (a, b) VALUES ('x')"); err == nil {
+		t.Error("mismatched insert accepted")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	up := mustParse(t, "UPDATE t1 SET city = 'Paris', fname = 'Eve' WHERE fname = 'Ada'").(*Update)
+	if up.Table != "t1" || len(up.Set) != 2 || len(up.Where) != 1 {
+		t.Fatalf("up = %+v", up)
+	}
+	if up.Set[0] != (Assignment{Column: "city", Value: "Paris"}) {
+		t.Errorf("set[0] = %+v", up.Set[0])
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	del := mustParse(t, "DELETE FROM t1 WHERE city = 'Paris'").(*Delete)
+	if del.Table != "t1" || len(del.Where) != 1 {
+		t.Errorf("del = %+v", del)
+	}
+}
+
+func TestParseDeleteWithoutWhere(t *testing.T) {
+	del := mustParse(t, "DELETE FROM t1").(*Delete)
+	if len(del.Where) != 0 {
+		t.Errorf("where = %+v", del.Where)
+	}
+}
+
+func TestParseDropAndMerge(t *testing.T) {
+	if st := mustParse(t, "DROP TABLE t1").(*DropTable); st.Table != "t1" {
+		t.Errorf("drop table = %q", st.Table)
+	}
+	if st := mustParse(t, "MERGE TABLE t1").(*MergeTable); st.Table != "t1" {
+		t.Errorf("merge table = %q", st.Table)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustParse(t, "SELECT c FROM t WHERE c = 'O''Brien'").(*Select)
+	if sel.Where[0].Value != "O'Brien" {
+		t.Errorf("value = %q, want O'Brien", sel.Where[0].Value)
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT * FROM t1;")
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FORM t",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE c",
+		"SELECT * FROM t WHERE c = ",
+		"SELECT * FROM t WHERE c = 42",        // only string literals
+		"SELECT * FROM t WHERE c LIKE 'x'",    // unsupported operator
+		"SELECT * FROM t WHERE c BETWEEN 'a'", // missing AND
+		"CREATE TABLE t",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (c ED0(5))",
+		"CREATE TABLE t (c ED10(5))",
+		"CREATE TABLE t (c VARCHAR(5))",
+		"CREATE TABLE t (c ED1)",
+		"INSERT INTO t",
+		"INSERT t VALUES ('x')",
+		"UPDATE t SET",
+		"DELETE t1",
+		"DROP t1",
+		"SELECT * FROM t extra",
+		"SELECT * FROM t WHERE c = 'unterminated",
+		"SELECT * FROM t WHERE c = 'x' AND",
+		"~",
+	}
+	for _, sql := range tests {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestSyntaxErrorHasOffset(t *testing.T) {
+	_, err := Parse("SELECT * FROM t WHERE c ~ 'x'")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %q lacks offset", err)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustParse(t, "SELECT MIN(price), MAX(price), SUM(qty), AVG(qty) FROM t WHERE item = 'x'").(*Select)
+	want := []Aggregate{
+		{Func: AggMin, Column: "price"},
+		{Func: AggMax, Column: "price"},
+		{Func: AggSum, Column: "qty"},
+		{Func: AggAvg, Column: "qty"},
+	}
+	if len(sel.Aggregates) != len(want) {
+		t.Fatalf("aggregates = %+v", sel.Aggregates)
+	}
+	for i, w := range want {
+		if sel.Aggregates[i] != w {
+			t.Errorf("agg %d = %+v, want %+v", i, sel.Aggregates[i], w)
+		}
+	}
+	if len(sel.Columns) != 0 || sel.Star || sel.Count {
+		t.Errorf("sel head = %+v", sel)
+	}
+}
+
+func TestParseAggregateLikeColumnName(t *testing.T) {
+	// min/max without parentheses are ordinary column names.
+	sel := mustParse(t, "SELECT min, max FROM t").(*Select)
+	if len(sel.Aggregates) != 0 || len(sel.Columns) != 2 {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	sel := mustParse(t, "SELECT c FROM t WHERE c > 'a' ORDER BY c DESC LIMIT 10").(*Select)
+	if sel.OrderBy != "c" || !sel.OrderDesc || sel.Limit != 10 {
+		t.Errorf("sel = %+v", sel)
+	}
+	sel = mustParse(t, "SELECT c FROM t ORDER BY c ASC").(*Select)
+	if sel.OrderBy != "c" || sel.OrderDesc || sel.Limit != -1 {
+		t.Errorf("sel = %+v", sel)
+	}
+	sel = mustParse(t, "SELECT c FROM t LIMIT 5").(*Select)
+	if sel.OrderBy != "" || sel.Limit != 5 {
+		t.Errorf("sel = %+v", sel)
+	}
+}
+
+func TestParseOrderLimitErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT c FROM t ORDER c",
+		"SELECT c FROM t ORDER BY",
+		"SELECT c FROM t LIMIT",
+		"SELECT c FROM t LIMIT 'x'",
+		"SELECT MIN() FROM t",
+		"SELECT MIN(c FROM t",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	for f, want := range map[AggFunc]string{AggMin: "MIN", AggMax: "MAX", AggSum: "SUM", AggAvg: "AVG"} {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q", f, f.String())
+		}
+	}
+}
+
+func TestCompareOpString(t *testing.T) {
+	ops := map[CompareOp]string{
+		OpEq: "=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpBetween: "BETWEEN",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+// predEq compares predicates including the IN value list.
+func predEq(a, b Predicate) bool {
+	if a.Column != b.Column || a.Op != b.Op || a.Value != b.Value || a.Value2 != b.Value2 {
+		return false
+	}
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParseIn(t *testing.T) {
+	sel := mustParse(t, "SELECT c FROM t WHERE c IN ('a', 'b', 'c')").(*Select)
+	want := Predicate{Column: "c", Op: OpIn, Values: []string{"a", "b", "c"}}
+	if len(sel.Where) != 1 || !predEq(sel.Where[0], want) {
+		t.Errorf("where = %+v, want %+v", sel.Where, want)
+	}
+}
+
+func TestParseInSingleMember(t *testing.T) {
+	sel := mustParse(t, "SELECT c FROM t WHERE c IN ('only')").(*Select)
+	if len(sel.Where) != 1 || len(sel.Where[0].Values) != 1 {
+		t.Errorf("where = %+v", sel.Where)
+	}
+}
+
+func TestParseInErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT c FROM t WHERE c IN",
+		"SELECT c FROM t WHERE c IN ()",
+		"SELECT c FROM t WHERE c IN ('a'",
+		"SELECT c FROM t WHERE c IN ('a',)",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// Client is the trusted side's connection to a remote EncDBDB provider. It
+// implements proxy.Executor, so a proxy.Proxy can drive a remote database
+// exactly like an embedded one, plus the attestation and bulk-load
+// operations the data owner needs during setup.
+//
+// A Client serializes requests over one connection; it is safe for
+// concurrent use.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a provider at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(req *request) (*response, error) {
+	payload, err := encodeMsg(req)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, payload); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	raw, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	var resp response
+	if err := decodeMsg(raw, &resp); err != nil {
+		return nil, fmt.Errorf("wire: decode response: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Quote requests a remote attestation quote bound to nonce (setup step 2).
+func (c *Client) Quote(nonce []byte) (enclave.Quote, error) {
+	resp, err := c.call(&request{Op: opQuote, Nonce: nonce})
+	if err != nil {
+		return enclave.Quote{}, err
+	}
+	return resp.Quote, nil
+}
+
+// Provision ships the sealed master key to the provider's enclave.
+func (c *Client) Provision(sk enclave.SealedKey) error {
+	_, err := c.call(&request{Op: opProvision, Sealed: sk})
+	return err
+}
+
+// ImportColumn bulk-loads a pre-built column split (setup step 4).
+func (c *Client) ImportColumn(table, column string, data dict.SplitData) error {
+	_, err := c.call(&request{Op: opImportColumn, Table: table, Column: column, Split: data})
+	return err
+}
+
+// Schema fetches a table schema.
+func (c *Client) Schema(table string) (engine.Schema, error) {
+	resp, err := c.call(&request{Op: opSchema, Table: table})
+	if err != nil {
+		return engine.Schema{}, err
+	}
+	return resp.Schema, nil
+}
+
+// CreateTable registers a schema at the provider.
+func (c *Client) CreateTable(s engine.Schema) error {
+	_, err := c.call(&request{Op: opCreateTable, Schema: s})
+	return err
+}
+
+// DropTable removes a table at the provider.
+func (c *Client) DropTable(name string) error {
+	_, err := c.call(&request{Op: opDropTable, Table: name})
+	return err
+}
+
+// Select evaluates an encrypted query remotely.
+func (c *Client) Select(q engine.Query) (*engine.Result, error) {
+	resp, err := c.call(&request{Op: opSelect, Query: q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		return nil, errors.New("wire: provider returned no result")
+	}
+	return resp.Result, nil
+}
+
+// Insert appends an encrypted row.
+func (c *Client) Insert(table string, row engine.Row) error {
+	_, err := c.call(&request{Op: opInsert, Table: table, Row: row})
+	return err
+}
+
+// Delete invalidates matching rows.
+func (c *Client) Delete(table string, filters []engine.Filter) (int, error) {
+	resp, err := c.call(&request{Op: opDelete, Table: table, Filters: filters})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Update rewrites matching rows.
+func (c *Client) Update(table string, filters []engine.Filter, set engine.Row) (int, error) {
+	resp, err := c.call(&request{Op: opUpdate, Table: table, Filters: filters, Set: set})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Merge folds the delta store remotely.
+func (c *Client) Merge(table string) error {
+	_, err := c.call(&request{Op: opMerge, Table: table})
+	return err
+}
+
+// Tables lists remote tables.
+func (c *Client) Tables() ([]string, error) {
+	resp, err := c.call(&request{Op: opTables})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Rows returns a remote table's total row count.
+func (c *Client) Rows(table string) (int, error) {
+	resp, err := c.call(&request{Op: opRows, Table: table})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// StorageBytes returns a remote table's storage footprint.
+func (c *Client) StorageBytes(table string) (int, error) {
+	resp, err := c.call(&request{Op: opStorageBytes, Table: table})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}

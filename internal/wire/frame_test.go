@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, payload); err != nil {
+			return false
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // ~4 GiB announced
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{0, 2, 4, len(raw) - 1} {
+		if _, err := readFrame(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncated frame at %d accepted", n)
+		}
+	}
+}
+
+func TestReadFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("payload = %v", got)
+	}
+	if _, err := readFrame(&buf); err != io.EOF {
+		t.Errorf("second read err = %v, want EOF", err)
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	req := request{
+		Op:     opSelect,
+		Table:  "t1",
+		Column: "c",
+		Nonce:  []byte{1, 2, 3},
+	}
+	payload, err := encodeMsg(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got request
+	if err := decodeMsg(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || got.Table != req.Table || got.Column != req.Column {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestDecodeMsgRejectsGarbage(t *testing.T) {
+	var got response
+	if err := decodeMsg([]byte("not gob"), &got); err == nil {
+		t.Error("garbage decoded")
+	}
+}

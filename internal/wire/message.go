@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// request is the single wire request envelope. Only the fields relevant for
+// Op are populated; gob omits zero values cheaply.
+type request struct {
+	Op     op
+	Table  string
+	Column string
+
+	Nonce   []byte
+	Sealed  enclave.SealedKey
+	Schema  engine.Schema
+	Query   engine.Query
+	Row     engine.Row
+	Filters []engine.Filter
+	Set     engine.Row
+	Split   dict.SplitData
+}
+
+// response is the single wire response envelope. Err is the provider-side
+// error text ("" means success).
+type response struct {
+	Err    string
+	Quote  enclave.Quote
+	Schema engine.Schema
+	Result *engine.Result
+	N      int
+	Tables []string
+}
+
+// encodeMsg gob-encodes a message into a frame payload.
+func encodeMsg(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeMsg gob-decodes a frame payload.
+func decodeMsg(payload []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(payload)).Decode(v)
+}

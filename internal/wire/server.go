@@ -1,0 +1,216 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// Server hosts an engine.DB behind the wire protocol — the untrusted DBaaS
+// provider process of paper Fig. 2, including the enclave ECALL endpoints
+// (quote, provision) the data owner needs for setup.
+type Server struct {
+	db     *engine.DB
+	logf   func(format string, args ...any)
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps a database. logf receives connection-level diagnostics;
+// nil discards them.
+func NewServer(db *engine.DB, logf func(format string, args ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{db: db, logf: logf, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("wire: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return // EOF or broken connection: drop it quietly
+		}
+		var req request
+		if err := decodeMsg(payload, &req); err != nil {
+			s.logf("wire: bad request from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		resp := s.dispatch(&req)
+		out, err := encodeMsg(resp)
+		if err != nil {
+			s.logf("wire: encode response: %v", err)
+			return
+		}
+		if err := writeFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the database. Panics in handlers
+// are converted to error responses so one bad request cannot take down the
+// provider.
+func (s *Server) dispatch(req *request) (resp *response) {
+	resp = &response{}
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("wire: panic handling op %d: %v", req.Op, r)
+			resp.Err = fmt.Sprintf("wire: internal error handling op %d", req.Op)
+		}
+	}()
+	fail := func(err error) *response {
+		resp.Err = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case opQuote:
+		encl := s.db.Enclave()
+		if encl == nil {
+			return fail(errors.New("wire: provider has no enclave"))
+		}
+		resp.Quote = encl.Quote(req.Nonce)
+	case opProvision:
+		encl := s.db.Enclave()
+		if encl == nil {
+			return fail(errors.New("wire: provider has no enclave"))
+		}
+		if err := encl.Provision(req.Sealed); err != nil {
+			return fail(err)
+		}
+	case opSchema:
+		sc, err := s.db.Schema(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Schema = sc
+	case opCreateTable:
+		if err := s.db.CreateTable(req.Schema); err != nil {
+			return fail(err)
+		}
+	case opDropTable:
+		if err := s.db.DropTable(req.Table); err != nil {
+			return fail(err)
+		}
+	case opSelect:
+		res, err := s.db.Select(req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Result = res
+	case opInsert:
+		if err := s.db.Insert(req.Table, req.Row); err != nil {
+			return fail(err)
+		}
+	case opDelete:
+		n, err := s.db.Delete(req.Table, req.Filters)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = n
+	case opUpdate:
+		n, err := s.db.Update(req.Table, req.Filters, req.Set)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = n
+	case opMerge:
+		if err := s.db.Merge(req.Table); err != nil {
+			return fail(err)
+		}
+	case opImportColumn:
+		split, err := dict.FromData(req.Split)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.db.ImportColumn(req.Table, req.Column, split); err != nil {
+			return fail(err)
+		}
+	case opTables:
+		resp.Tables = s.db.Tables()
+	case opRows:
+		n, err := s.db.Rows(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = n
+	case opStorageBytes:
+		n, err := s.db.StorageBytes(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		resp.N = n
+	default:
+		return fail(fmt.Errorf("wire: unknown op %d", req.Op))
+	}
+	return resp
+}
+
+// ListenAndServe is a convenience wrapper binding addr and serving until
+// Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}

@@ -1,0 +1,76 @@
+// Package wire implements the network protocol between the trusted side
+// (data owner, proxy) and the untrusted DBaaS provider (paper Fig. 2): a
+// length-prefixed gob protocol over TCP.
+//
+// The protocol carries only what the paper's attacker may see anyway:
+// attestation quotes, sealed keys, schemas, PAE-encrypted query ranges,
+// ciphertext cells and plaintext ValueID structures. EncDBDB's protocol
+// "runs in one round and only encrypts the values in the query" (paper
+// §6.3); every operation here is likewise a single request/response
+// round trip.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxFrame caps a frame at 1 GiB to bound allocations from a malicious or
+// corrupted peer.
+const maxFrame = 1 << 30
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// op identifies a request type.
+type op uint8
+
+const (
+	opQuote op = iota + 1
+	opProvision
+	opSchema
+	opCreateTable
+	opDropTable
+	opSelect
+	opInsert
+	opDelete
+	opUpdate
+	opMerge
+	opImportColumn
+	opTables
+	opRows
+	opStorageBytes
+)
+
+// writeFrame writes one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed payload.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return payload, nil
+}

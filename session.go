@@ -1,0 +1,30 @@
+package encdbdb
+
+import (
+	"github.com/encdbdb/encdbdb/internal/proxy"
+)
+
+// Session is the trusted proxy of paper §3.1: it holds the master key,
+// rewrites every SQL filter into a uniform encrypted two-sided range, and
+// decrypts results before handing them to the application. The provider
+// behind it (embedded Database or remote Client) never sees plaintext
+// values.
+type Session struct {
+	p *proxy.Proxy
+}
+
+// Exec parses and executes one SQL statement, returning decrypted results.
+//
+// Supported statements (see internal/sqlparse for the full grammar):
+//
+//	CREATE TABLE t (c ED5(30) BSMAX 10, d PLAIN ED1(20))
+//	SELECT c, d FROM t WHERE c >= 'a' AND c < 'b'
+//	SELECT COUNT(*) FROM t WHERE d = 'x'
+//	INSERT INTO t VALUES ('v', 'w')
+//	UPDATE t SET d = 'y' WHERE c = 'v'
+//	DELETE FROM t WHERE c BETWEEN 'a' AND 'b'
+//	MERGE TABLE t
+//	DROP TABLE t
+func (s *Session) Exec(sql string) (*Result, error) {
+	return s.p.Execute(sql)
+}
