@@ -1,0 +1,3 @@
+module github.com/encdbdb/encdbdb
+
+go 1.24

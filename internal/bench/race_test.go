@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that this binary runs under the race detector, whose
+// 5-20x slowdown of the enclave's synchronized hot path makes latency-shape
+// claims meaningless; timing-based tests skip themselves when it is set.
+const raceEnabled = true

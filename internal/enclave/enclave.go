@@ -429,15 +429,12 @@ func (e *Enclave) BuildColumn(meta ColumnMeta, bsmax int, values [][]byte) (*dic
 	if err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	rng := e.rng
-	e.mu.Unlock()
 	split, err := dict.Build(values, dict.Params{
 		Kind:   meta.Kind,
 		MaxLen: meta.MaxLen,
 		BSMax:  bsmax,
 		Cipher: cipher,
-		Rand:   rng,
+		Rand:   e.callRand(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("enclave: trusted-setup build: %w", err)
@@ -473,15 +470,12 @@ func (e *Enclave) MergeColumns(meta ColumnMeta, bsmax int, main, delta MergeInpu
 		}
 		col = append(col, rows...)
 	}
-	e.mu.Lock()
-	rng := e.rng
-	e.mu.Unlock()
 	split, err := dict.Build(col, dict.Params{
 		Kind:   meta.Kind,
 		MaxLen: meta.MaxLen,
 		BSMax:  bsmax,
 		Cipher: cipher,
-		Rand:   rng,
+		Rand:   e.callRand(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("enclave: merge rebuild: %w", err)
@@ -533,6 +527,16 @@ func (e *Enclave) chargeScratch(maxLen int, region search.Region) error {
 		return fmt.Errorf("%w: need %d bytes, budget %d", ErrBudget, need, e.budget)
 	}
 	return nil
+}
+
+// callRand derives an independent generator for one ECALL's shuffles and
+// rotations. Build/merge ECALLs on different tables run concurrently under
+// the engine's per-table locks, and math/rand.Rand is not safe for shared
+// use, so each call seeds its own generator under the enclave lock.
+func (e *Enclave) callRand() *mrand.Rand {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return mrand.New(mrand.NewSource(e.rng.Int63()))
 }
 
 func (e *Enclave) enterECall() {

@@ -3,6 +3,7 @@ package enclave_test
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -411,5 +412,53 @@ func TestMeasurementStable(t *testing.T) {
 	}
 	if enclave.Measure("a") != enclave.Measure("a") {
 		t.Error("measurement not deterministic")
+	}
+}
+
+// TestConcurrentBuildECalls drives BuildColumn from many goroutines at once:
+// the engine's per-table locking allows build and merge ECALLs on different
+// tables to overlap, so the enclave's shuffle/rotation randomness must not
+// be shared unsynchronized. Run with -race; the splits must also each be
+// internally consistent.
+func TestConcurrentBuildECalls(t *testing.T) {
+	// Single-core hosts serialize goroutines tightly enough to mask the
+	// race this guards against; force real thread-level interleaving.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	v := newEnv(t, enclave.Config{})
+	var col [][]byte
+	for i := 0; i < 200; i++ {
+		col = append(col, []byte{byte('a' + i%7), byte('a' + i%13)})
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kind := []dict.Kind{dict.ED2, dict.ED5, dict.ED8}[g%3]
+			for i := 0; i < 5; i++ {
+				meta := enclave.ColumnMeta{
+					Table:  "tcb",
+					Column: []string{"c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"}[g],
+					Kind:   kind,
+					MaxLen: 4,
+				}
+				split, err := v.enclave.BuildColumn(meta, 3, col)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if split.Rows() != len(col) {
+					errs <- errors.New("concurrent build: row count mismatch")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -2,6 +2,8 @@ package engine_test
 
 import (
 	"fmt"
+	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -170,6 +172,229 @@ func TestConcurrentDeleteUpdateMerge(t *testing.T) {
 	}
 	if deleted != 10 {
 		t.Errorf("deleted = %d, want 10", deleted)
+	}
+}
+
+// TestConcurrentCrossTableStress drives simultaneous Select, Insert, and
+// Merge traffic where every goroutine targets a *different* table: with
+// per-table locking none of them contend, and -race validates that the
+// registry/table lock split leaves no unsynchronized state. A roaming reader
+// additionally selects from every table to cross goroutine/table pairs.
+func TestConcurrentCrossTableStress(t *testing.T) {
+	v := newEnv(t)
+	const tables = 4
+	def := engine.ColumnDef{Name: "c", Kind: dict.ED5, MaxLen: 10, BSMax: 3}
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("x%d", i)
+		if err := v.db.CreateTable(engine.Schema{Table: name, Columns: []engine.ColumnDef{def}}); err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]byte
+		for j := 0; j < 30; j++ {
+			rows = append(rows, []byte(fmt.Sprintf("v%03d", j%6)))
+		}
+		v.loadColumn(t, name, def, rows)
+	}
+
+	const rounds = 15
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*tables+1)
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("x%d", i)
+		// One selector per table.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				f := v.filter(t, name, def, search.Eq([]byte(fmt.Sprintf("v%03d", j%6))))
+				if _, err := v.db.Select(engine.Query{Table: name, Filters: []engine.Filter{f}}); err != nil {
+					errs <- fmt.Errorf("select %s: %w", name, err)
+					return
+				}
+			}
+		}()
+		// One inserter per table.
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < rounds; j++ {
+				row := engine.Row{"c": v.encryptValue(t, name, "c", fmt.Sprintf("i%d_%02d", i, j))}
+				if err := v.db.Insert(name, row); err != nil {
+					errs <- fmt.Errorf("insert %s: %w", name, err)
+					return
+				}
+			}
+		}(i)
+		// One merger per table.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				if err := v.db.Merge(name); err != nil {
+					errs <- fmt.Errorf("merge %s: %w", name, err)
+					return
+				}
+			}
+		}()
+	}
+	// A roaming reader hits every table.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < rounds*tables; j++ {
+			name := fmt.Sprintf("x%d", j%tables)
+			if _, err := v.db.Select(engine.Query{Table: name, CountOnly: true}); err != nil {
+				errs <- fmt.Errorf("roam %s: %w", name, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Every table must hold its seed rows plus its inserter's rows.
+	for i := 0; i < tables; i++ {
+		name := fmt.Sprintf("x%d", i)
+		res, err := v.db.Select(engine.Query{Table: name, CountOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 30 + rounds; res.Count != want {
+			t.Errorf("table %s final count = %d, want %d", name, res.Count, want)
+		}
+	}
+}
+
+// TestParallelFilterEquivalence is the property test for the parallel
+// conjunction path: on random multi-filter conjunctions, an engine
+// evaluating filters sequentially (workers=1) and one fanning them out
+// (workers=8) must return identical RecordID lists — set intersection is
+// order-independent, and the bitmap emit paths must not perturb that.
+func TestParallelFilterEquivalence(t *testing.T) {
+	seq := newEnvWith(t, engine.WithWorkers(1))
+	par := newEnvWith(t, engine.WithWorkers(8))
+	rng := rand.New(rand.NewSource(99))
+
+	defs := []engine.ColumnDef{
+		{Name: "a", Kind: dict.ED1, MaxLen: 8},
+		{Name: "b", Kind: dict.ED5, MaxLen: 8, BSMax: 3},
+		{Name: "c", Kind: dict.ED9, MaxLen: 8},
+	}
+	const rows = 200
+	cols := make(map[string][][]byte, len(defs))
+	for _, def := range defs {
+		var col [][]byte
+		for i := 0; i < rows; i++ {
+			col = append(col, []byte(fmt.Sprintf("%s%02d", def.Name, rng.Intn(20))))
+		}
+		cols[def.Name] = col
+	}
+	// A few delta rows so both stores participate; drawn once so both
+	// engines hold identical data.
+	deltaRows := make([]map[string]string, 10)
+	for i := range deltaRows {
+		deltaRows[i] = make(map[string]string, len(defs))
+		for _, def := range defs {
+			deltaRows[i][def.Name] = fmt.Sprintf("%s%02d", def.Name, rng.Intn(20))
+		}
+	}
+	for _, v := range []*env{seq, par} {
+		if err := v.db.CreateTable(engine.Schema{Table: "pf", Columns: defs}); err != nil {
+			t.Fatal(err)
+		}
+		for _, def := range defs {
+			v.loadColumn(t, "pf", def, cols[def.Name])
+		}
+		for _, dr := range deltaRows {
+			row := engine.Row{}
+			for name, val := range dr {
+				row[name] = v.encryptValue(t, "pf", name, val)
+			}
+			if err := v.db.Insert("pf", row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	randRange := func(def engine.ColumnDef) search.Range {
+		lo, hi := rng.Intn(20), rng.Intn(20)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return search.Range{
+			Start: []byte(fmt.Sprintf("%s%02d", def.Name, lo)), StartIncl: true,
+			End: []byte(fmt.Sprintf("%s%02d", def.Name, hi)), EndIncl: true,
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		nf := 1 + rng.Intn(3)
+		ranges := make([]search.Range, 0, nf)
+		picked := make([]engine.ColumnDef, 0, nf)
+		for i := 0; i < nf; i++ {
+			def := defs[rng.Intn(len(defs))]
+			picked = append(picked, def)
+			ranges = append(ranges, randRange(def))
+		}
+		var got [2][]uint32
+		for vi, v := range []*env{seq, par} {
+			filters := make([]engine.Filter, nf)
+			for i := range filters {
+				filters[i] = v.filter(t, "pf", picked[i], ranges[i])
+			}
+			res, err := v.db.Select(engine.Query{Table: "pf", Filters: filters, CountOnly: true})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got[vi] = res.RecordIDs
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Fatalf("trial %d: sequential %v != parallel %v", trial, got[0], got[1])
+		}
+	}
+}
+
+// TestParallelFilterErrorConsistency pins the error semantics of the
+// parallel conjunction: a filter the sequential path would never evaluate
+// (because an earlier filter emptied the conjunction) must not surface an
+// error from the parallel path either, and an error the sequential path
+// would hit must surface identically. Reordering is disabled so the filter
+// positions are fixed.
+func TestParallelFilterErrorConsistency(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		v := newEnvWith(t, engine.WithWorkers(workers), engine.WithFilterReorder(false))
+		def := engine.ColumnDef{Name: "c", Kind: dict.ED1, MaxLen: 8}
+		if err := v.db.CreateTable(engine.Schema{Table: "ec", Columns: []engine.ColumnDef{def}}); err != nil {
+			t.Fatal(err)
+		}
+		v.loadColumn(t, "ec", def, bcol("a", "b", "c"))
+
+		matchSome := v.filter(t, "ec", def, search.Eq([]byte("a")))
+		matchNone := v.filter(t, "ec", def, search.Eq([]byte("zz")))
+		badColumn := engine.Filter{Column: "nosuch", Ranges: matchSome.Ranges}
+
+		// Empty result before the bad filter: both paths return 0 rows, no error.
+		res, err := v.db.Select(engine.Query{
+			Table:     "ec",
+			Filters:   []engine.Filter{matchSome, matchNone, badColumn},
+			CountOnly: true,
+		})
+		if err != nil {
+			t.Errorf("workers=%d: error surfaced past an empty conjunction: %v", workers, err)
+		} else if res.Count != 0 {
+			t.Errorf("workers=%d: count = %d, want 0", workers, res.Count)
+		}
+
+		// Bad filter before the conjunction empties: both paths error.
+		_, err = v.db.Select(engine.Query{
+			Table:     "ec",
+			Filters:   []engine.Filter{matchSome, badColumn, matchNone},
+			CountOnly: true,
+		})
+		if err == nil {
+			t.Errorf("workers=%d: expected ErrNoSuchColumn, got nil", workers)
+		}
 	}
 }
 

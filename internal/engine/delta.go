@@ -8,6 +8,7 @@ import (
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/ridset"
 )
 
 // deltaStore is the write-optimized store of paper §4.3: an append-only ED9
@@ -61,17 +62,18 @@ type Row map[string][]byte
 // Insert appends a row to the table's delta stores. Each encrypted value is
 // re-encrypted inside the enclave with a fresh IV before being stored, so
 // the stored ciphertext cannot be linked to the insert message (paper §4.3).
+// Only this table is write-locked; traffic on other tables proceeds.
 func (db *DB) Insert(tableName string, row Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return db.insertLocked(t, row)
 }
 
-// insertLocked appends one row; the caller holds the write lock.
+// insertLocked appends one row; the caller holds the table's write lock.
 func (db *DB) insertLocked(t *table, row Row) error {
 	if err := t.ready(); err != nil {
 		return err
@@ -100,56 +102,55 @@ func (db *DB) insertLocked(t *table, row Row) error {
 		c.delta.append(payloads[name])
 	}
 	t.deltaRows++
-	t.deltaValid = append(t.deltaValid, true)
+	n := t.mainRows + t.deltaRows
+	t.valid.Grow(n)
+	t.valid.Add(uint32(n - 1))
 	return nil
 }
 
 // Delete invalidates all rows matching the filters and returns how many rows
-// it removed. Deletions are realized as validity-bit updates (paper §4.3).
-// Match and invalidation happen atomically under the table write lock so a
-// concurrent merge cannot remap RecordIDs in between.
+// it removed. Deletions are realized as validity-bit updates (paper §4.3):
+// one word-parallel AndNot of the match bitmap. Match and invalidation
+// happen atomically under the table write lock so a concurrent merge cannot
+// remap RecordIDs in between.
 func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
-	}
-	if err := t.ready(); err != nil {
-		return 0, err
-	}
-	rids, err := db.matchValidLocked(t, filters)
+	t, err := db.lookup(tableName)
 	if err != nil {
 		return 0, err
 	}
-	for _, r := range rids {
-		if int(r) < t.mainRows {
-			t.mainValid[r] = false
-		} else {
-			t.deltaValid[int(r)-t.mainRows] = false
-		}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.ready(); err != nil {
+		return 0, err
 	}
-	return len(rids), nil
+	match, err := db.matchValidLocked(t, filters)
+	if err != nil {
+		return 0, err
+	}
+	removed := match.Len()
+	t.valid.AndNot(match)
+	return removed, nil
 }
 
 // Update rewrites all rows matching the filters: the old row is invalidated
 // and a new row — the old cells with the set values substituted — is
 // appended to the delta store. Match, render, invalidate and append happen
-// atomically under the write lock. Returns the number of updated rows.
+// atomically under the table write lock. Returns the number of updated rows.
 func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
-	}
-	if err := t.ready(); err != nil {
-		return 0, err
-	}
-	rids, err := db.matchValidLocked(t, filters)
+	t, err := db.lookup(tableName)
 	if err != nil {
 		return 0, err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.ready(); err != nil {
+		return 0, err
+	}
+	match, err := db.matchValidLocked(t, filters)
+	if err != nil {
+		return 0, err
+	}
+	rids := match.Slice()
 	if len(rids) == 0 {
 		return 0, nil
 	}
@@ -164,13 +165,7 @@ func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
 			rows[i][name] = append([]byte(nil), cell...)
 		}
 	}
-	for _, r := range rids {
-		if int(r) < t.mainRows {
-			t.mainValid[r] = false
-		} else {
-			t.deltaValid[int(r)-t.mainRows] = false
-		}
-	}
+	t.valid.AndNot(match)
 	for _, row := range rows {
 		for name, v := range set {
 			row[name] = v
@@ -183,13 +178,14 @@ func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
 }
 
 // matchValidLocked evaluates filters and applies validity; the caller holds
-// at least a read lock.
-func (db *DB) matchValidLocked(t *table, filters []Filter) ([]uint32, error) {
-	rids, err := db.matchRows(t, filters)
+// at least the table's read lock.
+func (db *DB) matchValidLocked(t *table, filters []Filter) (*ridset.Set, error) {
+	match, err := db.matchRows(t, filters)
 	if err != nil {
 		return nil, err
 	}
-	return t.filterValid(rids), nil
+	match.IntersectWith(t.valid)
+	return match, nil
 }
 
 // Merge folds each column's delta store into its main store (paper §4.3):
@@ -198,16 +194,20 @@ func (db *DB) matchValidLocked(t *table, filters []Filter) ([]uint32, error) {
 // dictionary with a fresh rotation/shuffle, so the new main store carries no
 // linkable relation to the old stores. Invalidated rows are garbage
 // collected. Plain columns are rebuilt locally with the same algorithms.
+// Only this table is locked for the duration; a long enclave rebuild stalls
+// no other table.
 func (db *DB) Merge(tableName string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if err := t.ready(); err != nil {
 		return err
 	}
+	mainValid := t.validBools(0, t.mainRows)
+	deltaValid := t.validBools(t.mainRows, t.deltaRows)
 	merged := make(map[string]*dict.Split, len(t.cols))
 	var newRows int
 	for name, c := range t.cols {
@@ -216,11 +216,11 @@ func (db *DB) Merge(tableName string) error {
 			err error
 		)
 		if c.def.Plain {
-			s, err = mergePlain(t, c)
+			s, err = mergePlain(t, c, mainValid, deltaValid)
 		} else {
 			s, err = db.encl.MergeColumns(db.columnMeta(c), c.def.BSMax,
-				enclave.MergeInput{Region: c.main, AV: c.main.AV, Valid: t.mainValid},
-				enclave.MergeInput{Region: c.delta, AV: c.delta.av(), Valid: t.deltaValid},
+				enclave.MergeInput{Region: c.main, AV: c.main.AV, Valid: mainValid},
+				enclave.MergeInput{Region: c.delta, AV: c.delta.av(), Valid: deltaValid},
 			)
 		}
 		if err != nil {
@@ -236,24 +236,20 @@ func (db *DB) Merge(tableName string) error {
 	}
 	t.mainRows = newRows
 	t.deltaRows = 0
-	t.mainValid = make([]bool, newRows)
-	for i := range t.mainValid {
-		t.mainValid[i] = true
-	}
-	t.deltaValid = nil
+	t.valid = ridset.Full(newRows)
 	return nil
 }
 
 // mergePlain rebuilds a plain column locally from its valid rows.
-func mergePlain(t *table, c *column) (*dict.Split, error) {
+func mergePlain(t *table, c *column, mainValid, deltaValid []bool) (*dict.Split, error) {
 	var col [][]byte
 	for j := 0; j < t.mainRows; j++ {
-		if t.mainValid[j] {
+		if mainValid[j] {
 			col = append(col, c.main.Entry(int(c.main.AV[j])))
 		}
 	}
 	for j := 0; j < t.deltaRows; j++ {
-		if t.deltaValid[j] {
+		if deltaValid[j] {
 			col = append(col, c.delta.entry(j))
 		}
 	}

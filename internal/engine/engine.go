@@ -7,6 +7,7 @@ import (
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/ridset"
 	"github.com/encdbdb/encdbdb/internal/search"
 )
 
@@ -45,8 +46,9 @@ type workersOption int
 
 func (o workersOption) apply(opts *options) { opts.workers = int(o) }
 
-// WithWorkers fixes the attribute vector scan parallelism. The default (0)
-// uses GOMAXPROCS.
+// WithWorkers fixes the evaluation parallelism: both the attribute vector
+// scan fan-out and the number of conjunctive filters searched concurrently.
+// The default (0) uses GOMAXPROCS.
 func WithWorkers(n int) Option { return workersOption(n) }
 
 type reorderOption bool
@@ -60,6 +62,12 @@ func WithFilterReorder(on bool) Option { return reorderOption(on) }
 
 // DB is an EncDBDB database instance at the DBaaS provider: a set of tables
 // plus the enclave used for protected dictionary searches.
+//
+// Locking is sharded per table: mu guards only the tables registry, and
+// every table carries its own RWMutex, so a Select or enclave Merge on one
+// table never stalls operations on another — the per-connection goroutines
+// of wire.Server contend only when they target the same table. The enclave
+// itself is internally synchronized and safe for concurrent ECALLs.
 type DB struct {
 	encl *enclave.Enclave
 	opts options
@@ -69,14 +77,20 @@ type DB struct {
 }
 
 // table is the per-table store: one column store per column plus row
-// validity for the main and delta stores (paper §4.3).
+// validity for the main and delta stores (paper §4.3). mu serializes writers
+// against readers of this table only; schema and the cols map are fixed at
+// CreateTable and may be read without it.
 type table struct {
-	schema     Schema
-	cols       map[string]*column
-	mainRows   int
-	deltaRows  int
-	mainValid  []bool
-	deltaValid []bool
+	schema Schema
+	cols   map[string]*column
+
+	mu        sync.RWMutex
+	mainRows  int
+	deltaRows int
+	// valid is the row validity bitmap over [0, mainRows+deltaRows):
+	// RecordIDs below mainRows are main-store rows, the rest delta rows.
+	// Deletions clear bits (paper §4.3); query results are ANDed with it.
+	valid *ridset.Set
 }
 
 // column pairs the read-optimized main store with the write-optimized delta
@@ -105,17 +119,25 @@ func New(encl *enclave.Enclave, opts ...Option) *DB {
 // databases). The data owner uses it for attestation and provisioning.
 func (db *DB) Enclave() *enclave.Enclave { return db.encl }
 
+// lookup resolves a table name under the registry lock. The caller locks the
+// returned table as needed; a table concurrently dropped from the registry
+// stays usable until its last in-flight operation releases it.
+func (db *DB) lookup(name string) (*table, error) {
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
 // CreateTable registers a table schema with empty column stores.
 func (db *DB) CreateTable(s Schema) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.tables[s.Table]; ok {
-		return fmt.Errorf("%w: %q", ErrTableExists, s.Table)
-	}
-	t := &table{schema: s, cols: make(map[string]*column, len(s.Columns))}
+	t := &table{schema: s, cols: make(map[string]*column, len(s.Columns)), valid: ridset.New(0)}
 	for _, def := range s.Columns {
 		if !def.Plain && db.encl == nil {
 			return fmt.Errorf("%w: column %q", ErrEnclaveMissing, def.Name)
@@ -127,11 +149,17 @@ func (db *DB) CreateTable(s Schema) error {
 			delta: newDeltaStore(),
 		}
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[s.Table]; ok {
+		return fmt.Errorf("%w: %q", ErrTableExists, s.Table)
+	}
 	db.tables[s.Table] = t
 	return nil
 }
 
-// DropTable removes a table.
+// DropTable removes a table from the registry. In-flight operations holding
+// the table finish against the orphaned store.
 func (db *DB) DropTable(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -155,11 +183,9 @@ func (db *DB) Tables() []string {
 
 // Schema returns the schema of the named table.
 func (db *DB) Schema(name string) (Schema, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[name]
-	if !ok {
-		return Schema{}, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	t, err := db.lookup(name)
+	if err != nil {
+		return Schema{}, err
 	}
 	return t.schema, nil
 }
@@ -168,16 +194,16 @@ func (db *DB) Schema(name string) (Schema, error) {
 // the data owner's bulk deployment (paper Fig. 5 step 4). Every column of a
 // table must be imported with the same row count; the first import fixes it.
 func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return err
 	}
 	c, ok := t.cols[columnName]
 	if !ok {
 		return fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tableName, columnName)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if c.imported {
 		return fmt.Errorf("%w: %q.%q", ErrAlreadyLoaded, tableName, columnName)
 	}
@@ -197,10 +223,7 @@ func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
 	c.imported = true
 	if loaded < 0 {
 		t.mainRows = s.Rows()
-		t.mainValid = make([]bool, s.Rows())
-		for i := range t.mainValid {
-			t.mainValid[i] = true
-		}
+		t.valid = ridset.Full(s.Rows())
 	}
 	return nil
 }
@@ -211,21 +234,15 @@ func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
 // trusted during setup; the standard path (ImportColumn) never exposes
 // plaintext to the provider.
 func (db *DB) ImportPlaintextColumn(tableName, columnName string, values [][]byte) error {
-	db.mu.RLock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		db.mu.RUnlock()
-		return fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return err
 	}
 	c, ok := t.cols[columnName]
-	db.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tableName, columnName)
 	}
-	var (
-		split *dict.Split
-		err   error
-	)
+	var split *dict.Split
 	if c.def.Plain {
 		split, err = dict.Build(values, dict.Params{
 			Kind:   c.def.Kind,
@@ -277,26 +294,39 @@ func (t *table) ready() error {
 	return nil
 }
 
+// validBools renders count validity flags starting at RecordID start as the
+// []bool shape the snapshot format and the enclave merge ECALL consume.
+func (t *table) validBools(start, count int) []bool {
+	if count == 0 {
+		return nil
+	}
+	out := make([]bool, count)
+	for i := range out {
+		out[i] = t.valid.Contains(uint32(start + i))
+	}
+	return out
+}
+
 // Rows returns the table's total row count including invalidated rows.
 func (db *DB) Rows(tableName string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return 0, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.mainRows + t.deltaRows, nil
 }
 
 // StorageBytes returns the summed storage footprint of all column stores of
 // a table (paper Table 6 accounting).
 func (db *DB) StorageBytes(tableName string) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return 0, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	total := 0
 	for _, c := range t.cols {
 		if c.main != nil {

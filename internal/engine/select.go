@@ -2,11 +2,14 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/ordenc"
+	"github.com/encdbdb/encdbdb/internal/ridset"
 	"github.com/encdbdb/encdbdb/internal/search"
 )
 
@@ -58,25 +61,27 @@ type Result struct {
 
 // Select evaluates a query: each filter runs the two-phase search on its
 // column (dictionary search in the enclave, attribute vector search in the
-// untrusted realm), the per-filter RecordID lists are intersected, validity
+// untrusted realm), the per-filter RecordID sets are intersected, validity
 // is applied, and the projected columns are rendered (paper Fig. 5 steps
-// 6-13).
+// 6-13). Only this table is locked; queries on other tables proceed in
+// parallel.
 func (db *DB) Select(q Query) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[q.Table]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, q.Table)
+	t, err := db.lookup(q.Table)
+	if err != nil {
+		return nil, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if err := t.ready(); err != nil {
 		return nil, err
 	}
 
-	rids, err := db.matchRows(t, q.Filters)
+	match, err := db.matchRows(t, q.Filters)
 	if err != nil {
 		return nil, err
 	}
-	rids = t.filterValid(rids)
+	match.IntersectWith(t.valid)
+	rids := match.Slice()
 
 	res := &Result{RecordIDs: rids, Count: len(rids)}
 	if q.CountOnly {
@@ -102,29 +107,90 @@ func (db *DB) Select(q Query) (*Result, error) {
 	return res, nil
 }
 
-// matchRows evaluates the conjunction of all filters and returns the
-// ascending RecordID list. With no filters, all rows match.
-func (db *DB) matchRows(t *table, filters []Filter) ([]uint32, error) {
+// matchRows evaluates the conjunction of all filters as a bitmap over the
+// table's RecordID universe. With no filters, all rows match.
+//
+// The cheapest filter (per planFilters) always runs first and alone: if it
+// matches nothing the conjunction is empty and the expensive searches never
+// run — the short-circuit the optimizer's ordering exists for. Otherwise the
+// remaining filters fan out across workers (paper §4.2 places the attribute
+// vector phase in the untrusted realm precisely so it can use all the
+// parallelism of the column store), the per-filter scan parallelism is
+// divided among them so total parallelism stays bounded by workers, and
+// their sets are folded in planned order with the same per-filter
+// error/empty short-circuit the sequential loop applies — so outcomes
+// (results *and* errors) are identical regardless of worker count; the
+// parallel path merely wastes the searches the sequential one would have
+// skipped.
+func (db *DB) matchRows(t *table, filters []Filter) (*ridset.Set, error) {
+	n := t.mainRows + t.deltaRows
 	if len(filters) == 0 {
-		all := make([]uint32, t.mainRows+t.deltaRows)
-		for i := range all {
-			all[i] = uint32(i)
-		}
-		return all, nil
+		return ridset.Full(n), nil
 	}
-	var acc []uint32
-	for i, f := range db.planFilters(t, filters) {
-		rids, err := db.filterRows(t, f)
-		if err != nil {
-			return nil, err
+	planned := db.planFilters(t, filters)
+	acc, err := db.filterRows(t, planned[0], db.opts.workers)
+	if err != nil {
+		return nil, err
+	}
+	rest := planned[1:]
+	if len(rest) == 0 || acc.Empty() {
+		return acc, nil
+	}
+
+	workers := db.opts.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		for _, f := range rest {
+			set, err := db.filterRows(t, f, 1)
+			if err != nil {
+				return nil, err
+			}
+			acc.IntersectWith(set)
+			if acc.Empty() {
+				return acc, nil
+			}
 		}
-		if i == 0 {
-			acc = rids
-		} else {
-			acc = intersectSorted(acc, rids)
+		return acc, nil
+	}
+
+	total := workers
+	if workers > len(rest) {
+		workers = len(rest)
+	}
+	scanWorkers := total / workers
+	if scanWorkers < 1 {
+		scanWorkers = 1
+	}
+	sets := make([]*ridset.Set, len(rest))
+	errs := make([]error, len(rest))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				sets[i], errs[i] = db.filterRows(t, rest[i], scanWorkers)
+			}
+		}()
+	}
+	for i := range rest {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	// Fold in planned order with the sequential loop's exact semantics: an
+	// error surfaces only if every earlier filter succeeded and kept the
+	// conjunction non-empty, so workers>1 cannot change a query's outcome.
+	for i := range rest {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if len(acc) == 0 {
-			return nil, nil
+		acc.IntersectWith(sets[i])
+		if acc.Empty() {
+			return acc, nil
 		}
 	}
 	return acc, nil
@@ -170,45 +236,46 @@ func bitsLen(n int) int {
 }
 
 // filterRows runs one filter against the main store and the delta store and
-// concatenates the RecordID lists (delta RecordIDs are offset by the main
-// row count). The paper's delta-store design executes every read query on
-// both stores and merges the results (§4.3). Multi-range filters (IN-lists)
-// take the union of the per-range results.
-func (db *DB) filterRows(t *table, f Filter) ([]uint32, error) {
+// merges the RecordID sets (delta RecordIDs are offset by the main row
+// count). The paper's delta-store design executes every read query on both
+// stores and merges the results (§4.3). Multi-range filters (IN-lists) OR
+// the per-range sets into the same bitmap. scanWorkers bounds the attribute
+// vector scan parallelism for this filter — matchRows splits the total
+// worker budget among concurrently evaluated filters.
+func (db *DB) filterRows(t *table, f Filter, scanWorkers int) (*ridset.Set, error) {
 	c, ok := t.cols[f.Column]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Column)
 	}
-	var acc []uint32
-	for i, rng := range f.Ranges {
-		rids, err := db.searchMain(c, rng)
+	acc := ridset.New(t.mainRows + t.deltaRows)
+	for _, rng := range f.Ranges {
+		main, err := db.searchMain(c, rng, scanWorkers)
 		if err != nil {
 			return nil, err
 		}
-		deltaRids, err := db.searchDelta(c, rng)
+		if main != nil {
+			acc.UnionWith(main)
+		}
+		delta, err := db.searchDelta(c, rng, scanWorkers)
 		if err != nil {
 			return nil, err
 		}
-		for _, r := range deltaRids {
-			rids = append(rids, r+uint32(t.mainRows))
-		}
-		if i == 0 {
-			acc = rids
-		} else {
-			acc = unionSorted(acc, rids)
+		if delta != nil {
+			acc.OrShifted(delta, t.mainRows)
 		}
 	}
 	return acc, nil
 }
 
-// searchMain performs the two-phase search on the main store.
-func (db *DB) searchMain(c *column, q enclave.EncRange) ([]uint32, error) {
+// searchMain performs the two-phase search on the main store, emitting a
+// bitmap over the main store's RecordIDs.
+func (db *DB) searchMain(c *column, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
 	s := c.main
 	if s.Rows() == 0 {
 		return nil, nil
 	}
 	if c.def.Plain {
-		return db.plainSearch(c.def, s, s.EncRndOffset, s.AV, q)
+		return db.plainSearch(c.def, s, s.EncRndOffset, s.AV, q, scanWorkers)
 	}
 	meta := db.columnMeta(c)
 	res, err := db.encl.DictSearch(meta, s, s.EncRndOffset, q)
@@ -216,14 +283,15 @@ func (db *DB) searchMain(c *column, q enclave.EncRange) ([]uint32, error) {
 		return nil, err
 	}
 	if c.def.Kind.Order() == dict.OrderUnsorted {
-		return search.AttrVectList(s.AV, res.IDs, s.Len(), db.opts.avMode, db.opts.workers), nil
+		return search.AttrVectListSet(s.AV, res.IDs, s.Len(), db.opts.avMode, scanWorkers), nil
 	}
-	return search.AttrVectRanges(s.AV, res.Ranges, db.opts.workers), nil
+	return search.AttrVectRangesSet(s.AV, res.Ranges, scanWorkers), nil
 }
 
 // searchDelta performs the search on the write-optimized delta store, which
-// always uses ED9 semantics (unsorted, frequency hiding; paper §4.3).
-func (db *DB) searchDelta(c *column, q enclave.EncRange) ([]uint32, error) {
+// always uses ED9 semantics (unsorted, frequency hiding; paper §4.3). The
+// emitted bitmap is local to the delta store's RecordIDs.
+func (db *DB) searchDelta(c *column, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
 	d := c.delta
 	if d.Len() == 0 {
 		return nil, nil
@@ -237,7 +305,7 @@ func (db *DB) searchDelta(c *column, q enclave.EncRange) ([]uint32, error) {
 		if err != nil {
 			return nil, err
 		}
-		return search.AttrVectList(d.av(), ids, d.Len(), db.opts.avMode, db.opts.workers), nil
+		return search.AttrVectListSet(d.av(), ids, d.Len(), db.opts.avMode, scanWorkers), nil
 	}
 	meta := db.columnMeta(c)
 	meta.Kind = dict.ED9
@@ -245,12 +313,12 @@ func (db *DB) searchDelta(c *column, q enclave.EncRange) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return search.AttrVectList(d.av(), res.IDs, d.Len(), db.opts.avMode, db.opts.workers), nil
+	return search.AttrVectListSet(d.av(), res.IDs, d.Len(), db.opts.avMode, scanWorkers), nil
 }
 
 // plainSearch runs the PlainDBDB search path: identical algorithms, no
 // enclave, plaintext bounds.
-func (db *DB) plainSearch(def ColumnDef, region search.Region, rotOffset []byte, av []uint32, q enclave.EncRange) ([]uint32, error) {
+func (db *DB) plainSearch(def ColumnDef, region search.Region, rotOffset []byte, av []uint32, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
 	pq, err := plainRange(def, q)
 	if err != nil {
 		return nil, err
@@ -262,7 +330,7 @@ func (db *DB) plainSearch(def ColumnDef, region search.Region, rotOffset []byte,
 		if err != nil || !ok {
 			return nil, err
 		}
-		return search.AttrVectRanges(av, []search.VidRange{vr}, db.opts.workers), nil
+		return search.AttrVectRangesSet(av, []search.VidRange{vr}, scanWorkers), nil
 	case dict.OrderRotated:
 		if _, err := dict.DecodeRotOffset(rotOffset); err != nil {
 			return nil, err
@@ -275,13 +343,13 @@ func (db *DB) plainSearch(def ColumnDef, region search.Region, rotOffset []byte,
 		if err != nil {
 			return nil, err
 		}
-		return search.AttrVectRanges(av, ranges, db.opts.workers), nil
+		return search.AttrVectRangesSet(av, ranges, scanWorkers), nil
 	default:
 		ids, err := search.UnsortedDict(region, dec, pq)
 		if err != nil {
 			return nil, err
 		}
-		return search.AttrVectList(av, ids, region.Len(), db.opts.avMode, db.opts.workers), nil
+		return search.AttrVectListSet(av, ids, region.Len(), db.opts.avMode, scanWorkers), nil
 	}
 }
 
@@ -312,23 +380,6 @@ func (db *DB) columnMeta(c *column) enclave.ColumnMeta {
 	}
 }
 
-// filterValid drops RecordIDs whose validity flag is cleared (deleted rows).
-func (t *table) filterValid(rids []uint32) []uint32 {
-	out := rids[:0]
-	for _, r := range rids {
-		if int(r) < t.mainRows {
-			if t.mainValid[r] {
-				out = append(out, r)
-			}
-			continue
-		}
-		if t.deltaValid[int(r)-t.mainRows] {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
 // render reconstructs the projected cells for the matched rows by undoing
 // the split: cell = D[AV[rid]] (paper Fig. 5 step 12). Cells remain
 // ciphertexts for encrypted columns.
@@ -342,44 +393,4 @@ func (t *table) render(c *column, rids []uint32) [][]byte {
 		cells[i] = c.delta.entry(int(r) - t.mainRows)
 	}
 	return cells
-}
-
-// unionSorted merges two ascending RecordID lists, dropping duplicates.
-func unionSorted(a, b []uint32) []uint32 {
-	out := make([]uint32, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		switch {
-		case j >= len(b) || (i < len(a) && a[i] < b[j]):
-			out = append(out, a[i])
-			i++
-		case i >= len(a) || b[j] < a[i]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
-}
-
-// intersectSorted intersects two ascending RecordID lists.
-func intersectSorted(a, b []uint32) []uint32 {
-	var out []uint32
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/ridset"
 )
 
 // ColumnSnapshot is the serializable state of one column store.
@@ -16,7 +17,9 @@ type ColumnSnapshot struct {
 // TableSnapshot is the serializable state of one table: schema, validity
 // vectors and all column stores. The storage package persists it to disk
 // (the paper's in-memory database uses disk as secondary storage for
-// persistency, §2.1); the wire package ships it for bulk deployment.
+// persistency, §2.1); the wire package ships it for bulk deployment. The
+// validity vectors keep their []bool wire shape even though the engine
+// tracks validity as a bitmap, so existing snapshots stay readable.
 type TableSnapshot struct {
 	Schema     Schema
 	MainValid  []bool
@@ -26,16 +29,16 @@ type TableSnapshot struct {
 
 // Snapshot captures the full state of a table.
 func (db *DB) Snapshot(tableName string) (*TableSnapshot, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, tableName)
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return nil, err
 	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	snap := &TableSnapshot{
 		Schema:     t.schema,
-		MainValid:  append([]bool(nil), t.mainValid...),
-		DeltaValid: append([]bool(nil), t.deltaValid...),
+		MainValid:  t.validBools(0, t.mainRows),
+		DeltaValid: t.validBools(t.mainRows, t.deltaRows),
 	}
 	for _, def := range t.schema.Columns {
 		c := t.cols[def.Name]
@@ -61,9 +64,12 @@ func (db *DB) Restore(snap *TableSnapshot) error {
 		return err
 	}
 	restore := func() error {
-		db.mu.Lock()
-		defer db.mu.Unlock()
-		t := db.tables[snap.Schema.Table]
+		t, err := db.lookup(snap.Schema.Table)
+		if err != nil {
+			return err
+		}
+		t.mu.Lock()
+		defer t.mu.Unlock()
 		mainRows := -1
 		for _, cs := range snap.Columns {
 			c, ok := t.cols[cs.Name]
@@ -97,8 +103,17 @@ func (db *DB) Restore(snap *TableSnapshot) error {
 		}
 		t.mainRows = mainRows
 		t.deltaRows = len(snap.DeltaValid)
-		t.mainValid = append([]bool(nil), snap.MainValid...)
-		t.deltaValid = append([]bool(nil), snap.DeltaValid...)
+		t.valid = ridset.New(mainRows + t.deltaRows)
+		for i, ok := range snap.MainValid {
+			if ok {
+				t.valid.Add(uint32(i))
+			}
+		}
+		for i, ok := range snap.DeltaValid {
+			if ok {
+				t.valid.Add(uint32(mainRows + i))
+			}
+		}
 		return nil
 	}
 	if err := restore(); err != nil {

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/ridset"
 )
 
 // AVMode selects the membership test used by AttrVectSearch for unsorted
@@ -36,13 +38,15 @@ func parallelism(p int) int {
 	return p
 }
 
-// AttrVectRanges implements AttrVectSearch 1/2/4/5/7/8: it scans the
-// attribute vector and returns, in ascending order, the RecordIDs whose
-// ValueID falls into any of the given inclusive ranges (at most two ranges
-// are produced by the dictionary searches). workers <= 0 uses GOMAXPROCS.
-func AttrVectRanges(av []uint32, ranges []VidRange, workers int) []uint32 {
+// AttrVectRangesSet implements AttrVectSearch 1/2/4/5/7/8: it scans the
+// attribute vector and emits, into a bitmap over [0, |AV|), the RecordIDs
+// whose ValueID falls into any of the given inclusive ranges (at most two
+// ranges are produced by the dictionary searches). workers <= 0 uses
+// GOMAXPROCS.
+func AttrVectRangesSet(av []uint32, ranges []VidRange, workers int) *ridset.Set {
+	out := ridset.New(len(av))
 	if len(av) == 0 || len(ranges) == 0 {
-		return nil
+		return out
 	}
 	match := func(vid uint32) bool {
 		for _, r := range ranges {
@@ -52,15 +56,17 @@ func AttrVectRanges(av []uint32, ranges []VidRange, workers int) []uint32 {
 		}
 		return false
 	}
-	return parallelScan(av, workers, match)
+	parallelScan(out, av, workers, match)
+	return out
 }
 
-// AttrVectList implements AttrVectSearch 3/6/9: it returns, in ascending
-// order, the RecordIDs whose ValueID appears in vids. dictLen is |D|,
-// needed by the bitset mode. workers <= 0 uses GOMAXPROCS.
-func AttrVectList(av []uint32, vids []uint32, dictLen int, mode AVMode, workers int) []uint32 {
+// AttrVectListSet implements AttrVectSearch 3/6/9: it emits, into a bitmap
+// over [0, |AV|), the RecordIDs whose ValueID appears in vids. dictLen is
+// |D|, needed by the bitset mode. workers <= 0 uses GOMAXPROCS.
+func AttrVectListSet(av []uint32, vids []uint32, dictLen int, mode AVMode, workers int) *ridset.Set {
+	out := ridset.New(len(av))
 	if len(av) == 0 || len(vids) == 0 {
-		return nil
+		return out
 	}
 	var match func(uint32) bool
 	switch mode {
@@ -92,57 +98,56 @@ func AttrVectList(av []uint32, vids []uint32, dictLen int, mode AVMode, workers 
 			return i < len(sorted) && sorted[i] == vid
 		}
 	}
-	return parallelScan(av, workers, match)
+	parallelScan(out, av, workers, match)
+	return out
 }
 
-// parallelScan shards av across workers, collects matching indices per
-// shard, and concatenates the shard results in order so RecordIDs come back
-// ascending.
-func parallelScan(av []uint32, workers int, match func(uint32) bool) []uint32 {
+// AttrVectRanges is AttrVectRangesSet rendered to an ascending RecordID
+// slice, kept for callers outside the engine's bitmap pipeline.
+func AttrVectRanges(av []uint32, ranges []VidRange, workers int) []uint32 {
+	return AttrVectRangesSet(av, ranges, workers).Slice()
+}
+
+// AttrVectList is AttrVectListSet rendered to an ascending RecordID slice,
+// kept for callers outside the engine's bitmap pipeline.
+func AttrVectList(av []uint32, vids []uint32, dictLen int, mode AVMode, workers int) []uint32 {
+	return AttrVectListSet(av, vids, dictLen, mode, workers).Slice()
+}
+
+// parallelScan shards av across workers, each emitting matches into the
+// shared bitmap. Shard boundaries are aligned to 64 RecordIDs so every
+// worker owns a disjoint word range of the set and no synchronization is
+// needed beyond the final WaitGroup join.
+func parallelScan(out *ridset.Set, av []uint32, workers int, match func(uint32) bool) {
 	w := parallelism(workers)
-	if w > len(av) {
-		w = len(av)
+	if maxShards := (len(av) + 63) / 64; w > maxShards {
+		w = maxShards
 	}
 	if w <= 1 {
-		return scanChunk(av, 0, match)
+		scanChunk(out, av, 0, match)
+		return
 	}
-	results := make([][]uint32, w)
-	chunk := (len(av) + w - 1) / w
+	chunk := ((len(av)+w-1)/w + 63) &^ 63
 	var wg sync.WaitGroup
-	for i := 0; i < w; i++ {
-		lo := i * chunk
+	for lo := 0; lo < len(av); lo += chunk {
 		hi := lo + chunk
 		if hi > len(av) {
 			hi = len(av)
 		}
 		wg.Add(1)
-		go func(i, lo, hi int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			results[i] = scanChunk(av[lo:hi], uint32(lo), match)
-		}(i, lo, hi)
+			scanChunk(out, av[lo:hi], uint32(lo), match)
+		}(lo, hi)
 	}
 	wg.Wait()
-	total := 0
-	for _, r := range results {
-		total += len(r)
-	}
-	if total == 0 {
-		return nil
-	}
-	out := make([]uint32, 0, total)
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	return out
 }
 
-// scanChunk scans one shard, offsetting indices by base.
-func scanChunk(av []uint32, base uint32, match func(uint32) bool) []uint32 {
-	var out []uint32
+// scanChunk scans one shard, offsetting RecordIDs by base.
+func scanChunk(out *ridset.Set, av []uint32, base uint32, match func(uint32) bool) {
 	for j, vid := range av {
 		if match(vid) {
-			out = append(out, base+uint32(j))
+			out.Add(base + uint32(j))
 		}
 	}
-	return out
 }
