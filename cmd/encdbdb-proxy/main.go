@@ -34,6 +34,7 @@ func run() error {
 		keyHex    = flag.String("key", "", "master key as 32 hex chars (default: generate fresh)")
 		provision = flag.Bool("provision", false, "attest the provider's enclave and deploy the master key")
 		identity  = flag.String("identity", encdbdb.DefaultEnclaveIdentity, "expected enclave code identity")
+		conns     = flag.Int("conns", 1, "connections to the provider (>1 uses a pooled client)")
 	)
 	flag.Parse()
 
@@ -54,11 +55,22 @@ func run() error {
 		return err
 	}
 
-	client, err := encdbdb.Dial(*addr)
-	if err != nil {
-		return err
+	var client encdbdb.RemoteClient
+	if *conns > 1 {
+		pool, err := encdbdb.DialPool(*addr, *conns)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		client = pool
+	} else {
+		c, err := encdbdb.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		client = c
 	}
-	defer client.Close()
 
 	if *provision {
 		if err := owner.ProvisionClient(client, encdbdb.Measurement(*identity)); err != nil {
@@ -88,26 +100,72 @@ func run() error {
 		if line == `\quit` || line == `\q` {
 			return nil
 		}
-		res, err := sess.Exec(line)
-		if err != nil {
-			fmt.Println("error:", err)
+		// Semicolon-separated statements on one line run as a batch:
+		// consecutive INSERTs into one table cost one round trip.
+		stmts := splitStatements(line)
+		if len(stmts) == 0 {
 			continue
 		}
-		switch res.Kind {
-		case encdbdb.KindOK:
-			fmt.Println("ok")
-		case encdbdb.KindCount:
-			fmt.Printf("count: %d\n", res.Count)
-		case encdbdb.KindAffected:
-			fmt.Printf("affected: %d\n", res.Affected)
-		default:
-			if len(res.Columns) > 0 {
-				fmt.Println(strings.Join(res.Columns, " | "))
+		if len(stmts) == 1 {
+			res, err := sess.Exec(stmts[0])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
 			}
-			for _, row := range res.Rows {
-				fmt.Println(strings.Join(row, " | "))
-			}
-			fmt.Printf("(%d rows)\n", len(res.Rows))
+			printResult(res)
+			continue
 		}
+		results, err := sess.ExecBatch(stmts)
+		for _, res := range results {
+			printResult(res)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+// splitStatements splits a shell line into statements on semicolons that
+// lie outside single-quoted SQL string literals. The grammar escapes a
+// quote as ”, so plain quote-state toggling stays correct.
+func splitStatements(line string) []string {
+	var out []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\'':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				if part := strings.TrimSpace(line[start:i]); part != "" {
+					out = append(out, part)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if part := strings.TrimSpace(line[start:]); part != "" {
+		out = append(out, part)
+	}
+	return out
+}
+
+func printResult(res *encdbdb.Result) {
+	switch res.Kind {
+	case encdbdb.KindOK:
+		fmt.Println("ok")
+	case encdbdb.KindCount:
+		fmt.Printf("count: %d\n", res.Count)
+	case encdbdb.KindAffected:
+		fmt.Printf("affected: %d\n", res.Affected)
+	default:
+		if len(res.Columns) > 0 {
+			fmt.Println(strings.Join(res.Columns, " | "))
+		}
+		for _, row := range res.Rows {
+			fmt.Println(strings.Join(row, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
 	}
 }

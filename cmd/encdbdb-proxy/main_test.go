@@ -1,0 +1,29 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		line string
+		want []string
+	}{
+		{"SELECT * FROM t", []string{"SELECT * FROM t"}},
+		{"a; b ;c", []string{"a", "b", "c"}},
+		{"; ;", nil},
+		{"INSERT INTO t VALUES ('a;b')", []string{"INSERT INTO t VALUES ('a;b')"}},
+		{"INSERT INTO t VALUES ('a;b'); SELECT c FROM t",
+			[]string{"INSERT INTO t VALUES ('a;b')", "SELECT c FROM t"}},
+		// '' escapes a quote inside a literal; the quote state still
+		// toggles correctly around it.
+		{"INSERT INTO t VALUES ('it''s;fine'); x",
+			[]string{"INSERT INTO t VALUES ('it''s;fine')", "x"}},
+	}
+	for _, tc := range cases {
+		if got := splitStatements(tc.line); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitStatements(%q) = %q, want %q", tc.line, got, tc.want)
+		}
+	}
+}

@@ -28,9 +28,10 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
+	connWorkers := flag.Int("conn-workers", 0, "concurrent requests per multiplexed connection (0 = default)")
 	flag.Parse()
 
-	db, err := encdbdb.Open()
+	db, err := encdbdb.Open(encdbdb.Options{ConnWorkers: *connWorkers})
 	if err != nil {
 		return err
 	}

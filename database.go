@@ -15,10 +15,11 @@ import (
 // trusted enclave it delegates dictionary searches to. In production the
 // provider runs at the DBaaS; embedded deployments hold it in process.
 type Database struct {
-	platform *enclave.Platform
-	encl     *enclave.Enclave
-	db       *engine.DB
-	server   *wire.Server
+	platform    *enclave.Platform
+	encl        *enclave.Enclave
+	db          *engine.DB
+	server      *wire.Server
+	connWorkers int
 }
 
 // Options configure Open.
@@ -42,6 +43,9 @@ type Options struct {
 	AVMode search.AVMode
 	// Workers bounds attribute-vector scan parallelism (0 = GOMAXPROCS).
 	Workers int
+	// ConnWorkers bounds how many requests of one multiplexed remote
+	// connection Serve executes concurrently (0 = wire default).
+	ConnWorkers int
 }
 
 // DefaultEnclaveIdentity is the code identity of this repository's enclave.
@@ -79,9 +83,10 @@ func Open(opts ...Options) (*Database, error) {
 		engOpts = append(engOpts, engine.WithWorkers(o.Workers))
 	}
 	return &Database{
-		platform: platform,
-		encl:     encl,
-		db:       engine.New(encl, engOpts...),
+		platform:    platform,
+		encl:        encl,
+		db:          engine.New(encl, engOpts...),
+		connWorkers: o.ConnWorkers,
 	}, nil
 }
 
@@ -136,9 +141,15 @@ func (d *Database) LoadTable(path string) error {
 }
 
 // Serve exposes the provider on a TCP listener using the wire protocol,
-// blocking until Shutdown. Remote proxies connect with Dial.
+// blocking until Shutdown. Remote proxies connect with Dial or DialPool;
+// multiplexed connections dispatch requests concurrently (bounded by
+// Options.ConnWorkers).
 func (d *Database) Serve(ln net.Listener, logf func(format string, args ...any)) error {
-	d.server = wire.NewServer(d.db, logf)
+	var opts []wire.ServerOption
+	if d.connWorkers > 0 {
+		opts = append(opts, wire.WithConnWorkers(d.connWorkers))
+	}
+	d.server = wire.NewServer(d.db, logf, opts...)
 	return d.server.Serve(ln)
 }
 

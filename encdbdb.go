@@ -90,12 +90,25 @@ const (
 // Range is a plaintext search range (for the programmatic query API).
 type Range = search.Range
 
-// Client is a connection to a remote EncDBDB provider.
+// Client is a connection to a remote EncDBDB provider. It is multiplexed:
+// concurrent calls share the connection without serializing round trips
+// (with transparent lock-step fallback against old servers).
 type Client = wire.Client
+
+// Pool is a fixed-size set of multiplexed connections to one remote
+// provider, for callers that want more than one TCP stream.
+type Pool = wire.Pool
+
+// Executor is the provider-side surface a Session drives. The embedded
+// engine, *Client, and *Pool all implement it.
+type Executor = proxy.Executor
 
 // Dial connects to a remote provider started with Database.Serve or the
 // encdbdb-server command.
 func Dial(addr string) (*Client, error) { return wire.Dial(addr) }
+
+// DialPool opens size connections to a remote provider.
+func DialPool(addr string, size int) (*Pool, error) { return wire.DialPool(addr, size) }
 
 // AccessObserver receives every untrusted-memory access the enclave
 // performs — the view of an honest-but-curious provider (paper §3.2). Pass

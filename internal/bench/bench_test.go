@@ -31,6 +31,7 @@ func TestExperimentsProduceOutput(t *testing.T) {
 		{name: "fig6", run: Fig6, want: []string{"ED1", "ED9", "recovery"}},
 		{name: "table6", run: Table6, want: []string{"Plaintext file", "Encrypted file", "MonetDB", "ED1/ED2/ED3", "bsmax=10", "ED7/ED8/ED9"}},
 		{name: "fig7", run: Fig7, want: []string{"C1", "C2", "avg results"}},
+		{name: "remote", run: Remote, want: []string{"lock-step v1", "multiplexed", "pooled", "p99", "bulk load"}},
 		{name: "ablation-av", run: AblationAV, want: []string{"nested loop", "sorted probe", "bitset"}},
 		{name: "ablation-optimizer", run: AblationOptimizer, want: []string{"on (default)", "off", "loads/query"}},
 		{name: "ablation-bsmax", run: AblationBSMax, want: []string{"bsmax", "freq bound"}},

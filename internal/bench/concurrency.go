@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"text/tabwriter"
 	"time"
@@ -263,10 +262,5 @@ func concurrencyInterference(cfg Config, sys *system, tables []string, filters [
 
 // p95 returns the 95th-percentile sample.
 func p95(samples []float64) float64 {
-	if len(samples) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
-	return s[(len(s)*95)/100]
+	return workload.Percentile(samples, 0.95)
 }

@@ -73,6 +73,29 @@ func (db *DB) Insert(tableName string, row Row) error {
 	return db.insertLocked(t, row)
 }
 
+// InsertBatch appends rows under a single table write-lock acquisition —
+// the provider-side half of the proxy's bulk-load fast path (one lock
+// round trip and one validity-bitmap growth cadence instead of per-row
+// acquisitions). Rows apply in order; on error, rows preceding the failing
+// one remain inserted.
+func (db *DB) InsertBatch(tableName string, rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, row := range rows {
+		if err := db.insertLocked(t, row); err != nil {
+			return fmt.Errorf("engine: batch row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // insertLocked appends one row; the caller holds the table's write lock.
 func (db *DB) insertLocked(t *table, row Row) error {
 	if err := t.ready(); err != nil {

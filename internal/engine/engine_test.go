@@ -478,6 +478,47 @@ func (v *env) encryptValue(t testing.TB, table, column, value string) []byte {
 	return ct
 }
 
+func TestInsertBatch(t *testing.T) {
+	v := newEnv(t)
+	fname, _ := v.standardTable(t, dict.ED5, dict.ED1)
+	rows := make([]engine.Row, 10)
+	for i := range rows {
+		rows[i] = engine.Row{
+			"fname": v.encryptValue(t, "t1", "fname", "Batch"),
+			"city":  v.encryptValue(t, "t1", "city", fmt.Sprintf("City%d", i)),
+		}
+	}
+	if err := v.db.InsertBatch("t1", rows); err != nil {
+		t.Fatalf("InsertBatch: %v", err)
+	}
+	res, err := v.db.Select(engine.Query{
+		Table:     "t1",
+		Filters:   []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Batch")))},
+		CountOnly: true,
+	})
+	if err != nil || res.Count != 10 {
+		t.Fatalf("count = %v, %v; want 10", res, err)
+	}
+	if err := v.db.InsertBatch("t1", nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := v.db.InsertBatch("missing", rows); err == nil {
+		t.Error("batch into missing table accepted")
+	}
+	// A bad row aborts the batch at its position; prior rows stay.
+	bad := []engine.Row{
+		{"fname": v.encryptValue(t, "t1", "fname", "B2"), "city": v.encryptValue(t, "t1", "city", "C")},
+		{"fname": v.encryptValue(t, "t1", "fname", "B2")}, // missing city
+	}
+	before, _ := v.db.Rows("t1")
+	if err := v.db.InsertBatch("t1", bad); !errors.Is(err, engine.ErrMissingColumn) {
+		t.Errorf("err = %v, want ErrMissingColumn", err)
+	}
+	if after, _ := v.db.Rows("t1"); after != before+1 {
+		t.Errorf("rows = %d, want %d (rows before the failing one remain)", after, before+1)
+	}
+}
+
 func TestInsertMissingColumn(t *testing.T) {
 	v := newEnv(t)
 	v.standardTable(t, dict.ED1, dict.ED1)

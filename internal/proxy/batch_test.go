@@ -1,0 +1,100 @@
+package proxy_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/proxy"
+)
+
+func TestExecBatchMixedStatements(t *testing.T) {
+	p := newStack(t)
+	sqls := []string{
+		"CREATE TABLE bt (c ED1(8))",
+		"INSERT INTO bt VALUES ('a')",
+		"INSERT INTO bt VALUES ('b')",
+		"INSERT INTO bt VALUES ('c')",
+		"SELECT COUNT(*) FROM bt",
+		"INSERT INTO bt VALUES ('d')",
+	}
+	results, err := p.ExecBatch(sqls)
+	if err != nil {
+		t.Fatalf("ExecBatch: %v", err)
+	}
+	if len(results) != len(sqls) {
+		t.Fatalf("got %d results for %d statements", len(results), len(sqls))
+	}
+	if results[0].Kind != proxy.KindOK {
+		t.Errorf("result 0 = %+v, want OK", results[0])
+	}
+	for i := 1; i <= 3; i++ {
+		if results[i].Kind != proxy.KindAffected || results[i].Affected != 1 {
+			t.Errorf("result %d = %+v, want 1 affected", i, results[i])
+		}
+	}
+	if results[4].Kind != proxy.KindCount || results[4].Count != 3 {
+		t.Errorf("count mid-batch = %+v, want 3 (inserts before the select must be applied)", results[4])
+	}
+	res, err := p.Execute("SELECT COUNT(*) FROM bt")
+	if err != nil || res.Count != 4 {
+		t.Fatalf("final count = %+v, %v; want 4", res, err)
+	}
+}
+
+func TestExecBatchGroupsPerTable(t *testing.T) {
+	p := newStack(t)
+	var sqls []string
+	sqls = append(sqls, "CREATE TABLE g1 (c ED1(8))", "CREATE TABLE g2 (c ED1(8))")
+	for i := 0; i < 5; i++ {
+		sqls = append(sqls, fmt.Sprintf("INSERT INTO g1 VALUES ('a%d')", i))
+	}
+	for i := 0; i < 5; i++ {
+		sqls = append(sqls, fmt.Sprintf("INSERT INTO g2 VALUES ('b%d')", i))
+	}
+	results, err := p.ExecBatch(sqls)
+	if err != nil {
+		t.Fatalf("ExecBatch: %v", err)
+	}
+	if len(results) != len(sqls) {
+		t.Fatalf("got %d results for %d statements", len(results), len(sqls))
+	}
+	for _, table := range []string{"g1", "g2"} {
+		res, err := p.Execute("SELECT COUNT(*) FROM " + table)
+		if err != nil || res.Count != 5 {
+			t.Fatalf("%s count = %+v, %v", table, res, err)
+		}
+	}
+}
+
+func TestExecBatchParseErrorReportsStatement(t *testing.T) {
+	p := newStack(t)
+	_, err := p.ExecBatch([]string{"CREATE TABLE pe (c ED1(8))", "NOT SQL"})
+	if err == nil || !strings.Contains(err.Error(), "statement 1") {
+		t.Fatalf("err = %v, want statement 1 position", err)
+	}
+	// Parse errors are detected up front: nothing may have executed.
+	if _, err := p.Execute("SELECT COUNT(*) FROM pe"); err == nil {
+		t.Fatal("table was created despite a parse error later in the batch")
+	}
+}
+
+func TestExecBatchStopsAtRuntimeError(t *testing.T) {
+	p := newStack(t)
+	results, err := p.ExecBatch([]string{
+		"CREATE TABLE re (c ED1(4))",
+		"INSERT INTO re VALUES ('ok')",
+		"INSERT INTO missing VALUES ('x')",
+		"INSERT INTO re VALUES ('no')",
+	})
+	if err == nil {
+		t.Fatal("batch with a failing statement succeeded")
+	}
+	if len(results) < 1 || results[0].Kind != proxy.KindOK {
+		t.Fatalf("results before failure = %+v", results)
+	}
+	res, qerr := p.Execute("SELECT COUNT(*) FROM re")
+	if qerr != nil || res.Count != 1 {
+		t.Fatalf("count = %+v, %v; want 1 (statement after the failure must not run)", res, qerr)
+	}
+}

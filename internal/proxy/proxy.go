@@ -39,8 +39,20 @@ type Executor interface {
 	Merge(table string) error
 }
 
-// Statically ensure the embedded engine satisfies the executor surface.
-var _ Executor = (*engine.DB)(nil)
+// BatchInserter is an optional Executor fast path: insert many rows into
+// one table in a single call. For remote executors (wire.Client, wire.Pool)
+// that is one round trip instead of one per row; the embedded engine takes
+// its table write lock once instead of per row.
+type BatchInserter interface {
+	InsertBatch(table string, rows []engine.Row) error
+}
+
+// Statically ensure the embedded engine satisfies the executor surface and
+// the batch fast path.
+var (
+	_ Executor      = (*engine.DB)(nil)
+	_ BatchInserter = (*engine.DB)(nil)
+)
 
 // ResultKind tells callers how to interpret a Result.
 type ResultKind int
@@ -89,6 +101,69 @@ func (p *Proxy) Execute(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.execute(st)
+}
+
+// ExecBatch runs several statements in order, returning one result per
+// statement. Runs of consecutive INSERTs into the same table ship through
+// the executor's BatchInserter fast path when available, so bulk loads cost
+// one round trip per run instead of one per row. On error, the returned
+// slice holds the results of the statements completed before the failure.
+func (p *Proxy) ExecBatch(sqls []string) ([]*Result, error) {
+	stmts := make([]sqlparse.Statement, len(sqls))
+	for i, sql := range sqls {
+		st, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: statement %d: %w", i, err)
+		}
+		stmts[i] = st
+	}
+	bi, _ := p.exec.(BatchInserter)
+	results := make([]*Result, 0, len(stmts))
+	for i := 0; i < len(stmts); {
+		ins, ok := stmts[i].(*sqlparse.Insert)
+		if !ok || bi == nil {
+			res, err := p.execute(stmts[i])
+			if err != nil {
+				return results, fmt.Errorf("proxy: statement %d: %w", i, err)
+			}
+			results = append(results, res)
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(stmts) {
+			next, ok := stmts[j].(*sqlparse.Insert)
+			if !ok || next.Table != ins.Table {
+				break
+			}
+			j++
+		}
+		schema, err := p.exec.Schema(ins.Table)
+		if err != nil {
+			return results, fmt.Errorf("proxy: statement %d: %w", i, err)
+		}
+		rows := make([]engine.Row, 0, j-i)
+		for k := i; k < j; k++ {
+			row, err := p.insertRow(schema, stmts[k].(*sqlparse.Insert))
+			if err != nil {
+				return results, fmt.Errorf("proxy: statement %d: %w", k, err)
+			}
+			rows = append(rows, row)
+		}
+		if err := bi.InsertBatch(ins.Table, rows); err != nil {
+			return results, err
+		}
+		for k := i; k < j; k++ {
+			results = append(results, &Result{Kind: KindAffected, Affected: 1})
+		}
+		i = j
+	}
+	return results, nil
+}
+
+// execute runs one parsed statement.
+func (p *Proxy) execute(st sqlparse.Statement) (*Result, error) {
 	switch s := st.(type) {
 	case *sqlparse.CreateTable:
 		return p.createTable(s)
@@ -295,6 +370,19 @@ func (p *Proxy) insert(s *sqlparse.Insert) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	row, err := p.insertRow(schema, s)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.exec.Insert(s.Table, row); err != nil {
+		return nil, err
+	}
+	return &Result{Kind: KindAffected, Affected: 1}, nil
+}
+
+// insertRow validates and encrypts one INSERT statement's values into an
+// engine row.
+func (p *Proxy) insertRow(schema engine.Schema, s *sqlparse.Insert) (engine.Row, error) {
 	cols := s.Columns
 	if len(cols) == 0 {
 		for _, def := range schema.Columns {
@@ -320,10 +408,7 @@ func (p *Proxy) insert(s *sqlparse.Insert) (*Result, error) {
 		}
 		row[name] = cell
 	}
-	if err := p.exec.Insert(s.Table, row); err != nil {
-		return nil, err
-	}
-	return &Result{Kind: KindAffected, Affected: 1}, nil
+	return row, nil
 }
 
 func (p *Proxy) update(s *sqlparse.Update) (*Result, error) {

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// benchClient dials addr, creates a small plain table, and returns the
+// client.
+func benchClient(b *testing.B, dial func(string) (*Client, error)) *Client {
+	b.Helper()
+	_, addr := startPlainServer(b)
+	c, err := dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	if err := c.CreateTable(plainSchema("bench")); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Insert("bench", engine.Row{"c": []byte("v")}); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkRoundTripLockstep measures one v1 round trip (self-contained
+// gob documents, whole-connection lock).
+func BenchmarkRoundTripLockstep(b *testing.B) {
+	c := benchClient(b, DialLockstep)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Rows("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripMultiplexed measures one v2 round trip (persistent
+// per-connection gob streams).
+func BenchmarkRoundTripMultiplexed(b *testing.B) {
+	c := benchClient(b, Dial)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Rows("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoundTripMultiplexedParallel measures the multiplexed path with
+// concurrent callers sharing one connection.
+func BenchmarkRoundTripMultiplexedParallel(b *testing.B) {
+	c := benchClient(b, Dial)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Rows("bench"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkInsertBatch100 measures the batched bulk-load fast path: 100
+// rows per round trip.
+func BenchmarkInsertBatch100(b *testing.B) {
+	c := benchClient(b, Dial)
+	rows := make([]engine.Row, 100)
+	for i := range rows {
+		rows[i] = engine.Row{"c": []byte("v")}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.InsertBatch("bench", rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,46 +1,216 @@
 package wire
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
 )
 
+// ErrClientClosed is returned by calls on (and pending during) Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// errBatchAborted marks batch sub-responses skipped after an earlier
+// sub-request failed.
+const errBatchAborted = "wire: aborted by earlier batch failure"
+
+// helloTimeout bounds version negotiation against unresponsive peers.
+const helloTimeout = 5 * time.Second
+
 // Client is the trusted side's connection to a remote EncDBDB provider. It
 // implements proxy.Executor, so a proxy.Proxy can drive a remote database
 // exactly like an embedded one, plus the attestation and bulk-load
 // operations the data owner needs during setup.
 //
-// A Client serializes requests over one connection; it is safe for
-// concurrent use.
+// A Client is safe for concurrent use. On a multiplexed (v2) connection,
+// concurrent calls stay in flight simultaneously: each request carries a
+// connection-unique ID, a single reader goroutine demuxes the out-of-order
+// responses, and writes are coalesced. Against a v1 server the client falls
+// back to lock-step, serializing one round trip at a time.
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
+
+	// lockstep marks a v1 connection; mu then serializes whole round trips.
+	lockstep bool
+	mu       sync.Mutex
+
+	// Multiplexed state: pending maps in-flight request IDs to their
+	// caller's channel; failure is sticky and poisons all future calls.
+	w       *muxWriter
+	nextID  atomic.Uint64
+	pmu     sync.Mutex
+	pending map[uint64]chan callResult
+	failure error
 }
 
-// Dial connects to a provider at addr.
+type callResult struct {
+	resp *response
+	err  error
+}
+
+// Dial connects to a provider at addr and negotiates the multiplexed
+// protocol. If the peer is a v1 lock-step server (it drops the connection
+// on the negotiation magic), the client redials and falls back
+// transparently.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	c, err := negotiate(conn)
+	if err == nil {
+		return c, nil
+	}
+	conn.Close()
+	return DialLockstep(addr)
 }
 
-// Close terminates the connection.
+// DialLockstep connects with the original v1 lock-step protocol: one
+// request/response round trip at a time, no negotiation bytes on the wire.
+// Dial falls back to it automatically; calling it directly is mainly useful
+// for benchmarking against the multiplexed path and for very old servers.
+func DialLockstep(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, lockstep: true}, nil
+}
+
+// negotiate performs the v2 hello exchange and starts the reader.
+func negotiate(conn net.Conn) (*Client, error) {
+	if err := conn.SetDeadline(time.Now().Add(helloTimeout)); err != nil {
+		return nil, err
+	}
+	if err := writeHello(conn, protoV2); err != nil {
+		return nil, err
+	}
+	ver, err := readHello(conn)
+	if err != nil {
+		return nil, err
+	}
+	if ver < protoV2 {
+		return nil, fmt.Errorf("wire: server negotiated unsupported version %d", ver)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		w:       newMuxWriter(conn),
+		pending: make(map[uint64]chan callResult),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Multiplexed reports whether the connection negotiated the multiplexed
+// protocol (false means the v1 lock-step fallback).
+func (c *Client) Multiplexed() bool { return !c.lockstep }
+
+// healthy reports whether the connection is still usable. Multiplexed
+// connections fail sticky; lock-step connections carry no failure state
+// and are presumed healthy.
+func (c *Client) healthy() bool {
+	if c.lockstep {
+		return true
+	}
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.failure == nil
+}
+
+// Close terminates the connection. Pending multiplexed calls complete with
+// ErrClientClosed; none hang.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	if c.lockstep {
+		return c.conn.Close()
+	}
+	c.fail(ErrClientClosed)
+	return nil
 }
 
-// call performs one request/response round trip.
+// fail poisons the client: the first failure sticks, the connection closes,
+// and every pending caller is completed with err.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.failure == nil {
+		c.failure = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan callResult)
+	c.pmu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}
+
+// readLoop demuxes responses to their in-flight callers — the only reader
+// of a multiplexed connection.
+func (c *Client) readLoop() {
+	mr := newMuxReader(bufio.NewReader(c.conn))
+	for {
+		resp := new(response)
+		id, err := mr.next(resp)
+		if err != nil {
+			c.fail(fmt.Errorf("wire: receive: %w", err))
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if !ok {
+			// A duplicate or never-issued ID means the streams have
+			// diverged; nothing on this connection can be trusted anymore.
+			c.fail(fmt.Errorf("wire: response for unknown request id %d", id))
+			return
+		}
+		ch <- callResult{resp: resp}
+	}
+}
+
+// call performs one request/response round trip. Multiplexed connections
+// allow any number of concurrent calls.
 func (c *Client) call(req *request) (*response, error) {
+	if c.lockstep {
+		return c.roundTrip(req)
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan callResult, 1)
+	c.pmu.Lock()
+	if err := c.failure; err != nil {
+		c.pmu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	if err := c.w.send(id, req); err != nil {
+		// A partial frame corrupts the stream for everyone; poison the
+		// connection. fail delivers to ch unless the reader already did.
+		c.fail(fmt.Errorf("wire: send: %w", err))
+	}
+	res := <-ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	if res.resp.Err != "" {
+		return nil, errors.New(res.resp.Err)
+	}
+	return res.resp, nil
+}
+
+// roundTrip is the v1 lock-step path: a self-contained gob frame each way,
+// holding the connection for the whole round trip.
+func (c *Client) roundTrip(req *request) (*response, error) {
 	payload, err := encodeMsg(req)
 	if err != nil {
 		return nil, err
@@ -62,6 +232,20 @@ func (c *Client) call(req *request) (*response, error) {
 		return nil, errors.New(resp.Err)
 	}
 	return &resp, nil
+}
+
+// callBatch ships subs as one opBatch envelope: a single round trip
+// regardless of len(subs). Sub-requests execute in order server-side; the
+// first failure aborts the remainder.
+func (c *Client) callBatch(subs []request) ([]response, error) {
+	resp, err := c.call(&request{Op: opBatch, Subs: subs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Subs) != len(subs) {
+		return nil, fmt.Errorf("wire: batch returned %d responses for %d requests", len(resp.Subs), len(subs))
+	}
+	return resp.Subs, nil
 }
 
 // Quote requests a remote attestation quote bound to nonce (setup step 2).
@@ -122,6 +306,39 @@ func (c *Client) Select(q engine.Query) (*engine.Result, error) {
 func (c *Client) Insert(table string, row engine.Row) error {
 	_, err := c.call(&request{Op: opInsert, Table: table, Row: row})
 	return err
+}
+
+// InsertBatch appends rows in one round trip — the proxy's bulk-load fast
+// path. Rows apply in order; on error, rows preceding the failing one
+// remain inserted at the provider. On a lock-step fallback connection the
+// peer may predate the batch envelope entirely, so the batch degrades to
+// per-row round trips with the same ordering and abort semantics.
+func (c *Client) InsertBatch(table string, rows []engine.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if c.lockstep {
+		for i, r := range rows {
+			if err := c.Insert(table, r); err != nil {
+				return fmt.Errorf("wire: batch insert row %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	subs := make([]request, len(rows))
+	for i, r := range rows {
+		subs[i] = request{Op: opInsert, Table: table, Row: r}
+	}
+	resps, err := c.callBatch(subs)
+	if err != nil {
+		return err
+	}
+	for i := range resps {
+		if resps[i].Err != "" && resps[i].Err != errBatchAborted {
+			return fmt.Errorf("wire: batch insert row %d: %s", i, resps[i].Err)
+		}
+	}
+	return nil
 }
 
 // Delete invalidates matching rows.

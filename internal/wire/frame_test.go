@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"testing"
 	"testing/quick"
@@ -60,6 +61,81 @@ func TestReadFrameEmptyPayload(t *testing.T) {
 	}
 	if _, err := readFrame(&buf); err != io.EOF {
 		t.Errorf("second read err = %v, want EOF", err)
+	}
+}
+
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := writeFrame(&buf, []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := &frameReader{r: &buf}
+	first, err := fr.read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstPtr := &first[0]
+	for i := 0; i < 2; i++ {
+		p, err := fr.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(p) != "hello" {
+			t.Fatalf("payload = %q", p)
+		}
+		if &p[0] != firstPtr {
+			t.Fatal("steady-state frame read reallocated the payload buffer")
+		}
+	}
+}
+
+func TestFrameReaderCapGuard(t *testing.T) {
+	big := make([]byte, 2*bufRetainLimit)
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	fr := &frameReader{r: &buf}
+	p, err := fr.read()
+	if err != nil || len(p) != len(big) {
+		t.Fatalf("big read: %d bytes, %v", len(p), err)
+	}
+	if _, err := fr.read(); err != nil {
+		t.Fatal(err)
+	}
+	if cap(fr.buf) > bufRetainLimit {
+		t.Fatalf("buffer cap %d still pinned above retain limit %d after a small frame",
+			cap(fr.buf), bufRetainLimit)
+	}
+}
+
+func TestMuxStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	mw := newMuxWriter(&buf)
+	ids := []uint64{7, 3, 99}
+	for _, id := range ids {
+		if err := mw.send(id, &request{Op: opRows, Table: fmt.Sprintf("t%d", id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mr := newMuxReader(&buf)
+	for _, want := range ids {
+		req := new(request)
+		id, err := mr.next(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want || req.Table != fmt.Sprintf("t%d", want) {
+			t.Fatalf("got id %d table %q, want id %d", id, req.Table, want)
+		}
+	}
+	if _, err := mr.next(new(request)); err != io.EOF {
+		t.Fatalf("err = %v, want EOF at stream end", err)
 	}
 }
 

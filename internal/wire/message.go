@@ -24,6 +24,10 @@ type request struct {
 	Filters []engine.Filter
 	Set     engine.Row
 	Split   dict.SplitData
+
+	// Subs carries the sub-requests of an opBatch envelope. Nesting is not
+	// allowed.
+	Subs []request
 }
 
 // response is the single wire response envelope. Err is the provider-side
@@ -35,6 +39,9 @@ type response struct {
 	Result *engine.Result
 	N      int
 	Tables []string
+
+	// Subs carries one response per sub-request of an opBatch envelope.
+	Subs []response
 }
 
 // encodeMsg gob-encodes a message into a frame payload.

@@ -1,0 +1,538 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// startPlainServer hosts a plaintext-only engine (no enclave needed) behind
+// a real wire server on a loopback port.
+func startPlainServer(t testing.TB, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	srv := NewServer(engine.New(nil), t.Logf, opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck // ends with Close
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func plainSchema(table string) engine.Schema {
+	return engine.Schema{Table: table, Columns: []engine.ColumnDef{
+		{Name: "c", Kind: dict.ED1, MaxLen: 8, Plain: true},
+	}}
+}
+
+// fakeMuxServer accepts one connection, completes the v2 negotiation, and
+// hands the connection to serve. It returns the listener address.
+func fakeMuxServer(t *testing.T, serve func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var hello [5]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			conn.Close()
+			return
+		}
+		if err := writeHello(conn, protoV2); err != nil {
+			conn.Close()
+			return
+		}
+		serve(conn)
+	}()
+	return ln.Addr().String()
+}
+
+func TestDialNegotiatesMultiplexed(t *testing.T) {
+	_, addr := startPlainServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Multiplexed() {
+		t.Fatal("Dial against the new server did not negotiate multiplexing")
+	}
+	ls, err := DialLockstep(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if ls.Multiplexed() {
+		t.Fatal("DialLockstep reports multiplexed")
+	}
+}
+
+// TestLockstepClientInterop drives a byte-exact v1 client (no negotiation
+// frames, strict request/response alternation) against the new server.
+func TestLockstepClientInterop(t *testing.T) {
+	_, addr := startPlainServer(t)
+	c, err := DialLockstep(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("v1t")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Insert("v1t", engine.Row{"c": []byte{'a' + byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.Rows("v1t")
+	if err != nil || n != 5 {
+		t.Fatalf("rows = %d, %v", n, err)
+	}
+	tables, err := c.Tables()
+	if err != nil || len(tables) != 1 {
+		t.Fatalf("tables = %v, %v", tables, err)
+	}
+	// InsertBatch degrades to per-row round trips on lock-step connections
+	// (a genuine v1 server has no batch envelope).
+	if err := c.InsertBatch("v1t", []engine.Row{{"c": []byte("x")}, {"c": []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Rows("v1t"); n != 7 {
+		t.Fatalf("rows after batch = %d, want 7", n)
+	}
+	// The opBatch envelope itself still works over lock-step framing
+	// against this server (it is the framing, not the op set, that v1
+	// fixes).
+	resps, err := c.callBatch([]request{{Op: opRows, Table: "v1t"}})
+	if err != nil || len(resps) != 1 || resps[0].N != 7 {
+		t.Fatalf("lock-step callBatch = %+v, %v", resps, err)
+	}
+}
+
+func TestMultiplexedConcurrentCalls(t *testing.T) {
+	_, addr := startPlainServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("mux")); err != nil {
+		t.Fatal(err)
+	}
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if i%2 == 0 {
+					if err := c.Insert("mux", engine.Row{"c": []byte("v")}); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, err := c.Rows("mux"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n, err := c.Rows("mux")
+	if err != nil || n != (callers/2)*20 {
+		t.Fatalf("rows = %d, %v, want %d", n, err, (callers/2)*20)
+	}
+}
+
+// TestMidStreamDropFailsAllPending verifies that a connection dying with
+// many calls in flight completes every pending caller with an error — none
+// hang, none panic.
+func TestMidStreamDropFailsAllPending(t *testing.T) {
+	received := make(chan struct{}, 64)
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		// Swallow requests without answering, then drop the connection
+		// mid-stream once several calls are pending.
+		mr := newMuxReader(conn)
+		for i := 0; i < 4; i++ {
+			req := new(request)
+			if _, err := mr.next(req); err != nil {
+				break
+			}
+			received <- struct{}{}
+		}
+		conn.Close()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Tables()
+		}(i)
+	}
+	wg.Wait() // the test would time out if any caller hung
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("caller %d returned nil error on a dead connection", i)
+		}
+	}
+	// Calls after the failure must fail fast, not hang.
+	if _, err := c.Rows("x"); err == nil {
+		t.Error("call on poisoned client succeeded")
+	}
+}
+
+// TestOversizedFrameClientSide: a server announcing an oversized frame must
+// poison the client with ErrFrameTooLarge instead of allocating 1 GiB.
+func TestOversizedFrameClientSide(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		var hdr [12]byte
+		hdr[0] = 0xFF // ~4 GiB announced
+		hdr[1] = 0xFF
+		hdr[2] = 0xFF
+		hdr[3] = 0xFF
+		mr := newMuxReader(conn)
+		req := new(request)
+		if _, err := mr.next(req); err != nil {
+			return
+		}
+		conn.Write(hdr[:]) //nolint:errcheck
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Tables(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestOversizedFrameServerSide: an oversized frame on a multiplexed
+// connection drops that connection but not the server.
+func TestOversizedFrameServerSide(t *testing.T) {
+	_, addr := startPlainServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHello(conn, protoV2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readHello(conn); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [12]byte
+	hdr[0] = 0xFF
+	hdr[1] = 0xFF
+	hdr[2] = 0xFF
+	hdr[3] = 0xFF
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop this connection...
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the connection after an oversized frame")
+	}
+	// ...while still serving fresh clients.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Tables(); err != nil {
+		t.Fatalf("Tables after oversized frame: %v", err)
+	}
+}
+
+// TestUnknownResponseID: a response whose ID matches no in-flight request
+// (never issued, or a duplicate of an already-answered one) poisons the
+// connection — the streams have diverged.
+func TestUnknownResponseID(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		mr := newMuxReader(conn)
+		mw := newMuxWriter(conn)
+		req := new(request)
+		if _, err := mr.next(req); err != nil {
+			return
+		}
+		// Answer with an ID the client never issued.
+		mw.send(999_999, &response{}) //nolint:errcheck
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Tables()
+	if err == nil || !strings.Contains(err.Error(), "unknown request id") {
+		t.Fatalf("err = %v, want unknown request id", err)
+	}
+}
+
+// TestDuplicateResponseID: the first response wins; the duplicate is a
+// protocol violation that fails the next call instead of corrupting it.
+func TestDuplicateResponseID(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		mr := newMuxReader(conn)
+		mw := newMuxWriter(conn)
+		req := new(request)
+		id, err := mr.next(req)
+		if err != nil {
+			return
+		}
+		mw.send(id, &response{N: 1}) //nolint:errcheck
+		mw.send(id, &response{N: 2}) //nolint:errcheck
+		// Keep the connection open so only the duplicate can fail calls.
+		time.Sleep(200 * time.Millisecond)
+		conn.Close()
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n, err := c.Rows("t")
+	if err != nil || n != 1 {
+		t.Fatalf("first call = %d, %v; want 1, nil", n, err)
+	}
+	if _, err := c.Rows("t"); err == nil {
+		t.Fatal("call after duplicate response id succeeded")
+	}
+}
+
+// TestServerCloseDrainsInFlight closes the server while multiplexed
+// requests are dispatched; worker goroutines must drain cleanly and late
+// responses on the closed connection must not panic (regression test, run
+// under -race in CI).
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	srv, addr := startPlainServer(t, WithConnWorkers(8))
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if err := setup.CreateTable(plainSchema("drain")); err != nil {
+		t.Fatal(err)
+	}
+	const clients = 3
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := c.Insert("drain", engine.Row{"c": []byte("v")}); err != nil {
+					return // server went away: expected
+				}
+				if _, err := c.Rows("drain"); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let requests pile in flight
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait() // all clients observed the shutdown; nothing hung or panicked
+}
+
+func TestClientCloseFailsPending(t *testing.T) {
+	addr := fakeMuxServer(t, func(conn net.Conn) {
+		// Never answer; just hold the connection open.
+		io.Copy(io.Discard, conn) //nolint:errcheck
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Tables()
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("pending call err = %v, want ErrClientClosed", err)
+	}
+}
+
+func TestBatchInsert(t *testing.T) {
+	_, addr := startPlainServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("b")); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]engine.Row, 100)
+	for i := range rows {
+		rows[i] = engine.Row{"c": []byte(fmt.Sprintf("r%03d", i))}
+	}
+	if err := c.InsertBatch("b", rows); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Rows("b"); err != nil || n != 100 {
+		t.Fatalf("rows = %d, %v", n, err)
+	}
+	if err := c.InsertBatch("b", nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestBatchAbortsAfterFailure(t *testing.T) {
+	_, addr := startPlainServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("ba")); err != nil {
+		t.Fatal(err)
+	}
+	subs := []request{
+		{Op: opInsert, Table: "ba", Row: engine.Row{"c": []byte("ok")}},
+		{Op: opInsert, Table: "missing", Row: engine.Row{"c": []byte("x")}},
+		{Op: opInsert, Table: "ba", Row: engine.Row{"c": []byte("skipped")}},
+	}
+	resps, err := c.callBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Err != "" {
+		t.Errorf("sub 0 err = %q", resps[0].Err)
+	}
+	if resps[1].Err == "" {
+		t.Error("sub 1 (missing table) succeeded")
+	}
+	if resps[2].Err != errBatchAborted {
+		t.Errorf("sub 2 err = %q, want %q", resps[2].Err, errBatchAborted)
+	}
+	if n, _ := c.Rows("ba"); n != 1 {
+		t.Errorf("rows = %d, want 1 (the statement after the failure must not apply)", n)
+	}
+}
+
+func TestBatchRejectsNesting(t *testing.T) {
+	_, addr := startPlainServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resps, err := c.callBatch([]request{{Op: opBatch}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resps[0].Err, "nested batch") {
+		t.Fatalf("err = %q, want nested batch rejection", resps[0].Err)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	_, addr := startPlainServer(t)
+	p, err := DialPool(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	if err := p.CreateTable(plainSchema("pool")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := p.Insert("pool", engine.Row{"c": []byte("v")}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, err := p.Rows("pool"); err != nil || n != 160 {
+		t.Fatalf("rows = %d, %v", n, err)
+	}
+}
+
+// TestPoolRedialsBrokenConnection: a poisoned pooled connection must not
+// keep degrading its rotation slot — the pool redials it in place.
+func TestPoolRedialsBrokenConnection(t *testing.T) {
+	_, addr := startPlainServer(t)
+	p, err := DialPool(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.clients[0].fail(errors.New("simulated mid-stream drop"))
+	p.clients[1].fail(errors.New("simulated mid-stream drop"))
+	for i := 0; i < 6; i++ {
+		if _, err := p.Tables(); err != nil {
+			t.Fatalf("call %d after poisoning: %v", i, err)
+		}
+	}
+	// After Close no redialing happens and calls fail.
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Tables(); err == nil {
+		t.Fatal("call on closed pool succeeded")
+	}
+}
+
+func TestDialPoolRejectsBadSize(t *testing.T) {
+	if _, err := DialPool("127.0.0.1:1", 0); err == nil {
+		t.Fatal("pool of size 0 accepted")
+	}
+}

@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -10,12 +13,39 @@ import (
 	"github.com/encdbdb/encdbdb/internal/engine"
 )
 
+// defaultConnWorkers is the default per-connection dispatch concurrency for
+// multiplexed connections.
+const defaultConnWorkers = 16
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithConnWorkers bounds how many requests of one multiplexed connection may
+// execute concurrently (default 16). Values below 1 mean sequential
+// dispatch. Lock-step (v1) connections are always sequential by protocol.
+func WithConnWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.connWorkers = n
+	}
+}
+
 // Server hosts an engine.DB behind the wire protocol — the untrusted DBaaS
 // provider process of paper Fig. 2, including the enclave ECALL endpoints
 // (quote, provision) the data owner needs for setup.
+//
+// Each accepted connection is sniffed for the negotiation magic: v2 clients
+// get multiplexed service where every decoded request runs on its own
+// goroutine (bounded by WithConnWorkers) and responses are written under a
+// per-connection write lock, out of order; v1 clients get the original
+// lock-step loop. Close drains all dispatched requests before returning.
 type Server struct {
-	db     *engine.DB
-	logf   func(format string, args ...any)
+	db          *engine.DB
+	logf        func(format string, args ...any)
+	connWorkers int
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -25,11 +55,15 @@ type Server struct {
 
 // NewServer wraps a database. logf receives connection-level diagnostics;
 // nil discards them.
-func NewServer(db *engine.DB, logf func(format string, args ...any)) *Server {
+func NewServer(db *engine.DB, logf func(format string, args ...any), opts ...ServerOption) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{db: db, logf: logf, conns: make(map[net.Conn]struct{})}
+	s := &Server{db: db, logf: logf, connWorkers: defaultConnWorkers, conns: make(map[net.Conn]struct{})}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Serve accepts connections on ln until Close. It blocks.
@@ -53,6 +87,11 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -66,7 +105,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes all connections, and waits for handlers.
+// Close stops accepting, closes all connections, and waits for handlers —
+// including every request already dispatched on a multiplexed connection —
+// to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -83,12 +124,31 @@ func (s *Server) Close() error {
 	return err
 }
 
+// serveConn sniffs the first four bytes for the negotiation magic and hands
+// the connection to the multiplexed or lock-step loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var first [4]byte
+	if _, err := io.ReadFull(br, first[:]); err != nil {
+		return
+	}
+	if first == helloMagic {
+		s.serveMux(conn, br)
+		return
+	}
+	// No magic: a v1 peer already sent its first frame's length prefix.
+	s.serveLockstep(conn, br, binary.BigEndian.Uint32(first[:]))
+}
+
+// serveLockstep is the v1 loop: strict request/response alternation.
+// firstLen is the already-consumed length prefix of the first frame.
+func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32) {
+	fr := &frameReader{r: br}
+	payload, err := fr.payload(firstLen)
 	for {
-		payload, err := readFrame(conn)
 		if err != nil {
-			return // EOF or broken connection: drop it quietly
+			return // EOF, broken connection, or oversized frame: drop it
 		}
 		var req request
 		if err := decodeMsg(payload, &req); err != nil {
@@ -96,14 +156,72 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		resp := s.dispatch(&req)
-		out, err := encodeMsg(resp)
+		out, err2 := encodeMsg(resp)
+		if err2 != nil {
+			s.logf("wire: encode response: %v", err2)
+			return
+		}
+		if err2 := writeFrame(conn, out); err2 != nil {
+			return
+		}
+		payload, err = fr.read()
+	}
+}
+
+// serveMux is the v2 loop: finish negotiation, then decode frames on this
+// goroutine (so the read buffer can be reused) and dispatch each request on
+// its own bounded worker goroutine. Responses go out under the connection
+// write lock in completion order. Before returning — peer drop or server
+// Close — it drains all in-flight workers, whose late responses then fail
+// with a write error on the closed connection instead of panicking.
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
+	clientVer, err := br.ReadByte()
+	if err != nil {
+		return
+	}
+	ver := byte(protoV2)
+	if clientVer < ver {
+		ver = clientVer
+	}
+	if ver < protoV2 {
+		s.logf("wire: %s negotiated unsupported version %d", conn.RemoteAddr(), ver)
+		return
+	}
+	if err := writeHello(conn, ver); err != nil {
+		return
+	}
+	mw := newMuxWriter(conn)
+	sem := make(chan struct{}, s.connWorkers)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	mr := newMuxReader(br)
+	for {
+		req := new(request)
+		id, err := mr.next(req)
 		if err != nil {
-			s.logf("wire: encode response: %v", err)
+			// EOF, broken connection, oversized frame, or a gob decode
+			// error: nothing after a corrupt stream position can be
+			// trusted, so drop the connection.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: bad request stream from %s: %v", conn.RemoteAddr(), err)
+			}
 			return
 		}
-		if err := writeFrame(conn, out); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := mw.send(id, s.dispatch(req)); err != nil {
+				// Whether the connection died or the response stream broke
+				// (encode failure, oversized response), no further response
+				// can be delivered on it. Close so the peer's read loop
+				// fails its pending calls instead of hanging on a half-dead
+				// connection that still reads fine.
+				s.logf("wire: send response: %v", err)
+				conn.Close()
+			}
+		}()
 	}
 }
 
@@ -199,10 +317,58 @@ func (s *Server) dispatch(req *request) (resp *response) {
 			return fail(err)
 		}
 		resp.N = n
+	case opBatch:
+		resp.Subs = s.dispatchBatch(req.Subs)
 	default:
 		return fail(fmt.Errorf("wire: unknown op %d", req.Op))
 	}
 	return resp
+}
+
+// dispatchBatch executes the sub-requests of an opBatch envelope in order,
+// stopping at (and marking the remainder after) the first failure. Inserts
+// into one table take the engine's single-lock batch path.
+func (s *Server) dispatchBatch(subs []request) []response {
+	out := make([]response, len(subs))
+	for i := 0; i < len(subs); i++ {
+		if subs[i].Op == opBatch {
+			out[i].Err = "wire: nested batch not allowed"
+		} else if n := s.insertRun(subs, i); n > 1 {
+			// A run of inserts into the same table: one engine call under
+			// one table-lock acquisition.
+			rows := make([]engine.Row, n)
+			for j := 0; j < n; j++ {
+				rows[j] = subs[i+j].Row
+			}
+			if err := s.db.InsertBatch(subs[i].Table, rows); err != nil {
+				out[i].Err = err.Error()
+			} else {
+				i += n - 1
+			}
+		} else {
+			out[i] = *s.dispatch(&subs[i])
+		}
+		if out[i].Err != "" {
+			for j := i + 1; j < len(subs); j++ {
+				out[j].Err = errBatchAborted
+			}
+			break
+		}
+	}
+	return out
+}
+
+// insertRun returns the length of the run of opInsert sub-requests into one
+// table starting at i.
+func (s *Server) insertRun(subs []request, i int) int {
+	if subs[i].Op != opInsert {
+		return 0
+	}
+	n := 1
+	for i+n < len(subs) && subs[i+n].Op == opInsert && subs[i+n].Table == subs[i].Table {
+		n++
+	}
+	return n
 }
 
 // ListenAndServe is a convenience wrapper binding addr and serving until

@@ -192,3 +192,21 @@ func Summarize(samples []float64) Stats {
 	ci := 1.96 * math.Sqrt(variance/float64(n))
 	return Stats{N: n, Mean: mean, CI95: ci}
 }
+
+// Percentile returns the q-quantile (0 < q <= 1) of samples by nearest
+// rank, e.g. Percentile(lat, 0.99) for a p99 tail latency.
+func Percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

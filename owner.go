@@ -67,6 +67,15 @@ func (o *DataOwner) Provision(d *Database) error {
 	return nil
 }
 
+// RemoteClient is the connection surface the data owner needs from a
+// remote provider; *Client and *Pool both implement it.
+type RemoteClient interface {
+	Executor
+	Quote(nonce []byte) (enclave.Quote, error)
+	Provision(sk enclave.SealedKey) error
+	ImportColumn(table, column string, data dict.SplitData) error
+}
+
 // ProvisionClient deploys SK_DB into a remote provider's enclave. The quote
 // is requested over the wire; expectedMeasurement pins the enclave code
 // identity the owner audited (use Measurement(DefaultEnclaveIdentity) for
@@ -74,7 +83,7 @@ func (o *DataOwner) Provision(d *Database) error {
 // requires Intel's (here: the platform's) verification service and is part
 // of the embedded Provision; over the wire this simulation checks the
 // measurement binding only.
-func (o *DataOwner) ProvisionClient(c *Client, expectedMeasurement [32]byte) error {
+func (o *DataOwner) ProvisionClient(c RemoteClient, expectedMeasurement [32]byte) error {
 	nonce := make([]byte, 16)
 	if _, err := crand.Read(nonce); err != nil {
 		return fmt.Errorf("encdbdb: nonce: %w", err)
@@ -112,8 +121,9 @@ func (o *DataOwner) Session(d *Database) (*Session, error) {
 	return &Session{p: p}, nil
 }
 
-// RemoteSession opens a trusted SQL gateway against a remote provider.
-func (o *DataOwner) RemoteSession(c *Client) (*Session, error) {
+// RemoteSession opens a trusted SQL gateway against a remote provider
+// (a *Client or *Pool).
+func (o *DataOwner) RemoteSession(c Executor) (*Session, error) {
 	p, err := proxy.New(o.master, c)
 	if err != nil {
 		return nil, err
@@ -143,7 +153,7 @@ func (o *DataOwner) DeployTable(d *Database, schema Schema, rows [][]string) err
 }
 
 // DeployTableClient is DeployTable against a remote provider.
-func (o *DataOwner) DeployTableClient(c *Client, schema Schema, rows [][]string) error {
+func (o *DataOwner) DeployTableClient(c RemoteClient, schema Schema, rows [][]string) error {
 	if err := c.CreateTable(schema); err != nil {
 		return err
 	}

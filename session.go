@@ -28,3 +28,10 @@ type Session struct {
 func (s *Session) Exec(sql string) (*Result, error) {
 	return s.p.Execute(sql)
 }
+
+// ExecBatch executes several statements in order, returning one result per
+// statement. Against a remote provider, runs of consecutive INSERTs into
+// the same table are shipped as one batched round trip.
+func (s *Session) ExecBatch(sqls []string) ([]*Result, error) {
+	return s.p.ExecBatch(sqls)
+}
