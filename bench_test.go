@@ -345,7 +345,7 @@ func benchAVMode(b *testing.B, mode search.AVMode) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		search.AttrVectList(split.AV, vidsPerQuery[i%len(vidsPerQuery)], split.Len(), mode, 1)
+		search.AttrVectList(split.AVCodes(), vidsPerQuery[i%len(vidsPerQuery)], split.Len(), mode, 1)
 	}
 }
 

@@ -1,0 +1,382 @@
+// Package av implements the compressed attribute vector of the paper's
+// column store: each ValueID is stored in w = ceil(log2 |D|) bits instead of
+// a 4-byte uint32, and scan predicates are evaluated with SWAR
+// (SIMD-within-a-register) kernels that process 64 rows per iteration.
+//
+// The layout is bit-sliced ("vertical", in the style of BitWeaving/V): rows
+// are grouped in blocks of 64, and a group stores w consecutive uint64
+// words, word j holding bit j of all 64 codes (bit r of word j = bit j of
+// row 64g+r's code). A range predicate lo <= code <= hi is then evaluated
+// with the classic bit-serial comparator — a handful of AND/OR/ANDNOT word
+// operations per slice, most-significant slice first, with early exit once
+// every row's comparison is decided — producing exactly one 64-bit match
+// word per group. That word ORs directly into a ridset.Set, whose words
+// cover the same 64-row blocks, so the packed scan plugs into the engine's
+// 64-aligned parallel shard layout with no per-element emit path at all.
+package av
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/encdbdb/encdbdb/internal/ridset"
+)
+
+// GroupRows is the scan granularity: codes are packed (and match words
+// emitted) in blocks of 64 rows, matching both the uint64 word size and the
+// 64-aligned shard boundaries of the parallel attribute-vector scan.
+const GroupRows = 64
+
+// Width returns the number of bits needed to store any ValueID of a
+// dictionary with dictLen entries: ceil(log2 dictLen), and 0 when a single
+// entry (or none) makes every code trivially zero.
+func Width(dictLen int) int {
+	if dictLen <= 1 {
+		return 0
+	}
+	return bits.Len(uint(dictLen - 1))
+}
+
+// Vector is a bit-packed attribute vector over a fixed dictionary size.
+// It is immutable after Pack in normal operation (Set exists for tests and
+// repair tooling) and safe for concurrent readers.
+type Vector struct {
+	n    int // rows
+	w    int // bits per code = Width(dict)
+	dict int // |D| the codes were validated against
+	// words is group-major: words[g*w+j] is bit-slice j of rows
+	// [64g, 64g+64).
+	words []uint64
+}
+
+// Range is an inclusive ValueID range [Lo, Hi] as produced by the sorted and
+// rotated dictionary searches.
+type Range struct {
+	Lo uint32
+	Hi uint32
+}
+
+// Codes is a read-only sequence of ValueIDs; both *Vector and the Ints
+// adapter implement it. The enclave's merge input consumes this shape so a
+// packed main store and the delta store's identity []uint32 vector share one
+// ECALL signature.
+type Codes interface {
+	Len() int
+	At(i int) uint32
+}
+
+// Ints adapts a plain []uint32 ValueID slice to the Codes interface.
+type Ints []uint32
+
+// Len returns the number of codes.
+func (s Ints) Len() int { return len(s) }
+
+// At returns code i.
+func (s Ints) At(i int) uint32 { return s[i] }
+
+// Pack bit-packs codes for a dictionary of dictLen entries. Codes are
+// truncated to Width(dictLen) bits; the caller is responsible for having
+// validated code < dictLen (dict.FromData and dict.Build do).
+func Pack(codes []uint32, dictLen int) *Vector {
+	v := &Vector{n: len(codes), w: Width(dictLen), dict: dictLen}
+	if v.w == 0 || v.n == 0 {
+		return v
+	}
+	v.words = make([]uint64, v.groups()*v.w)
+	mask := v.codeMask()
+	for i, c := range codes {
+		base := (i / GroupRows) * v.w
+		bit := uint64(1) << uint(i%GroupRows)
+		c &= mask
+		for c != 0 {
+			j := bits.TrailingZeros32(c)
+			v.words[base+j] |= bit
+			c &= c - 1
+		}
+	}
+	return v
+}
+
+// FromWords reconstructs a vector from its serialized form: the raw slice
+// words of n rows packed at w bits for a dictionary of dictLen entries. It
+// validates the structural invariants an untrusted file could violate.
+func FromWords(words []uint64, n, w, dictLen int) (*Vector, error) {
+	if n < 0 || w < 0 || w > 32 {
+		return nil, fmt.Errorf("av: invalid shape n=%d w=%d", n, w)
+	}
+	if w != Width(dictLen) {
+		return nil, fmt.Errorf("av: width %d does not match |D|=%d (want %d)", w, dictLen, Width(dictLen))
+	}
+	want := 0
+	if n > 0 {
+		want = ((n + GroupRows - 1) / GroupRows) * w
+	}
+	if len(words) != want {
+		return nil, fmt.Errorf("av: %d words for %d rows at %d bits, want %d", len(words), n, w, want)
+	}
+	if rem := n % GroupRows; rem != 0 && w > 0 {
+		// Bits beyond the final row would alias phantom rows in Unpack
+		// and the scan kernels; a well-formed producer never sets them.
+		stray := ^((uint64(1) << uint(rem)) - 1)
+		for j, s := range words[len(words)-w:] {
+			if s&stray != 0 {
+				return nil, fmt.Errorf("av: slice %d has bits beyond row %d", j, n)
+			}
+		}
+	}
+	if len(words) == 0 {
+		words = nil
+	}
+	return &Vector{n: n, w: w, dict: dictLen, words: words}, nil
+}
+
+// Len returns the number of rows.
+func (v *Vector) Len() int { return v.n }
+
+// Bits returns the per-code width in bits.
+func (v *Vector) Bits() int { return v.w }
+
+// DictLen returns the dictionary size the vector was packed against.
+func (v *Vector) DictLen() int { return v.dict }
+
+// Words returns the raw bit-slice words (group-major). Exposed for
+// serialization; callers must not modify them.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// MemBytes returns the memory footprint of the packed codes. The unpacked
+// equivalent is 4*Len() bytes.
+func (v *Vector) MemBytes() int { return len(v.words) * 8 }
+
+// groups returns the number of 64-row groups.
+func (v *Vector) groups() int { return (v.n + GroupRows - 1) / GroupRows }
+
+// codeMask returns the w-bit mask codes are truncated to.
+func (v *Vector) codeMask() uint32 { return uint32((uint64(1) << uint(v.w)) - 1) }
+
+// groupMask returns the valid-row mask of group g (all ones except in the
+// final partial group).
+func (v *Vector) groupMask(g int) uint64 {
+	if (g+1)*GroupRows <= v.n {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(v.n-g*GroupRows)) - 1
+}
+
+// Get returns code i, reassembled from the bit slices.
+func (v *Vector) Get(i int) uint32 {
+	if v.w == 0 {
+		return 0
+	}
+	base := (i / GroupRows) * v.w
+	shift := uint(i % GroupRows)
+	var c uint32
+	for j := 0; j < v.w; j++ {
+		c |= uint32((v.words[base+j]>>shift)&1) << uint(j)
+	}
+	return c
+}
+
+// At is Get under the Codes interface.
+func (v *Vector) At(i int) uint32 { return v.Get(i) }
+
+// Set overwrites code i (truncated to the vector's width). It exists for
+// tests that corrupt a split deliberately; production vectors are immutable
+// after Pack. Not safe for use concurrent with readers.
+func (v *Vector) Set(i int, code uint32) {
+	if v.w == 0 {
+		return
+	}
+	base := (i / GroupRows) * v.w
+	bit := uint64(1) << uint(i%GroupRows)
+	code &= v.codeMask()
+	for j := 0; j < v.w; j++ {
+		if code&(1<<uint(j)) != 0 {
+			v.words[base+j] |= bit
+		} else {
+			v.words[base+j] &^= bit
+		}
+	}
+}
+
+// Unpack materializes the codes as a fresh []uint32.
+func (v *Vector) Unpack() []uint32 {
+	if v.n == 0 {
+		return nil
+	}
+	out := make([]uint32, v.n)
+	for g := 0; g < v.groups(); g++ {
+		base := g * v.w
+		rows := v.n - g*GroupRows
+		if rows > GroupRows {
+			rows = GroupRows
+		}
+		dst := out[g*GroupRows : g*GroupRows+rows]
+		for j := 0; j < v.w; j++ {
+			s := v.words[base+j]
+			for s != 0 {
+				r := bits.TrailingZeros64(s)
+				dst[r] |= 1 << uint(j)
+				s &= s - 1
+			}
+		}
+	}
+	return out
+}
+
+// ScanRanges evaluates the disjunction of the inclusive ValueID ranges over
+// the row groups [gLo, gHi) and ORs the per-group 64-bit match words into
+// out, whose universe must cover [0, Len()). Distinct group ranges touch
+// disjoint words of out, so shards of the parallel scan may run
+// concurrently against the same set.
+func (v *Vector) ScanRanges(out *ridset.Set, gLo, gHi int, ranges []Range) {
+	// Clamp once: codes hold at most w bits, so a range reaching past the
+	// largest representable code is truncated and a range starting past it
+	// can never match.
+	maxCode := uint32(0)
+	if v.w > 0 {
+		maxCode = v.codeMask()
+	}
+	// The dictionary searches emit at most two ranges; keep that common
+	// case allocation-free.
+	var buf [2]Range
+	active := buf[:0]
+	if len(ranges) > len(buf) {
+		active = make([]Range, 0, len(ranges))
+	}
+	zeroMatch := false // does some range cover code 0 (the w==0 case)?
+	for _, r := range ranges {
+		if r.Lo > r.Hi || r.Lo > maxCode {
+			continue
+		}
+		if r.Hi > maxCode {
+			r.Hi = maxCode
+		}
+		if r.Lo == 0 {
+			zeroMatch = true
+		}
+		active = append(active, r)
+	}
+	if len(active) == 0 {
+		return
+	}
+	if v.w == 0 {
+		// Every code is 0: all rows match iff some range covers 0.
+		if !zeroMatch {
+			return
+		}
+		for g := gLo; g < gHi; g++ {
+			out.OrWord(g, v.groupMask(g))
+		}
+		return
+	}
+	for g := gLo; g < gHi; g++ {
+		sl := v.words[g*v.w : g*v.w+v.w]
+		var m uint64
+		for _, r := range active {
+			m |= scanRangeGroup(sl, r.Lo, r.Hi)
+			if m == ^uint64(0) {
+				break
+			}
+		}
+		if m &= v.groupMask(g); m != 0 {
+			out.OrWord(g, m)
+		}
+	}
+}
+
+// scanRangeGroup is the SWAR comparator: one 64-row group against one
+// inclusive range. It walks the bit slices most-significant first, tracking
+// per-row "still equal to the bound so far" masks for both bounds; a row
+// leaves the undecided set the moment its code diverges from a bound, and
+// the loop exits early once no row is undecided — for random codes that
+// resolves after a handful of slices regardless of width.
+func scanRangeGroup(sl []uint64, lo, hi uint32) uint64 {
+	eqLo, eqHi := ^uint64(0), ^uint64(0)
+	var ltLo, gtHi uint64
+	for j := len(sl) - 1; j >= 0; j-- {
+		s := sl[j]
+		if (lo>>uint(j))&1 == 1 {
+			ltLo |= eqLo &^ s
+			eqLo &= s
+		} else {
+			eqLo &^= s
+		}
+		if (hi>>uint(j))&1 == 1 {
+			eqHi &= s
+		} else {
+			gtHi |= eqHi & s
+			eqHi &^= s
+		}
+		if eqLo|eqHi == 0 {
+			break
+		}
+	}
+	// code >= lo is "not below lo", code <= hi is "not above hi"; rows
+	// still equal to a bound after all slices are inside the range.
+	return ^(ltLo | gtHi)
+}
+
+// ScanBitset evaluates ValueID-set membership over the row groups
+// [gLo, gHi) and ORs the per-group match words into out. set is a bitmap
+// over ValueIDs (bit u = ValueID u matches) as built from an unsorted
+// dictionary search's ID list. The group's 64 codes are reassembled with
+// one in-register 64x64 bit-matrix transpose of the slice words — a cost
+// independent of the code width — then probed against the bitmap.
+func (v *Vector) ScanBitset(out *ridset.Set, gLo, gHi int, set []uint64) {
+	if len(set) == 0 {
+		return
+	}
+	if v.w == 0 {
+		if set[0]&1 == 0 {
+			return
+		}
+		for g := gLo; g < gHi; g++ {
+			out.OrWord(g, v.groupMask(g))
+		}
+		return
+	}
+	limit := uint64(len(set) * 64)
+	for g := gLo; g < gHi; g++ {
+		// transpose64 mirrors about the anti-diagonal — (row, bit) maps
+		// to (63-bit, 63-row) — so loading slice j at row 63-j makes
+		// row 63-r come out as exactly code r, unmirrored.
+		var a [GroupRows]uint64
+		sl := v.words[g*v.w : g*v.w+v.w]
+		for j, s := range sl {
+			a[GroupRows-1-j] = s
+		}
+		transpose64(&a)
+		var m uint64
+		for r := 0; r < GroupRows; r++ {
+			c := a[GroupRows-1-r]
+			// c can reach 2^w-1 > |D|-1 when |D| is not a power of
+			// two; such codes never appear in validated vectors but
+			// the bounds check keeps corrupt input safe.
+			if c < limit && set[c/64]&(1<<(c%64)) != 0 {
+				m |= 1 << uint(r)
+			}
+		}
+		if m &= v.groupMask(g); m != 0 {
+			out.OrWord(g, m)
+		}
+	}
+}
+
+// transpose64 transposes the 64x64 bit matrix held row-major in a, using
+// the classic recursive block-swap (Hacker's Delight §7-3). Feeding it a
+// group's slice words (row j = bit-slice j) yields the group's codes (row r
+// = code of row r), which is how ScanBitset unpacks 64 codes in ~6 passes
+// of register operations regardless of width.
+func transpose64(a *[GroupRows]uint64) {
+	j := uint(32)
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < GroupRows; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}

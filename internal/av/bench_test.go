@@ -1,0 +1,106 @@
+package av
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/ridset"
+)
+
+// benchRows matches the compression experiment's scale: large enough that
+// the scan is memory-bound, small enough for the CI smoke run.
+const benchRows = 1 << 20
+
+// benchWidths mirrors the |D| sweep of the compression experiment.
+var benchWidths = []int{16, 256, 4096, 65536}
+
+// unpackedRangeScan is the pre-packing baseline: one comparison chain per
+// element over a []uint32, as parallelScan's match closure performed.
+func unpackedRangeScan(out *ridset.Set, codes []uint32, ranges []Range) {
+	for i, c := range codes {
+		for _, r := range ranges {
+			if c >= r.Lo && c <= r.Hi {
+				out.Add(uint32(i))
+				break
+			}
+		}
+	}
+}
+
+func benchSetup(dictLen int) ([]uint32, *Vector, []Range) {
+	rng := rand.New(rand.NewSource(int64(dictLen)))
+	codes := randCodes(rng, benchRows, dictLen)
+	// ~10% selectivity, one range — the common sorted-dictionary case.
+	lo := uint32(dictLen / 4)
+	hi := lo + uint32(dictLen/10)
+	return codes, Pack(codes, dictLen), []Range{{Lo: lo, Hi: hi}}
+}
+
+func BenchmarkPackedRangeScan(b *testing.B) {
+	for _, d := range benchWidths {
+		codes, v, ranges := benchSetup(d)
+		_ = codes
+		b.Run(fmt.Sprintf("dict%d_w%d", d, v.Bits()), func(b *testing.B) {
+			groups := (v.Len() + GroupRows - 1) / GroupRows
+			out := ridset.New(v.Len())
+			b.SetBytes(int64(v.MemBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.ScanRanges(out, 0, groups, ranges)
+			}
+		})
+	}
+}
+
+func BenchmarkPackedRangeScanBaselineUint32(b *testing.B) {
+	for _, d := range benchWidths {
+		codes, v, ranges := benchSetup(d)
+		b.Run(fmt.Sprintf("dict%d_w%d", d, v.Bits()), func(b *testing.B) {
+			out := ridset.New(len(codes))
+			b.SetBytes(int64(4 * len(codes)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				unpackedRangeScan(out, codes, ranges)
+			}
+		})
+	}
+}
+
+func BenchmarkPackedBitsetScan(b *testing.B) {
+	for _, d := range benchWidths {
+		_, v, _ := benchSetup(d)
+		rng := rand.New(rand.NewSource(7))
+		set := make([]uint64, (d+63)/64)
+		for k := 0; k < d/10+1; k++ {
+			u := rng.Intn(d)
+			set[u/64] |= 1 << (u % 64)
+		}
+		b.Run(fmt.Sprintf("dict%d_w%d", d, v.Bits()), func(b *testing.B) {
+			groups := (v.Len() + GroupRows - 1) / GroupRows
+			out := ridset.New(v.Len())
+			b.SetBytes(int64(v.MemBytes()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.ScanBitset(out, 0, groups, set)
+			}
+		})
+	}
+}
+
+func BenchmarkPackedPack(b *testing.B) {
+	for _, d := range []int{256, 65536} {
+		codes, v, _ := benchSetup(d)
+		b.Run(fmt.Sprintf("dict%d_w%d", d, v.Bits()), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(codes)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = Pack(codes, d)
+			}
+		})
+	}
+}

@@ -11,28 +11,32 @@ import (
 	"github.com/encdbdb/encdbdb/internal/workload"
 )
 
-// AblationAV compares the three AttrVectSearch strategies for unsorted
+// AblationAV compares the AttrVectSearch strategies for unsorted
 // dictionaries (DESIGN.md ablation A1): the paper's literal nested loop,
-// the default sorted-probe scan, and a bitset.
+// the sorted-probe scan, a bitset — all over unpacked []uint32 codes — and
+// the bit-packed SWAR kernel that is the engine default.
 func AblationAV(cfg Config) error {
 	rows := cfg.Rows[len(cfg.Rows)-1]
 	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "AV mode\tRS\tavg latency\n")
 	modes := []struct {
-		name string
-		mode search.AVMode
+		name   string
+		mode   search.AVMode
+		packed bool
 	}{
 		{name: "nested loop (paper literal)", mode: search.AVNestedLoop},
-		{name: "sorted probe (default)", mode: search.AVSortedProbe},
+		{name: "sorted probe", mode: search.AVSortedProbe},
 		{name: "bitset", mode: search.AVBitset},
+		{name: "packed SWAR (default)", mode: search.AVSortedProbe, packed: true},
 	}
 	for _, rs := range cfg.RangeSizes {
 		if rs > len(col.SortedUnique) {
 			continue
 		}
 		for _, m := range modes {
-			sys, err := newSystem(engine.WithAVMode(m.mode), engine.WithWorkers(cfg.Workers))
+			sys, err := newSystem(engine.WithAVMode(m.mode), engine.WithWorkers(cfg.Workers),
+				engine.WithPackedScan(m.packed))
 			if err != nil {
 				return err
 			}

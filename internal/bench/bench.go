@@ -39,6 +39,9 @@ type Config struct {
 	Workers int
 	// Out receives the formatted experiment output.
 	Out io.Writer
+	// JSONPath, when non-empty, is where the compression experiment
+	// writes its machine-readable results.
+	JSONPath string
 }
 
 // DefaultConfig returns a configuration that completes every experiment in
@@ -51,6 +54,7 @@ func DefaultConfig(out io.Writer) Config {
 		BSMax:      10,
 		Seed:       1,
 		Out:        out,
+		JSONPath:   "BENCH_compression.json",
 	}
 }
 

@@ -49,7 +49,7 @@ func Table3(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		hist := leakage.VidHistogram(split.AV, split.Len())
+		hist := leakage.VidHistogram(split.AVCodes(), split.Len())
 		maxFreq := 0
 		for _, h := range hist {
 			if h > maxFreq {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/ordenc"
 	"github.com/encdbdb/encdbdb/internal/pae"
 )
@@ -66,7 +67,6 @@ func Build(col [][]byte, p Params) (*Split, error) {
 		Plain:  p.Plain,
 		MaxLen: p.MaxLen,
 		BSMax:  smoothingBSMax(p),
-		AV:     make([]uint32, len(col)),
 	}
 
 	phys, rotOffset := physicalOrder(len(buckets), p.Kind.Order(), p.Rand)
@@ -76,7 +76,11 @@ func Build(col [][]byte, p Params) (*Split, error) {
 		}
 	}
 
-	assignAttributeVector(split.AV, groups, buckets, phys, p.Rand)
+	// Assign ValueIDs into a scratch vector, then bit-pack it; the scratch
+	// is discarded so a resident split costs ceil(log2 |D|) bits per row.
+	codes := make([]uint32, len(col))
+	assignAttributeVector(codes, groups, buckets, phys, p.Rand)
+	split.packed = av.Pack(codes, len(buckets))
 	if err := split.layOutEntries(groups, buckets, phys, p); err != nil {
 		return nil, err
 	}

@@ -212,8 +212,8 @@ func TestBuildPaperFigure3Example(t *testing.T) {
 	}
 	wantAV := []uint32{2, 3, 0, 1, 3, 3}
 	for j, w := range wantAV {
-		if s.AV[j] != w {
-			t.Errorf("AV[%d] = %d, want %d", j, s.AV[j], w)
+		if s.VID(j) != w {
+			t.Errorf("AV[%d] = %d, want %d", j, s.VID(j), w)
 		}
 	}
 }
@@ -373,9 +373,15 @@ func TestSplitAccessors(t *testing.T) {
 	if len(s.Head()) != s.Len() {
 		t.Errorf("len(Head()) = %d, want %d", len(s.Head()), s.Len())
 	}
-	wantSize := s.DictSizeBytes() + 4*len(col)
+	// The attribute vector is bit-packed: |D| = 4 needs 2 bits per code,
+	// one 64-row group of 2 slice words for the 6 rows.
+	wantSize := s.DictSizeBytes() + s.Packed().MemBytes()
 	if s.SizeBytes() != wantSize {
 		t.Errorf("SizeBytes() = %d, want %d", s.SizeBytes(), wantSize)
+	}
+	if s.Packed().Bits() != 2 || s.Packed().MemBytes() != 16 {
+		t.Errorf("packed AV: bits=%d mem=%d, want 2 bits in 16 bytes",
+			s.Packed().Bits(), s.Packed().MemBytes())
 	}
 	var total int
 	for i := 0; i < s.Len(); i++ {
@@ -393,19 +399,22 @@ func TestVerifyCorrectnessDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	s.AV[0] = s.AV[1] // break the split for row 0 (Hans -> Jessica's vid)
+	s.setVID(0, s.VID(1)) // break the split for row 0 (Hans -> Jessica's vid)
 	if err := s.VerifyCorrectness(col, identity); err == nil {
 		t.Error("VerifyCorrectness accepted a corrupted split")
 	}
 }
 
 func TestVerifyCorrectnessDetectsOutOfRangeVid(t *testing.T) {
-	col := paperColumn()
+	// A fifth unique value makes |D| = 5, so the 3-bit packed codes can
+	// represent out-of-range ValueIDs (5..7) — exactly the corruption a
+	// split loaded from a hostile source could carry.
+	col := append(paperColumn(), []byte("Zoe"))
 	s, err := Build(col, testParams(t, ED1, true))
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	s.AV[2] = uint32(s.Len())
+	s.setVID(2, uint32(s.Len()))
 	if err := s.VerifyCorrectness(col, identity); err == nil {
 		t.Error("VerifyCorrectness accepted an out-of-range ValueID")
 	}

@@ -3,6 +3,9 @@ package dict
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/av"
 )
 
 // EntryRef locates one dictionary entry's payload inside the tail.
@@ -34,18 +37,81 @@ type Split struct {
 	// EncRndOffset is the PAE-encrypted rotation offset for rotated kinds
 	// (an 8-byte big-endian integer for plain splits), nil otherwise.
 	EncRndOffset []byte
-	// AV is the attribute vector: AV[j] is the ValueID of row j.
-	AV []uint32
+
+	// packed is the attribute vector — row j's ValueID — bit-packed at
+	// ceil(log2 |D|) bits per code (see internal/av). The SWAR scan
+	// kernels run on it directly; legacy []uint32 consumers go through
+	// AVCodes.
+	packed *av.Vector
 
 	head []EntryRef
 	tail []byte
+
+	// avMu guards the lazily materialized unpacked copy used by the
+	// baseline scan paths, ablations and analysis tooling.
+	avMu    sync.Mutex
+	avCodes []uint32
 }
 
 // Len returns the number of dictionary entries |D|.
 func (s *Split) Len() int { return len(s.head) }
 
 // Rows returns the number of rows |AV| (= |C|).
-func (s *Split) Rows() int { return len(s.AV) }
+func (s *Split) Rows() int {
+	if s.packed == nil {
+		return 0
+	}
+	return s.packed.Len()
+}
+
+// Packed returns the bit-packed attribute vector the scan kernels consume.
+func (s *Split) Packed() *av.Vector {
+	if s.packed == nil {
+		s.packed = av.Pack(nil, 0)
+	}
+	return s.packed
+}
+
+// VID returns the ValueID of row j.
+func (s *Split) VID(j int) uint32 { return s.packed.Get(j) }
+
+// AVCodes returns the attribute vector as a plain []uint32, materializing
+// and caching it on first use. The packed vector is the authoritative
+// representation; this unpacked mirror exists for the baseline scan entry
+// points, the AV-mode ablations, and analysis tooling, which pay its 4
+// bytes/row only if they run. Callers must not modify the returned slice.
+func (s *Split) AVCodes() []uint32 {
+	s.avMu.Lock()
+	defer s.avMu.Unlock()
+	if s.avCodes == nil && s.Rows() > 0 {
+		s.avCodes = s.packed.Unpack()
+	}
+	return s.avCodes
+}
+
+// avMirror returns the unpacked codes without populating the cache: the
+// cached copy if one already exists, otherwise a fresh transient unpack.
+// Serialization paths use it so a Snapshot of a large table does not pin a
+// 4-byte-per-row mirror next to the packed vector for the split's lifetime.
+func (s *Split) avMirror() []uint32 {
+	s.avMu.Lock()
+	defer s.avMu.Unlock()
+	if s.avCodes != nil {
+		return s.avCodes
+	}
+	return s.packed.Unpack()
+}
+
+// setVID overwrites row j's ValueID in both representations. Test hook for
+// corrupting splits deliberately; vid is truncated to the packed width.
+func (s *Split) setVID(j int, vid uint32) {
+	s.avMu.Lock()
+	defer s.avMu.Unlock()
+	s.packed.Set(j, vid)
+	if s.avCodes != nil {
+		s.avCodes[j] = s.packed.Get(j)
+	}
+}
 
 // Entry returns the payload of dictionary entry i: a PAE ciphertext, or the
 // raw value for plain splits. The returned slice aliases the tail and must
@@ -74,18 +140,26 @@ func (s *Split) DictSizeBytes() int {
 	return len(s.head)*entryRefSize + len(s.tail) + len(s.EncRndOffset)
 }
 
-// SizeBytes returns the total storage size of the split column: dictionary
-// plus the 4-byte-per-row attribute vector. This is the quantity compared in
-// paper Table 6.
+// MemBytes returns the in-memory footprint of the split column: dictionary
+// plus the bit-packed attribute vector (ceil(log2 |D|) bits per row; the
+// unpacked equivalent is 4*Rows() bytes). The lazily cached unpacked mirror
+// is excluded — it only materializes on baseline/ablation paths.
+func (s *Split) MemBytes() int {
+	return s.DictSizeBytes() + s.Packed().MemBytes()
+}
+
+// SizeBytes returns the total storage size of the split column — the
+// quantity compared in paper Table 6. Since the v2 storage format persists
+// the attribute vector in its packed form, this equals MemBytes.
 func (s *Split) SizeBytes() int {
-	return s.DictSizeBytes() + 4*len(s.AV)
+	return s.MemBytes()
 }
 
 // Empty returns a split with zero rows and zero dictionary entries, used as
 // the initial main store of a freshly created table whose data arrives
 // exclusively through the delta store.
 func Empty(kind Kind, maxLen, bsmax int, plain bool) *Split {
-	return &Split{Kind: kind, Plain: plain, MaxLen: maxLen, BSMax: bsmax}
+	return &Split{Kind: kind, Plain: plain, MaxLen: maxLen, BSMax: bsmax, packed: av.Pack(nil, 0)}
 }
 
 // SplitData is the exported, serializable form of a Split, used by the
@@ -101,7 +175,12 @@ type SplitData struct {
 	Tail         []byte
 }
 
-// Data returns the serializable form of s. The returned slices alias s.
+// Data returns the serializable form of s. The AV field is the unpacked
+// []uint32 interchange shape — stable across storage format versions and
+// wire peers; the storage layer re-packs it for the v2 on-disk layout. It
+// is materialized transiently (not cached on s), so snapshotting a large
+// table does not inflate the split's resident footprint. The returned
+// slices alias s and must not be modified.
 func (s *Split) Data() SplitData {
 	return SplitData{
 		Kind:         s.Kind,
@@ -109,7 +188,7 @@ func (s *Split) Data() SplitData {
 		MaxLen:       s.MaxLen,
 		BSMax:        s.BSMax,
 		EncRndOffset: s.EncRndOffset,
-		AV:           s.AV,
+		AV:           s.avMirror(),
 		Head:         s.head,
 		Tail:         s.tail,
 	}
@@ -145,7 +224,7 @@ func FromData(d SplitData) (*Split, error) {
 		MaxLen:       d.MaxLen,
 		BSMax:        d.BSMax,
 		EncRndOffset: d.EncRndOffset,
-		AV:           d.AV,
+		packed:       av.Pack(d.AV, len(d.Head)),
 		head:         d.Head,
 		tail:         d.Tail,
 	}, nil
@@ -172,8 +251,8 @@ func DecodeRotOffset(b []byte) (uint64, error) {
 // payload; pass an identity function for plain splits. Intended for tests
 // and the data owner's post-build sanity check.
 func (s *Split) VerifyCorrectness(col [][]byte, decrypt func([]byte) ([]byte, error)) error {
-	if len(col) != len(s.AV) {
-		return fmt.Errorf("dict: column has %d rows, split has %d", len(col), len(s.AV))
+	if len(col) != s.Rows() {
+		return fmt.Errorf("dict: column has %d rows, split has %d", len(col), s.Rows())
 	}
 	// Decrypt each dictionary entry once, then check all rows.
 	plain := make([][]byte, s.Len())
@@ -184,7 +263,8 @@ func (s *Split) VerifyCorrectness(col [][]byte, decrypt func([]byte) ([]byte, er
 		}
 		plain[i] = v
 	}
-	for j, vid := range s.AV {
+	codes := s.avMirror()
+	for j, vid := range codes {
 		if int(vid) >= len(plain) {
 			return fmt.Errorf("dict: row %d references ValueID %d >= |D|=%d", j, vid, len(plain))
 		}
@@ -192,7 +272,7 @@ func (s *Split) VerifyCorrectness(col [][]byte, decrypt func([]byte) ([]byte, er
 			return fmt.Errorf("dict: row %d: D[%d]=%q != C[%d]=%q", j, vid, plain[vid], j, col[j])
 		}
 	}
-	if err := s.verifyRepetition(plain); err != nil {
+	if err := s.verifyRepetition(plain, codes); err != nil {
 		return err
 	}
 	return nil
@@ -200,13 +280,13 @@ func (s *Split) VerifyCorrectness(col [][]byte, decrypt func([]byte) ([]byte, er
 
 // verifyRepetition checks the repetition option's structural invariants on
 // the decrypted dictionary (paper Table 3).
-func (s *Split) verifyRepetition(plain [][]byte) error {
+func (s *Split) verifyRepetition(plain [][]byte, codes []uint32) error {
 	counts := make(map[string]int, len(plain))
 	for _, v := range plain {
 		counts[string(v)]++
 	}
 	vidUse := make([]int, len(plain))
-	for _, vid := range s.AV {
+	for _, vid := range codes {
 		vidUse[vid]++
 	}
 	switch s.Kind.Repetition() {
@@ -223,8 +303,8 @@ func (s *Split) verifyRepetition(plain [][]byte) error {
 			}
 		}
 	case RepHiding:
-		if len(plain) != len(s.AV) {
-			return fmt.Errorf("dict: hiding split has |D|=%d != |AV|=%d", len(plain), len(s.AV))
+		if len(plain) != s.Rows() {
+			return fmt.Errorf("dict: hiding split has |D|=%d != |AV|=%d", len(plain), s.Rows())
 		}
 		for i, use := range vidUse {
 			if use != 1 {

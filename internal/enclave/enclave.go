@@ -7,7 +7,9 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"sync"
+	"sync/atomic"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/ordenc"
 	"github.com/encdbdb/encdbdb/internal/pae"
@@ -65,6 +67,18 @@ type Stats struct {
 	Encryptions uint64
 }
 
+// counters is the live, lock-free form of Stats: every dictionary probe of
+// every concurrent ECALL bumps these, so they must not share the enclave
+// mutex — under the engine's per-table locks, a global mutex here would
+// re-serialize exactly the cross-table parallelism those locks exist for.
+type counters struct {
+	ecalls      atomic.Uint64
+	loads       atomic.Uint64
+	bytesLoaded atomic.Uint64
+	decryptions atomic.Uint64
+	encryptions atomic.Uint64
+}
+
 // Enclave is the simulated trusted module. All its state — provisioned
 // keys, derived ciphers — is private; the untrusted engine interacts with
 // it exclusively through the ECALL methods.
@@ -80,7 +94,8 @@ type Enclave struct {
 	master  pae.Key
 	ciphers map[string]*pae.Cipher
 	rng     *mrand.Rand
-	stats   Stats
+
+	stats counters
 }
 
 // Errors returned by enclave ECALLs.
@@ -167,18 +182,27 @@ func (e *Enclave) Provisioned() bool {
 	return e.master != nil
 }
 
-// Stats returns a snapshot of the boundary counters.
+// Stats returns a snapshot of the boundary counters. Each counter is read
+// atomically; with ECALLs in flight the snapshot can interleave between
+// their individual increments, so read it (as every caller does) after the
+// traffic being measured has quiesced.
 func (e *Enclave) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return Stats{
+		ECalls:      e.stats.ecalls.Load(),
+		Loads:       e.stats.loads.Load(),
+		BytesLoaded: e.stats.bytesLoaded.Load(),
+		Decryptions: e.stats.decryptions.Load(),
+		Encryptions: e.stats.encryptions.Load(),
+	}
 }
 
 // ResetStats zeroes the boundary counters.
 func (e *Enclave) ResetStats() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.stats = Stats{}
+	e.stats.ecalls.Store(0)
+	e.stats.loads.Store(0)
+	e.stats.bytesLoaded.Store(0)
+	e.stats.decryptions.Store(0)
+	e.stats.encryptions.Store(0)
 }
 
 // cipherFor derives (and caches) the column key SK_D and its AES schedule.
@@ -445,9 +469,12 @@ func (e *Enclave) BuildColumn(meta ColumnMeta, bsmax int, values [][]byte) (*dic
 
 // MergeInput is one store participating in a delta merge: the dictionary
 // region, attribute vector, and validity flags (nil means all rows valid).
+// The attribute vector is consumed through the av.Codes interface so the
+// main store's bit-packed vector and the delta store's identity []uint32
+// vector (wrapped in av.Ints) share one ECALL signature.
 type MergeInput struct {
 	Region search.Region
-	AV     []uint32
+	AV     av.Codes
 	Valid  []bool
 }
 
@@ -486,13 +513,15 @@ func (e *Enclave) MergeColumns(meta ColumnMeta, bsmax int, main, delta MergeInpu
 
 // decryptRows materializes the valid rows of one store inside the enclave.
 func (e *Enclave) decryptRows(meta ColumnMeta, cipher *pae.Cipher, in MergeInput) ([][]byte, error) {
-	if in.Region == nil {
+	if in.Region == nil || in.AV == nil {
 		return nil, nil
 	}
 	mr := e.instrument(meta, in.Region)
 	plain := make([][]byte, mr.Len())
-	rows := make([][]byte, 0, len(in.AV))
-	for j, vid := range in.AV {
+	n := in.AV.Len()
+	rows := make([][]byte, 0, n)
+	for j := 0; j < n; j++ {
+		vid := in.AV.At(j)
 		if in.Valid != nil && !in.Valid[j] {
 			continue
 		}
@@ -540,21 +569,15 @@ func (e *Enclave) callRand() *mrand.Rand {
 }
 
 func (e *Enclave) enterECall() {
-	e.mu.Lock()
-	e.stats.ECalls++
-	e.mu.Unlock()
+	e.stats.ecalls.Add(1)
 }
 
 func (e *Enclave) addDecryptions(n uint64) {
-	e.mu.Lock()
-	e.stats.Decryptions += n
-	e.mu.Unlock()
+	e.stats.decryptions.Add(n)
 }
 
 func (e *Enclave) addEncryptions(n uint64) {
-	e.mu.Lock()
-	e.stats.Encryptions += n
-	e.mu.Unlock()
+	e.stats.encryptions.Add(n)
 }
 
 // instrument wraps a region so loads are counted and reported to the
@@ -573,10 +596,8 @@ func (m *meteredRegion) Len() int { return m.r.Len() }
 
 func (m *meteredRegion) Load(i int) []byte {
 	b := m.r.Load(i)
-	m.e.mu.Lock()
-	m.e.stats.Loads++
-	m.e.stats.BytesLoaded += uint64(len(b))
-	m.e.mu.Unlock()
+	m.e.stats.loads.Add(1)
+	m.e.stats.bytesLoaded.Add(uint64(len(b)))
 	if m.e.observer != nil {
 		m.e.observer.Access(m.meta.Table, m.meta.Column, i)
 	}

@@ -191,9 +191,9 @@ func TestDictSearchAllKinds(t *testing.T) {
 			}
 			var rids []uint32
 			if k.Order() == dict.OrderUnsorted {
-				rids = search.AttrVectList(s.AV, res.IDs, s.Len(), search.AVSortedProbe, 1)
+				rids = search.AttrVectList(s.AVCodes(), res.IDs, s.Len(), search.AVSortedProbe, 1)
 			} else {
-				rids = search.AttrVectRanges(s.AV, res.Ranges, 1)
+				rids = search.AttrVectRanges(s.AVCodes(), res.Ranges, 1)
 			}
 			want := []uint32{0, 2, 3} // Hans, Archie, Ella
 			if len(rids) != len(want) {
@@ -357,8 +357,8 @@ func TestMergeColumnsRebuildsValidRows(t *testing.T) {
 
 	// Row 1 of main ("b") was deleted; everything else is valid.
 	merged, err := v.enclave.MergeColumns(meta, 3,
-		enclave.MergeInput{Region: mainSplit, AV: mainSplit.AV, Valid: []bool{true, false, true}},
-		enclave.MergeInput{Region: deltaSplit, AV: deltaSplit.AV},
+		enclave.MergeInput{Region: mainSplit, AV: mainSplit.Packed(), Valid: []bool{true, false, true}},
+		enclave.MergeInput{Region: deltaSplit, AV: deltaSplit.Packed()},
 	)
 	if err != nil {
 		t.Fatalf("MergeColumns: %v", err)
@@ -380,7 +380,7 @@ func TestMergeColumnsEmptyDelta(t *testing.T) {
 	meta := enclave.ColumnMeta{Table: "t1", Column: "c", Kind: dict.ED1, MaxLen: 8}
 	mainSplit := v.buildColumn(t, dict.ED1, "t1", "c", mainCol, 8, 0)
 	merged, err := v.enclave.MergeColumns(meta, 0,
-		enclave.MergeInput{Region: mainSplit, AV: mainSplit.AV},
+		enclave.MergeInput{Region: mainSplit, AV: mainSplit.Packed()},
 		enclave.MergeInput{},
 	)
 	if err != nil {

@@ -101,7 +101,7 @@ func TestPadProbesPreservesResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rids := search.AttrVectRanges(s.AV, res.Ranges, 1)
+		rids := search.AttrVectRanges(s.AVCodes(), res.Ranges, 1)
 		if len(rids) != 3 {
 			t.Errorf("%v: padded search returned %v, want 3 rows", kind, rids)
 		}

@@ -249,6 +249,29 @@ func TestConcurrentCrossTableStress(t *testing.T) {
 			}
 		}
 	}()
+	// A stats poller hammers the enclave's boundary counters — now
+	// atomics bumped lock-free by every concurrent dictionary probe —
+	// while the searches above run; -race validates the counter paths,
+	// and interleaved resets must never make a snapshot go backwards
+	// between resets or trip anything racy.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		encl := v.db.Enclave()
+		var prev uint64
+		for j := 0; j < rounds*tables; j++ {
+			s := encl.Stats()
+			if s.Loads < prev {
+				errs <- fmt.Errorf("stats went backwards: loads %d after %d", s.Loads, prev)
+				return
+			}
+			prev = s.Loads
+			if j%16 == 15 {
+				encl.ResetStats()
+				prev = 0
+			}
+		}
+	}()
 	wg.Wait()
 	close(errs)
 	for err := range errs {

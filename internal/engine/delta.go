@@ -6,6 +6,7 @@ import (
 	"fmt"
 	mrand "math/rand"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/ridset"
@@ -242,8 +243,8 @@ func (db *DB) Merge(tableName string) error {
 			s, err = mergePlain(t, c, mainValid, deltaValid)
 		} else {
 			s, err = db.encl.MergeColumns(db.columnMeta(c), c.def.BSMax,
-				enclave.MergeInput{Region: c.main, AV: c.main.AV, Valid: mainValid},
-				enclave.MergeInput{Region: c.delta, AV: c.delta.av(), Valid: deltaValid},
+				enclave.MergeInput{Region: c.main, AV: c.main.Packed(), Valid: mainValid},
+				enclave.MergeInput{Region: c.delta, AV: av.Ints(c.delta.av()), Valid: deltaValid},
 			)
 		}
 		if err != nil {
@@ -266,9 +267,10 @@ func (db *DB) Merge(tableName string) error {
 // mergePlain rebuilds a plain column locally from its valid rows.
 func mergePlain(t *table, c *column, mainValid, deltaValid []bool) (*dict.Split, error) {
 	var col [][]byte
+	mainAV := c.main.AVCodes()
 	for j := 0; j < t.mainRows; j++ {
 		if mainValid[j] {
-			col = append(col, c.main.Entry(int(c.main.AV[j])))
+			col = append(col, c.main.Entry(int(mainAV[j])))
 		}
 	}
 	for j := 0; j < t.deltaRows; j++ {

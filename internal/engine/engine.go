@@ -29,9 +29,10 @@ type Option interface {
 }
 
 type options struct {
-	avMode  search.AVMode
-	workers int
-	reorder bool
+	avMode     search.AVMode
+	workers    int
+	reorder    bool
+	packedScan bool
 }
 
 type avModeOption search.AVMode
@@ -59,6 +60,17 @@ func (o reorderOption) apply(opts *options) { opts.reorder = bool(o) }
 // ordering (default on). Disabled, filters run in the order given — useful
 // for measuring the optimizer's effect.
 func WithFilterReorder(on bool) Option { return reorderOption(on) }
+
+type packedScanOption bool
+
+func (o packedScanOption) apply(opts *options) { opts.packedScan = bool(o) }
+
+// WithPackedScan toggles the bit-packed SWAR attribute-vector scan kernels
+// for main-store searches (default on). Disabled, scans unpack the codes
+// and run the original []uint32 entry points under the configured AVMode —
+// the baseline for the compression ablation. Delta stores always use the
+// unpacked path: their identity attribute vectors are tiny by design.
+func WithPackedScan(on bool) Option { return packedScanOption(on) }
 
 // DB is an EncDBDB database instance at the DBaaS provider: a set of tables
 // plus the enclave used for protected dictionary searches.
@@ -108,7 +120,7 @@ type column struct {
 // New creates a database backed by the given enclave. A nil enclave is
 // allowed for plaintext-only databases (the PlainDBDB baseline).
 func New(encl *enclave.Enclave, opts ...Option) *DB {
-	o := options{avMode: search.AVSortedProbe, reorder: true}
+	o := options{avMode: search.AVSortedProbe, reorder: true, packedScan: true}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}

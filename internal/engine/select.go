@@ -268,24 +268,45 @@ func (db *DB) filterRows(t *table, f Filter, scanWorkers int) (*ridset.Set, erro
 }
 
 // searchMain performs the two-phase search on the main store, emitting a
-// bitmap over the main store's RecordIDs.
+// bitmap over the main store's RecordIDs: the dictionary search runs inside
+// the enclave (or locally for plain columns), then the attribute-vector
+// scan evaluates its result in the untrusted realm.
 func (db *DB) searchMain(c *column, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
 	s := c.main
 	if s.Rows() == 0 {
 		return nil, nil
 	}
+	var (
+		res enclave.SearchResult
+		err error
+	)
 	if c.def.Plain {
-		return db.plainSearch(c.def, s, s.EncRndOffset, s.AV, q, scanWorkers)
+		res, err = db.plainDictSearch(c.def, s, s.EncRndOffset, q)
+	} else {
+		res, err = db.encl.DictSearch(db.columnMeta(c), s, s.EncRndOffset, q)
 	}
-	meta := db.columnMeta(c)
-	res, err := db.encl.DictSearch(meta, s, s.EncRndOffset, q)
 	if err != nil {
 		return nil, err
 	}
-	if c.def.Kind.Order() == dict.OrderUnsorted {
-		return search.AttrVectListSet(s.AV, res.IDs, s.Len(), db.opts.avMode, scanWorkers), nil
+	return db.scanMainAV(s, res, scanWorkers), nil
+}
+
+// scanMainAV runs the attribute-vector phase on the main store. The default
+// path hands the dictionary-search result to the bit-packed SWAR kernels,
+// which replaced the per-element match-closure scan for the common range
+// case; WithPackedScan(false) keeps the original []uint32 entry points live
+// for the baseline and ablations.
+func (db *DB) scanMainAV(s *dict.Split, res enclave.SearchResult, scanWorkers int) *ridset.Set {
+	if s.Kind.Order() == dict.OrderUnsorted {
+		if db.opts.packedScan {
+			return search.AttrVectListPackedSet(s.Packed(), res.IDs, scanWorkers)
+		}
+		return search.AttrVectListSet(s.AVCodes(), res.IDs, s.Len(), db.opts.avMode, scanWorkers)
 	}
-	return search.AttrVectRangesSet(s.AV, res.Ranges, scanWorkers), nil
+	if db.opts.packedScan {
+		return search.AttrVectRangesPackedSet(s.Packed(), res.Ranges, scanWorkers)
+	}
+	return search.AttrVectRangesSet(s.AVCodes(), res.Ranges, scanWorkers)
 }
 
 // searchDelta performs the search on the write-optimized delta store, which
@@ -316,40 +337,41 @@ func (db *DB) searchDelta(c *column, q enclave.EncRange, scanWorkers int) (*rids
 	return search.AttrVectListSet(d.av(), res.IDs, d.Len(), db.opts.avMode, scanWorkers), nil
 }
 
-// plainSearch runs the PlainDBDB search path: identical algorithms, no
-// enclave, plaintext bounds.
-func (db *DB) plainSearch(def ColumnDef, region search.Region, rotOffset []byte, av []uint32, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
+// plainDictSearch runs the PlainDBDB dictionary-search phase: identical
+// algorithms, no enclave, plaintext bounds. The result feeds the same
+// attribute-vector scan as the encrypted path.
+func (db *DB) plainDictSearch(def ColumnDef, region search.Region, rotOffset []byte, q enclave.EncRange) (enclave.SearchResult, error) {
 	pq, err := plainRange(def, q)
 	if err != nil {
-		return nil, err
+		return enclave.SearchResult{}, err
 	}
 	dec := search.PlainDecryptor{}
 	switch def.Kind.Order() {
 	case dict.OrderSorted:
 		vr, ok, err := search.SortedDict(region, dec, pq)
 		if err != nil || !ok {
-			return nil, err
+			return enclave.SearchResult{}, err
 		}
-		return search.AttrVectRangesSet(av, []search.VidRange{vr}, scanWorkers), nil
+		return enclave.SearchResult{Ranges: []search.VidRange{vr}}, nil
 	case dict.OrderRotated:
 		if _, err := dict.DecodeRotOffset(rotOffset); err != nil {
-			return nil, err
+			return enclave.SearchResult{}, err
 		}
 		enc, err := ordenc.NewEncoder(def.MaxLen)
 		if err != nil {
-			return nil, err
+			return enclave.SearchResult{}, err
 		}
 		ranges, err := search.RotatedDict(region, dec, enc, pq)
 		if err != nil {
-			return nil, err
+			return enclave.SearchResult{}, err
 		}
-		return search.AttrVectRangesSet(av, ranges, scanWorkers), nil
+		return enclave.SearchResult{Ranges: ranges}, nil
 	default:
 		ids, err := search.UnsortedDict(region, dec, pq)
 		if err != nil {
-			return nil, err
+			return enclave.SearchResult{}, err
 		}
-		return search.AttrVectListSet(av, ids, region.Len(), db.opts.avMode, scanWorkers), nil
+		return enclave.SearchResult{IDs: ids}, nil
 	}
 }
 
@@ -387,7 +409,7 @@ func (t *table) render(c *column, rids []uint32) [][]byte {
 	cells := make([][]byte, len(rids))
 	for i, r := range rids {
 		if int(r) < t.mainRows {
-			cells[i] = c.main.Entry(int(c.main.AV[r]))
+			cells[i] = c.main.Entry(int(c.main.VID(int(r))))
 			continue
 		}
 		cells[i] = c.delta.entry(int(r) - t.mainRows)

@@ -61,7 +61,7 @@ type Report struct {
 func Analyze(s *dict.Split, decrypt func([]byte) ([]byte, error)) (*Report, error) {
 	n := s.Len()
 	r := &Report{Kind: s.Kind, DictLen: n, Rows: s.Rows()}
-	hist := VidHistogram(s.AV, n)
+	hist := VidHistogram(s.AVCodes(), n)
 	for _, c := range hist {
 		if c > r.MaxVidFrequency {
 			r.MaxVidFrequency = c
@@ -193,7 +193,7 @@ func FrequencyAttack(s *dict.Split, decrypt func([]byte) ([]byte, error), aux Au
 	if n == 0 || s.Rows() == 0 {
 		return 0, nil
 	}
-	hist := VidHistogram(s.AV, n)
+	hist := VidHistogram(s.AVCodes(), n)
 
 	// Attacker side: ValueIDs sorted by descending observed frequency.
 	// Ties are shuffled first: a frequency-analysis attacker has no basis
@@ -250,7 +250,7 @@ func FrequencyAttack(s *dict.Split, decrypt func([]byte) ([]byte, error), aux Au
 	// Score: fraction of rows whose guessed plaintext is correct.
 	correct := 0
 	plainCache := make(map[int]string, n)
-	for _, vid := range s.AV {
+	for _, vid := range s.AVCodes() {
 		pt, ok := plainCache[int(vid)]
 		if !ok {
 			raw, err := decrypt(s.Entry(int(vid)))
@@ -281,7 +281,7 @@ func OrderAttack(s *dict.Split, decrypt func([]byte) ([]byte, error), aux Auxili
 	if n == 0 || s.Rows() == 0 {
 		return 0, nil
 	}
-	hist := VidHistogram(s.AV, n)
+	hist := VidHistogram(s.AVCodes(), n)
 	total := 0
 	for _, f := range aux {
 		total += f
@@ -318,7 +318,7 @@ func OrderAttack(s *dict.Split, decrypt func([]byte) ([]byte, error), aux Auxili
 
 	correct := 0
 	plainCache := make(map[int]string, n)
-	for _, vid := range s.AV {
+	for _, vid := range s.AVCodes() {
 		pt, ok := plainCache[int(vid)]
 		if !ok {
 			raw, err := decrypt(s.Entry(int(vid)))

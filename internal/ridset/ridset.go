@@ -84,6 +84,18 @@ func (s *Set) Add(r uint32) {
 	s.words[r/wordBits] |= 1 << (r % wordBits)
 }
 
+// OrWord ORs a 64-bit match word into word i of the bitmap: RecordIDs
+// [64i, 64i+64). It is the emit path of the packed attribute-vector scan
+// kernels, which produce one match word per 64-row group; like Add, writers
+// owning disjoint word indexes may call it concurrently. Bits beyond the
+// universe are cleared, preserving the tail invariant.
+func (s *Set) OrWord(i int, w uint64) {
+	s.words[i] |= w
+	if i == len(s.words)-1 {
+		s.maskTail()
+	}
+}
+
 // Remove deletes RecordID r if present. RecordIDs outside the universe are
 // ignored.
 func (s *Set) Remove(r uint32) {

@@ -2,9 +2,10 @@ package search
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/ridset"
 )
 
@@ -89,17 +90,89 @@ func AttrVectListSet(av []uint32, vids []uint32, dictLen int, mode AVMode, worke
 		}
 	default: // AVSortedProbe
 		sorted := vids
-		if !sort.SliceIsSorted(sorted, func(a, b int) bool { return sorted[a] < sorted[b] }) {
-			sorted = append([]uint32(nil), vids...)
-			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		if !slices.IsSorted(sorted) {
+			sorted = slices.Clone(vids)
+			slices.Sort(sorted)
 		}
 		match = func(vid uint32) bool {
-			i := sort.Search(len(sorted), func(k int) bool { return sorted[k] >= vid })
-			return i < len(sorted) && sorted[i] == vid
+			_, ok := slices.BinarySearch(sorted, vid)
+			return ok
 		}
 	}
 	parallelScan(out, av, workers, match)
 	return out
+}
+
+// AttrVectRangesPackedSet is the bit-packed fast path of AttrVectSearch
+// 1/2/4/5/7/8: the SWAR kernels of internal/av evaluate the range
+// disjunction on 64 packed codes per iteration and OR match words directly
+// into the bitmap — no per-element unpacking and no match-closure dispatch.
+// The unpacked AttrVectRangesSet remains beside it for the baseline and the
+// ablations. workers <= 0 uses GOMAXPROCS.
+func AttrVectRangesPackedSet(v *av.Vector, ranges []VidRange, workers int) *ridset.Set {
+	out := ridset.New(v.Len())
+	if v.Len() == 0 || len(ranges) == 0 {
+		return out
+	}
+	rs := make([]av.Range, len(ranges))
+	for i, r := range ranges {
+		rs[i] = av.Range{Lo: r.Lo, Hi: r.Hi}
+	}
+	packedShards(v.Len(), workers, func(gLo, gHi int) {
+		v.ScanRanges(out, gLo, gHi, rs)
+	})
+	return out
+}
+
+// AttrVectListPackedSet is the bit-packed fast path of AttrVectSearch
+// 3/6/9: the ValueID list becomes a |D|-bit membership bitmap, and the
+// packed kernel reassembles each group's 64 codes in registers before
+// probing it. workers <= 0 uses GOMAXPROCS.
+func AttrVectListPackedSet(v *av.Vector, vids []uint32, workers int) *ridset.Set {
+	out := ridset.New(v.Len())
+	if v.Len() == 0 || len(vids) == 0 {
+		return out
+	}
+	set := make([]uint64, (v.DictLen()+63)/64)
+	for _, u := range vids {
+		if int(u) < v.DictLen() {
+			set[u/64] |= 1 << (u % 64)
+		}
+	}
+	packedShards(v.Len(), workers, func(gLo, gHi int) {
+		v.ScanBitset(out, gLo, gHi, set)
+	})
+	return out
+}
+
+// packedShards distributes the packed vector's 64-row groups across workers.
+// Each shard owns whole groups, hence disjoint words of the output set, so
+// the kernels emit without synchronization — the same invariant the
+// unpacked parallelScan maintains via 64-aligned chunk boundaries.
+func packedShards(rows, workers int, scan func(gLo, gHi int)) {
+	groups := (rows + av.GroupRows - 1) / av.GroupRows
+	w := parallelism(workers)
+	if w > groups {
+		w = groups
+	}
+	if w <= 1 {
+		scan(0, groups)
+		return
+	}
+	per := (groups + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < groups; lo += per {
+		hi := lo + per
+		if hi > groups {
+			hi = groups
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			scan(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // AttrVectRanges is AttrVectRangesSet rendered to an ascending RecordID

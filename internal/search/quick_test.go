@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/search"
 )
@@ -124,6 +125,48 @@ func TestQuickAttrVectModesAgree(t *testing.T) {
 		return equalIDs(a, b) && equalIDs(b, c)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPackedScansAgreeWithUnpacked is the packed ≡ unpacked property
+// at the search-entry-point level: the SWAR kernels over a bit-packed
+// vector must emit exactly the RecordIDs of the []uint32 scans, for random
+// codes, dictionary sizes (including the 2^k / 2^k+1 width boundaries via
+// the random dictLen), ranges, membership lists and worker counts.
+func TestQuickPackedScansAgreeWithUnpacked(t *testing.T) {
+	f := func(avSeed []uint16, vidSeed []uint16, dictLenSeed uint16, loSeed, hiSeed uint16, workerSeed uint8) bool {
+		dictLen := 1 + int(dictLenSeed)%5000
+		codes := make([]uint32, len(avSeed))
+		for i, v := range avSeed {
+			codes[i] = uint32(int(v) % dictLen)
+		}
+		vec := av.Pack(codes, dictLen)
+		workers := 1 + int(workerSeed%4)
+
+		lo := uint32(int(loSeed) % dictLen)
+		hi := uint32(int(hiSeed) % dictLen)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Two ranges, the second possibly wrapping past |D| (as rotated
+		// searches produce before clamping).
+		ranges := []search.VidRange{{Lo: lo, Hi: hi}, {Lo: hi, Hi: hi + 3}}
+		a := search.AttrVectRangesSet(codes, ranges, 1).Slice()
+		b := search.AttrVectRangesPackedSet(vec, ranges, workers).Slice()
+		if !equalIDs(a, b) {
+			return false
+		}
+
+		vids := make([]uint32, 0, len(vidSeed))
+		for _, v := range vidSeed {
+			vids = append(vids, uint32(int(v)%dictLen))
+		}
+		c := search.AttrVectList(codes, vids, dictLen, search.AVSortedProbe, 1)
+		d := search.AttrVectListPackedSet(vec, vids, workers).Slice()
+		return equalIDs(c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
 }

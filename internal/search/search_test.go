@@ -78,19 +78,19 @@ func searchRows(t testing.TB, f *fixture, q search.Range) []uint32 {
 		if !ok {
 			return nil
 		}
-		return search.AttrVectRanges(f.split.AV, []search.VidRange{vr}, 1)
+		return search.AttrVectRanges(f.split.AVCodes(), []search.VidRange{vr}, 1)
 	case dict.OrderRotated:
 		ranges, err := search.RotatedDict(f.split, f.dec, f.enc, q)
 		if err != nil {
 			t.Fatalf("RotatedDict: %v", err)
 		}
-		return search.AttrVectRanges(f.split.AV, ranges, 1)
+		return search.AttrVectRanges(f.split.AVCodes(), ranges, 1)
 	default:
 		vids, err := search.UnsortedDict(f.split, f.dec, q)
 		if err != nil {
 			t.Fatalf("UnsortedDict: %v", err)
 		}
-		return search.AttrVectList(f.split.AV, vids, f.split.Len(), search.AVSortedProbe, 1)
+		return search.AttrVectList(f.split.AVCodes(), vids, f.split.Len(), search.AVSortedProbe, 1)
 	}
 }
 

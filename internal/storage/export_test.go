@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// WriteTableV1 serializes a snapshot in the legacy version-1 layout (4-byte
+// unpacked attribute vectors). It exists only for tests: ReadTable must keep
+// loading databases persisted before the packed format, and this writer
+// produces such files without keeping a checked-in binary fixture.
+func WriteTableV1(w io.Writer, snap *engine.TableSnapshot) error {
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return err
+	}
+	e := &encoder{w: cw}
+	e.u16(versionV1)
+	e.str(snap.Schema.Table)
+	e.u32(uint32(len(snap.Schema.Columns)))
+	for _, def := range snap.Schema.Columns {
+		e.str(def.Name)
+		e.u8(uint8(def.Kind))
+		e.u32(uint32(def.MaxLen))
+		e.u32(uint32(def.BSMax))
+		e.boolean(def.Plain)
+	}
+	e.bools(snap.MainValid)
+	e.bools(snap.DeltaValid)
+	for _, cs := range snap.Columns {
+		e.str(cs.Name)
+		e.splitV1(cs.Main)
+		e.u32(uint32(len(cs.Delta)))
+		for _, d := range cs.Delta {
+			e.bytes(d)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	sum := cw.crc.Sum32()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], sum)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// splitV1 writes the legacy split layout: the attribute vector as plain
+// uint32s between the rotation offset and the head.
+func (e *encoder) splitV1(d dict.SplitData) {
+	e.u8(uint8(d.Kind))
+	e.boolean(d.Plain)
+	e.u32(uint32(d.MaxLen))
+	e.u32(uint32(d.BSMax))
+	e.bytes(d.EncRndOffset)
+	e.u64(uint64(len(d.AV)))
+	for _, v := range d.AV {
+		e.u32(v)
+	}
+	e.u64(uint64(len(d.Head)))
+	for _, ref := range d.Head {
+		e.u32(ref.Off)
+		e.u32(ref.Len)
+	}
+	e.bytes(d.Tail)
+}

@@ -10,6 +10,11 @@
 // they are PAE ciphertexts, so a stolen disk reveals exactly as much as a
 // stolen memory image (the attacker the paper defends against already sees
 // both).
+//
+// Format versions: version 1 stored the attribute vector as 4-byte-per-row
+// uint32s; version 2 stores it bit-packed at ceil(log2 |D|) bits per code
+// (the internal/av slice words verbatim), mirroring the in-memory layout.
+// WriteTable always writes version 2; ReadTable loads both.
 package storage
 
 import (
@@ -21,13 +26,17 @@ import (
 	"io"
 	"os"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/engine"
 )
 
 const (
-	magic   = "ENCDBDB\x01"
-	version = uint16(1)
+	magic = "ENCDBDB\x01"
+	// versionV1 is the legacy unpacked-AV format; versionV2 packs the
+	// attribute vector. ReadTable accepts both, WriteTable emits V2.
+	versionV1 = uint16(1)
+	versionV2 = uint16(2)
 	// maxSliceLen guards length-prefixed reads against corrupted or
 	// malicious files claiming absurd sizes.
 	maxSliceLen = 1 << 33
@@ -48,7 +57,7 @@ func WriteTable(w io.Writer, snap *engine.TableSnapshot) error {
 		return err
 	}
 	e := &encoder{w: cw}
-	e.u16(version)
+	e.u16(versionV2)
 	e.str(snap.Schema.Table)
 	e.u32(uint32(len(snap.Schema.Columns)))
 	for _, def := range snap.Schema.Columns {
@@ -90,8 +99,9 @@ func ReadTable(r io.Reader) (*engine.TableSnapshot, error) {
 		return nil, ErrBadMagic
 	}
 	d := &decoder{r: cr}
-	if v := d.u16(); d.err == nil && v != version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+	d.ver = d.u16()
+	if d.err == nil && d.ver != versionV1 && d.ver != versionV2 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, d.ver)
 	}
 	snap := &engine.TableSnapshot{}
 	snap.Schema.Table = d.str()
@@ -280,9 +290,16 @@ func (e *encoder) split(d dict.SplitData) {
 	e.u32(uint32(d.MaxLen))
 	e.u32(uint32(d.BSMax))
 	e.bytes(d.EncRndOffset)
-	e.u64(uint64(len(d.AV)))
-	for _, v := range d.AV {
-		e.u32(v)
+	// V2 attribute vector: row count, code width, then the bit-slice
+	// words of the packed vector — ceil(log2 |D|) bits per row on disk,
+	// the same layout the engine scans in memory.
+	vec := av.Pack(d.AV, len(d.Head))
+	e.u64(uint64(vec.Len()))
+	e.u8(uint8(vec.Bits()))
+	words := vec.Words()
+	e.u64(uint64(len(words)))
+	for _, w := range words {
+		e.u64(w)
 	}
 	e.u64(uint64(len(d.Head)))
 	for _, ref := range d.Head {
@@ -292,9 +309,11 @@ func (e *encoder) split(d dict.SplitData) {
 	e.bytes(d.Tail)
 }
 
-// decoder reads primitive values, capturing the first error.
+// decoder reads primitive values, capturing the first error. ver selects
+// the split layout (legacy unpacked vs packed attribute vectors).
 type decoder struct {
 	r   io.Reader
+	ver uint16
 	err error
 }
 
@@ -374,11 +393,29 @@ func (d *decoder) split() dict.SplitData {
 	s.MaxLen = int(d.u32())
 	s.BSMax = int(d.u32())
 	s.EncRndOffset = d.bytes()
-	nav := d.sliceLen()
-	if d.err == nil && nav > 0 {
-		s.AV = make([]uint32, nav)
-		for i := range s.AV {
-			s.AV[i] = d.u32()
+	var (
+		rows  int
+		width int
+		words []uint64
+	)
+	if d.ver >= versionV2 {
+		rows = d.sliceLen()
+		width = int(d.u8())
+		nwords := d.sliceLen()
+		if d.err == nil && nwords > 0 {
+			words = make([]uint64, nwords)
+			for i := range words {
+				words[i] = d.u64()
+			}
+		}
+	} else {
+		// V1: 4-byte-per-row unpacked attribute vector.
+		nav := d.sliceLen()
+		if d.err == nil && nav > 0 {
+			s.AV = make([]uint32, nav)
+			for i := range s.AV {
+				s.AV[i] = d.u32()
+			}
 		}
 	}
 	nhead := d.sliceLen()
@@ -389,5 +426,16 @@ func (d *decoder) split() dict.SplitData {
 		}
 	}
 	s.Tail = d.bytes()
+	if d.err == nil && d.ver >= versionV2 {
+		// The packed width is bound to |D|, known only after the head;
+		// dict.FromData re-validates every code against |D| once the
+		// vector is unpacked into the interchange shape.
+		vec, err := av.FromWords(words, rows, width, nhead)
+		if err != nil {
+			d.err = err
+			return s
+		}
+		s.AV = vec.Unpack()
+	}
 	return s
 }
