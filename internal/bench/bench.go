@@ -42,19 +42,23 @@ type Config struct {
 	// JSONPath, when non-empty, is where the compression experiment
 	// writes its machine-readable results.
 	JSONPath string
+	// MergeJSONPath, when non-empty, is where the merge experiment writes
+	// its machine-readable results.
+	MergeJSONPath string
 }
 
 // DefaultConfig returns a configuration that completes every experiment in
 // seconds on a laptop while preserving the paper's shapes.
 func DefaultConfig(out io.Writer) Config {
 	return Config{
-		Rows:       []int{10_000, 30_000},
-		Queries:    50,
-		RangeSizes: []int{2, 100},
-		BSMax:      10,
-		Seed:       1,
-		Out:        out,
-		JSONPath:   "BENCH_compression.json",
+		Rows:          []int{10_000, 30_000},
+		Queries:       50,
+		RangeSizes:    []int{2, 100},
+		BSMax:         10,
+		Seed:          1,
+		Out:           out,
+		JSONPath:      "BENCH_compression.json",
+		MergeJSONPath: "BENCH_merge.json",
 	}
 }
 

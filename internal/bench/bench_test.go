@@ -36,6 +36,7 @@ func TestExperimentsProduceOutput(t *testing.T) {
 		{name: "table6", run: Table6, want: []string{"Plaintext file", "Encrypted file", "MonetDB", "ED1/ED2/ED3", "bsmax=10", "ED7/ED8/ED9"}},
 		{name: "fig7", run: Fig7, want: []string{"C1", "C2", "avg results"}},
 		{name: "remote", run: Remote, want: []string{"lock-step v1", "multiplexed", "pooled", "p99", "bulk load"}},
+		{name: "merge", run: Merge, want: []string{"quiet", "background", "blocking", "p99"}},
 		{name: "compression", run: Compression, want: []string{"|D|", "width", "ratio", "speedup"}},
 		{name: "ablation-av", run: AblationAV, want: []string{"nested loop", "sorted probe", "bitset", "packed SWAR"}},
 		{name: "ablation-optimizer", run: AblationOptimizer, want: []string{"on (default)", "off", "loads/query"}},
@@ -88,6 +89,39 @@ func TestCompressionWritesJSON(t *testing.T) {
 		if p.SplitMemBytes >= p.SplitUnpackedBytes {
 			t.Errorf("|D|=%d: packed split %d B not below unpacked %d B",
 				p.DictLen, p.SplitMemBytes, p.SplitUnpackedBytes)
+		}
+	}
+}
+
+func TestMergeWritesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Queries = 5
+	cfg.MergeJSONPath = filepath.Join(t.TempDir(), "BENCH_merge.json")
+	if err := Merge(cfg); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	blob, err := os.ReadFile(cfg.MergeJSONPath)
+	if err != nil {
+		t.Fatalf("JSON file: %v", err)
+	}
+	var out MergeReport
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("JSON parse: %v", err)
+	}
+	if out.Rows != 600 || out.MergeMs <= 0 || len(out.Points) != 3 {
+		t.Fatalf("JSON shape: %+v", out)
+	}
+	scenarios := map[string]bool{}
+	for _, p := range out.Points {
+		scenarios[p.Scenario] = true
+		if p.Samples <= 0 || p.P50us <= 0 || p.P99us < p.P50us {
+			t.Errorf("%s: implausible distribution %+v", p.Scenario, p)
+		}
+	}
+	for _, want := range []string{"quiet", "background", "blocking"} {
+		if !scenarios[want] {
+			t.Errorf("missing scenario %q in %+v", want, out.Points)
 		}
 	}
 }

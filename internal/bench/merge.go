@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/workload"
+)
+
+// MergePoint is one scenario row of the merge experiment.
+type MergePoint struct {
+	// Scenario is "quiet" (no merge in flight), "background" (queries
+	// racing the default off-lock merge pipeline), or "blocking" (queries
+	// racing the legacy hold-the-lock merge).
+	Scenario string  `json:"scenario"`
+	Samples  int     `json:"samples"`
+	P50us    float64 `json:"p50us"`
+	P99us    float64 `json:"p99us"`
+}
+
+// MergeReport is the machine-readable result of the merge experiment.
+type MergeReport struct {
+	Rows      int          `json:"rows"`
+	DeltaRows int          `json:"deltaRows"`
+	MergeMs   float64      `json:"mergeMs"`
+	Points    []MergePoint `json:"points"`
+}
+
+// Merge measures what the background merge pipeline buys on the query path:
+// Select latency (p50/p99) with no merge in flight, concurrent with the
+// default off-lock background merge, and concurrent with the legacy
+// blocking merge that holds the table write lock for the whole enclave
+// rebuild. With the background pipeline the under-merge percentiles should
+// sit near the quiet baseline, while the blocking column's p99 absorbs up
+// to a full merge duration. Results go to cfg.Out as a table and, when
+// cfg.MergeJSONPath is set, to that file as JSON (BENCH_merge.json).
+func Merge(cfg Config) error {
+	rows := cfg.Rows[len(cfg.Rows)-1]
+	deltaN := rows / 10
+	if deltaN < 100 {
+		deltaN = 100
+	}
+	if deltaN > 4000 {
+		deltaN = 4000
+	}
+	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
+	def := defFor(dict.ED1, col.Profile.ValueLen, cfg.BSMax, false)
+	gen, err := workload.NewQueryGen(col, cfg.RangeSizes[0], cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	// One system per merge mode so the comparison shares nothing.
+	background, err := newSystem(engine.WithWorkers(cfg.Workers))
+	if err != nil {
+		return err
+	}
+	blocking, err := newSystem(engine.WithWorkers(cfg.Workers), engine.WithBlockingMerge(true))
+	if err != nil {
+		return err
+	}
+	const table = "mrg"
+	prep := func(s *system) ([]engine.Filter, error) {
+		if err := s.loadTable(table, def, col.Values, cfg.Seed); err != nil {
+			return nil, err
+		}
+		return s.prepareFilters(table, def, gen, cfg.Queries)
+	}
+	bgFilters, err := prep(background)
+	if err != nil {
+		return err
+	}
+	blFilters, err := prep(blocking)
+	if err != nil {
+		return err
+	}
+
+	// feed grows the delta store so each merge has real enclave work.
+	feed := func(s *system) error {
+		cipher, err := s.cipher(table, def.Name)
+		if err != nil {
+			return err
+		}
+		batch := make([]engine.Row, deltaN)
+		for i := range batch {
+			ct, err := cipher.Encrypt(col.Values[i%len(col.Values)])
+			if err != nil {
+				return err
+			}
+			batch[i] = engine.Row{def.Name: ct}
+		}
+		return s.db.InsertBatch(table, batch)
+	}
+
+	sample := func(s *system, filters []engine.Filter, i int) (float64, error) {
+		f := filters[i%len(filters)]
+		start := time.Now()
+		_, err := s.db.Select(engine.Query{Table: table, Filters: []engine.Filter{f}, CountOnly: true})
+		return float64(time.Since(start).Microseconds()), err
+	}
+
+	// Quiet baseline on the background system.
+	quiet := make([]float64, 0, cfg.Queries)
+	for i := 0; i < cfg.Queries; i++ {
+		us, err := sample(background, bgFilters, i)
+		if err != nil {
+			return err
+		}
+		quiet = append(quiet, us)
+	}
+
+	// One timed merge for the report's scale line.
+	if err := feed(background); err != nil {
+		return err
+	}
+	mergeStart := time.Now()
+	if err := background.db.Merge(table); err != nil {
+		return err
+	}
+	mergeDur := time.Since(mergeStart)
+
+	// underMerge samples Select latency while merges are in flight,
+	// re-feeding and re-merging until enough samples are collected.
+	underMerge := func(s *system, filters []engine.Filter) ([]float64, error) {
+		lat := make([]float64, 0, cfg.Queries)
+		for round := 0; len(lat) < cfg.Queries && round < 50; round++ {
+			if err := feed(s); err != nil {
+				return nil, err
+			}
+			done := make(chan error, 1)
+			go func() { done <- s.db.Merge(table) }()
+			for i := 0; ; i++ {
+				us, err := sample(s, filters, i)
+				if err != nil {
+					<-done
+					return nil, err
+				}
+				lat = append(lat, us)
+				select {
+				case err := <-done:
+					if err != nil {
+						return nil, err
+					}
+				default:
+					continue
+				}
+				break
+			}
+		}
+		return lat, nil
+	}
+	bg, err := underMerge(background, bgFilters)
+	if err != nil {
+		return err
+	}
+	bl, err := underMerge(blocking, blFilters)
+	if err != nil {
+		return err
+	}
+
+	report := MergeReport{
+		Rows:      rows,
+		DeltaRows: deltaN,
+		MergeMs:   float64(mergeDur.Microseconds()) / 1000,
+		Points: []MergePoint{
+			point("quiet", quiet),
+			point("background", bg),
+			point("blocking", bl),
+		},
+	}
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scenario\tsamples\tp50\tp99\n")
+	for _, p := range report.Points {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", p.Scenario, p.Samples, ms(p.P50us), ms(p.P99us))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	cfg.printf("(ED1, %d main rows; one merge folds %d delta rows in %s; RS=%d)\n",
+		rows, deltaN, ms(report.MergeMs*1000), cfg.RangeSizes[0])
+	cfg.printf("(blocking merges park every Select behind the rebuild; the background pipeline pins a version and scans lock-free)\n")
+	if runtime.GOMAXPROCS(0) == 1 {
+		cfg.printf("(single-core host: both under-merge columns degrade to CPU scheduling; the lock-vs-lock-free gap needs >= 2 cores)\n")
+	}
+
+	if cfg.MergeJSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.MergeJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench: write %s: %w", cfg.MergeJSONPath, err)
+		}
+		cfg.printf("wrote %s\n", cfg.MergeJSONPath)
+	}
+	return nil
+}
+
+// point summarizes one latency distribution.
+func point(scenario string, lat []float64) MergePoint {
+	return MergePoint{
+		Scenario: scenario,
+		Samples:  len(lat),
+		P50us:    median(lat),
+		P99us:    workload.Percentile(lat, 0.99),
+	}
+}

@@ -479,18 +479,21 @@ type MergeInput struct {
 }
 
 // MergeColumns is the delta-merge ECALL (paper §4.3): it reconstructs the
-// valid rows of the main and delta stores inside the enclave, re-encrypts
-// every value with fresh IVs, and rebuilds the column under the main
-// store's encrypted dictionary kind with a fresh rotation offset or shuffle.
-// The returned split carries no linkable relation to the old stores.
-func (e *Enclave) MergeColumns(meta ColumnMeta, bsmax int, main, delta MergeInput) (*dict.Split, error) {
+// valid rows of the given stores — conventionally the main store followed by
+// the sealed delta runs in chain order — inside the enclave, re-encrypts
+// every value with fresh IVs, and rebuilds the column under the column's
+// encrypted dictionary kind with a fresh rotation offset or shuffle. The
+// returned split carries no linkable relation to the old stores. The whole
+// rebuild costs a single context switch regardless of how many delta runs
+// participate.
+func (e *Enclave) MergeColumns(meta ColumnMeta, bsmax int, inputs ...MergeInput) (*dict.Split, error) {
 	e.enterECall()
 	cipher, err := e.cipherFor(meta.Table, meta.Column)
 	if err != nil {
 		return nil, err
 	}
 	var col [][]byte
-	for _, in := range []MergeInput{main, delta} {
+	for _, in := range inputs {
 		rows, err := e.decryptRows(meta, cipher, in)
 		if err != nil {
 			return nil, err

@@ -5,20 +5,22 @@ import (
 	"encoding/binary"
 	"fmt"
 	mrand "math/rand"
+	"sync"
 
 	"github.com/encdbdb/encdbdb/internal/av"
-	"github.com/encdbdb/encdbdb/internal/dict"
-	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/ridset"
 )
 
-// deltaStore is the write-optimized store of paper §4.3: an append-only ED9
-// dictionary (one entry per inserted row, unsorted by arrival, frequency
-// hiding by construction) with an identity attribute vector. Inserting into
-// it leaks neither order nor frequency.
+// deltaStore is the active tail of the write-optimized store of paper §4.3:
+// an append-only ED9 dictionary (one entry per inserted row, unsorted by
+// arrival, frequency hiding by construction) whose attribute vector is the
+// identity AV[i] = i by construction — it is never materialized; consumers
+// compute codes on the fly. Inserting into it leaks neither order nor
+// frequency. Appends happen only under the table write lock; readers work
+// against length-capped captures of entries, which appends never rewrite
+// below the captured length.
 type deltaStore struct {
 	entries [][]byte
-	avCache []uint32
 	bytes   int
 }
 
@@ -26,33 +28,101 @@ func newDeltaStore() *deltaStore {
 	return &deltaStore{}
 }
 
-// Len returns the number of delta rows (implements search.Region).
+// Len returns the number of tail rows (implements search.Region).
 func (d *deltaStore) Len() int { return len(d.entries) }
 
-// Load returns delta entry i (implements search.Region).
+// Load returns tail entry i (implements search.Region).
 func (d *deltaStore) Load(i int) []byte { return d.entries[i] }
-
-// entry is Load under the rendering path's name.
-func (d *deltaStore) entry(i int) []byte { return d.entries[i] }
 
 // append adds one re-encrypted value.
 func (d *deltaStore) append(payload []byte) {
 	d.entries = append(d.entries, payload)
-	d.avCache = append(d.avCache, uint32(len(d.avCache)))
 	d.bytes += len(payload)
 }
 
-// av returns the identity attribute vector (AV[i] = i for ED9 appends).
-func (d *deltaStore) av() []uint32 { return d.avCache }
+// sizeBytes returns the storage footprint of the tail. The identity
+// attribute vector is implicit and costs nothing.
+func (d *deltaStore) sizeBytes() int { return d.bytes }
 
-// sizeBytes returns the storage footprint of the delta store.
-func (d *deltaStore) sizeBytes() int { return d.bytes + 4*len(d.avCache) }
+// deltaRun is a sealed, immutable delta run: the frozen entries of a former
+// tail plus the bit-packed identity attribute vector built at seal time,
+// which lets the word-parallel packed membership kernel answer the
+// attribute-vector phase instead of the O(rows) per-probe linear path the
+// tail uses.
+type deltaRun struct {
+	entries [][]byte
+	bytes   int
+	packed  *av.Vector
 
-// reset clears the delta store after a merge.
-func (d *deltaStore) reset() {
-	d.entries = nil
-	d.avCache = nil
-	d.bytes = 0
+	// identOnce/ident lazily mirror the identity codes as a []uint32 for
+	// the unpacked baseline scan path (WithPackedScan(false)); like
+	// dict.Split's AVCodes mirror, the cost is paid only if that path runs
+	// and is excluded from sizeBytes.
+	identOnce sync.Once
+	ident     []uint32
+}
+
+// sealRun freezes a tail into an immutable run. The identity codes are
+// materialized once, only to feed av.Pack; the packed vector is the run's
+// lasting representation.
+func sealRun(d *deltaStore) *deltaRun {
+	n := len(d.entries)
+	return &deltaRun{
+		entries: d.entries[:n:n],
+		bytes:   d.bytes,
+		packed:  av.Pack(identCodes(n), n),
+	}
+}
+
+// rows returns the run's row count.
+func (r *deltaRun) rows() int { return len(r.entries) }
+
+// Len returns the run's row count (implements search.Region).
+func (r *deltaRun) Len() int { return len(r.entries) }
+
+// Load returns run entry i (implements search.Region).
+func (r *deltaRun) Load(i int) []byte { return r.entries[i] }
+
+// sizeBytes returns the storage footprint of the run including its packed
+// attribute vector.
+func (r *deltaRun) sizeBytes() int { return r.bytes + r.packed.MemBytes() }
+
+// identCodes returns the run's identity codes as a plain []uint32,
+// materializing and caching them on first use.
+func (r *deltaRun) identCodes() []uint32 {
+	r.identOnce.Do(func() { r.ident = identCodes(len(r.entries)) })
+	return r.ident
+}
+
+// identCodes materializes the identity ValueID vector 0..n-1 — the unpacked
+// mirror of a delta run's attribute vector, computed on demand for the
+// baseline (unpacked) scan entry points.
+func identCodes(n int) []uint32 {
+	codes := make([]uint32, n)
+	for i := range codes {
+		codes[i] = uint32(i)
+	}
+	return codes
+}
+
+// sealTailLocked seals every column's active tail into a run if the tail
+// has reached threshold rows (0 seals any non-empty tail). All columns seal
+// together so run boundaries align across the table. The caller holds the
+// table write lock.
+func (t *table) sealTailLocked(threshold int) {
+	n := t.tailLenLocked()
+	if n == 0 || n < threshold {
+		return
+	}
+	for _, c := range t.cols {
+		run := sealRun(c.tail)
+		// Append into a fresh slice so a pinned version's captured chain
+		// header never observes in-place growth.
+		chain := make([]*deltaRun, 0, len(c.sealed)+1)
+		chain = append(chain, c.sealed...)
+		c.sealed = append(chain, run)
+		c.tail = newDeltaStore()
+	}
 }
 
 // Row is one inserted row: column name to value. Values of encrypted columns
@@ -60,25 +130,87 @@ func (d *deltaStore) reset() {
 // of plain columns are plaintext.
 type Row map[string][]byte
 
-// Insert appends a row to the table's delta stores. Each encrypted value is
-// re-encrypted inside the enclave with a fresh IV before being stored, so
-// the stored ciphertext cannot be linked to the insert message (paper §4.3).
-// Only this table is write-locked; traffic on other tables proceeds.
+// prepareRow validates a row and produces the payloads to store: encrypted
+// values are re-encrypted inside the enclave with a fresh IV so the stored
+// ciphertext cannot be linked to the insert message (paper §4.3); plain
+// values are length-checked and defensively copied. No table state is read
+// or written, so preparation runs outside the table lock — write critical
+// sections stay brief.
+func (db *DB) prepareRow(t *table, row Row) (map[string][]byte, error) {
+	payloads := make(map[string][]byte, len(t.cols))
+	for name, c := range t.cols {
+		v, ok := row[name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingColumn, name)
+		}
+		if c.def.Plain {
+			if len(v) > c.def.MaxLen {
+				return nil, fmt.Errorf("engine: value for %q exceeds max length %d", name, c.def.MaxLen)
+			}
+			payloads[name] = append([]byte(nil), v...)
+			continue
+		}
+		fresh, err := db.encl.ReencryptValue(db.columnMeta(c), v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: insert %q: %w", name, err)
+		}
+		payloads[name] = fresh
+	}
+	return payloads, nil
+}
+
+// commitRowsLocked appends fully prepared rows to the tail and installs the
+// grown copy-on-write validity bitmap. It cannot fail — preparation already
+// validated everything — which is what makes multi-row writes atomic. The
+// caller holds the table write lock.
+func (db *DB) commitRowsLocked(t *table, payloads []map[string][]byte) {
+	for _, p := range payloads {
+		for name, c := range t.cols {
+			c.tail.append(p[name])
+		}
+	}
+	n := t.mainRows + t.deltaRows
+	valid := t.valid.Clone()
+	valid.Grow(n + len(payloads))
+	for i := range payloads {
+		valid.Add(uint32(n + i))
+	}
+	t.deltaRows += len(payloads)
+	t.valid = valid
+	t.sealTailLocked(db.opts.sealRows)
+}
+
+// Insert appends a row to the table's delta stores. Only this table is
+// write-locked, and only for the bitmap update and tail append — enclave
+// re-encryption happens before the lock — so traffic on other tables and
+// concurrent reads of this one proceed.
 func (db *DB) Insert(tableName string, row Row) error {
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return err
 	}
+	if err := t.readyCheck(); err != nil {
+		return err
+	}
+	payloads, err := db.prepareRow(t, row)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	return db.insertLocked(t, row)
+	if err := t.ready(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	db.commitRowsLocked(t, []map[string][]byte{payloads})
+	t.mu.Unlock()
+	db.maybeAutoMerge(tableName, t)
+	return nil
 }
 
 // InsertBatch appends rows under a single table write-lock acquisition —
-// the provider-side half of the proxy's bulk-load fast path (one lock
-// round trip and one validity-bitmap growth cadence instead of per-row
-// acquisitions). Rows apply in order; on error, rows preceding the failing
-// one remain inserted.
+// the provider-side half of the proxy's bulk-load fast path. The batch is
+// all-or-nothing: every row is validated and re-encrypted before any table
+// state changes, so a bad row leaves the table untouched.
 func (db *DB) InsertBatch(tableName string, rows []Row) error {
 	if len(rows) == 0 {
 		return nil
@@ -87,56 +219,31 @@ func (db *DB) InsertBatch(tableName string, rows []Row) error {
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	if err := t.readyCheck(); err != nil {
+		return err
+	}
+	payloads := make([]map[string][]byte, len(rows))
 	for i, row := range rows {
-		if err := db.insertLocked(t, row); err != nil {
+		if payloads[i], err = db.prepareRow(t, row); err != nil {
 			return fmt.Errorf("engine: batch row %d: %w", i, err)
 		}
 	}
-	return nil
-}
-
-// insertLocked appends one row; the caller holds the table's write lock.
-func (db *DB) insertLocked(t *table, row Row) error {
+	t.mu.Lock()
 	if err := t.ready(); err != nil {
+		t.mu.Unlock()
 		return err
 	}
-	// Validate the row is complete before mutating anything.
-	payloads := make(map[string][]byte, len(t.cols))
-	for name, c := range t.cols {
-		v, ok := row[name]
-		if !ok {
-			return fmt.Errorf("%w: %q", ErrMissingColumn, name)
-		}
-		if c.def.Plain {
-			if len(v) > c.def.MaxLen {
-				return fmt.Errorf("engine: value for %q exceeds max length %d", name, c.def.MaxLen)
-			}
-			payloads[name] = append([]byte(nil), v...)
-			continue
-		}
-		fresh, err := db.encl.ReencryptValue(db.columnMeta(c), v)
-		if err != nil {
-			return fmt.Errorf("engine: insert %q: %w", name, err)
-		}
-		payloads[name] = fresh
-	}
-	for name, c := range t.cols {
-		c.delta.append(payloads[name])
-	}
-	t.deltaRows++
-	n := t.mainRows + t.deltaRows
-	t.valid.Grow(n)
-	t.valid.Add(uint32(n - 1))
+	db.commitRowsLocked(t, payloads)
+	t.mu.Unlock()
+	db.maybeAutoMerge(tableName, t)
 	return nil
 }
 
 // Delete invalidates all rows matching the filters and returns how many rows
 // it removed. Deletions are realized as validity-bit updates (paper §4.3):
-// one word-parallel AndNot of the match bitmap. Match and invalidation
-// happen atomically under the table write lock so a concurrent merge cannot
-// remap RecordIDs in between.
+// one word-parallel AndNot into a fresh copy-on-write bitmap. Match and
+// invalidation happen atomically under the table write lock so a concurrent
+// merge swap cannot remap RecordIDs in between.
 func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
 	t, err := db.lookup(tableName)
 	if err != nil {
@@ -152,149 +259,93 @@ func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
 		return 0, err
 	}
 	removed := match.Len()
-	t.valid.AndNot(match)
+	valid := t.valid.Clone()
+	valid.AndNot(match)
+	t.valid = valid
 	return removed, nil
 }
 
 // Update rewrites all rows matching the filters: the old row is invalidated
 // and a new row — the old cells with the set values substituted — is
 // appended to the delta store. Match, render, invalidate and append happen
-// atomically under the table write lock. Returns the number of updated rows.
+// atomically under the table write lock, and the whole statement is
+// all-or-nothing: every replacement row is validated and re-encrypted
+// before any state changes. Returns the number of updated rows.
 func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return 0, err
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if err := t.ready(); err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
 	match, err := db.matchValidLocked(t, filters)
 	if err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
 	rids := match.Slice()
 	if len(rids) == 0 {
+		t.mu.Unlock()
 		return 0, nil
 	}
 	// Render the full matching rows (all columns) before invalidating.
+	v := t.versionLocked()
 	rows := make([]Row, len(rids))
 	for i := range rows {
 		rows[i] = make(Row, len(t.cols))
 	}
-	for name, c := range t.cols {
-		cells := t.render(c, rids)
+	for name, cv := range v.cols {
+		cells := v.render(cv, rids)
 		for i, cell := range cells {
 			rows[i][name] = append([]byte(nil), cell...)
 		}
 	}
-	t.valid.AndNot(match)
 	for _, row := range rows {
-		for name, v := range set {
-			row[name] = v
+		for name, val := range set {
+			// Copy defensively: set aliases caller buffers, and the row
+			// maps outlive this statement inside prepareRow's plain path.
+			row[name] = append([]byte(nil), val...)
 		}
-		if err := db.insertLocked(t, row); err != nil {
+	}
+	payloads := make([]map[string][]byte, len(rows))
+	for i, row := range rows {
+		if payloads[i], err = db.prepareRow(t, row); err != nil {
+			t.mu.Unlock()
 			return 0, err
 		}
 	}
+	valid := t.valid.Clone()
+	valid.AndNot(match)
+	t.valid = valid
+	db.commitRowsLocked(t, payloads)
+	t.mu.Unlock()
+	db.maybeAutoMerge(tableName, t)
 	return len(rids), nil
 }
 
 // matchValidLocked evaluates filters and applies validity; the caller holds
 // at least the table's read lock.
 func (db *DB) matchValidLocked(t *table, filters []Filter) (*ridset.Set, error) {
-	match, err := db.matchRows(t, filters)
+	v := t.versionLocked()
+	match, err := db.matchRows(v, filters)
 	if err != nil {
 		return nil, err
 	}
-	match.IntersectWith(t.valid)
+	match.IntersectWith(v.valid)
 	return match, nil
 }
 
-// Merge folds each column's delta store into its main store (paper §4.3):
-// inside the enclave, the valid rows of both stores are reconstructed,
-// re-encrypted under fresh IVs, and rebuilt under the column's encrypted
-// dictionary with a fresh rotation/shuffle, so the new main store carries no
-// linkable relation to the old stores. Invalidated rows are garbage
-// collected. Plain columns are rebuilt locally with the same algorithms.
-// Only this table is locked for the duration; a long enclave rebuild stalls
-// no other table.
-func (db *DB) Merge(tableName string) error {
-	t, err := db.lookup(tableName)
-	if err != nil {
-		return err
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.ready(); err != nil {
-		return err
-	}
-	mainValid := t.validBools(0, t.mainRows)
-	deltaValid := t.validBools(t.mainRows, t.deltaRows)
-	merged := make(map[string]*dict.Split, len(t.cols))
-	var newRows int
-	for name, c := range t.cols {
-		var (
-			s   *dict.Split
-			err error
-		)
-		if c.def.Plain {
-			s, err = mergePlain(t, c, mainValid, deltaValid)
-		} else {
-			s, err = db.encl.MergeColumns(db.columnMeta(c), c.def.BSMax,
-				enclave.MergeInput{Region: c.main, AV: c.main.Packed(), Valid: mainValid},
-				enclave.MergeInput{Region: c.delta, AV: av.Ints(c.delta.av()), Valid: deltaValid},
-			)
-		}
-		if err != nil {
-			return fmt.Errorf("engine: merge %q.%q: %w", tableName, name, err)
-		}
-		merged[name] = s
-		newRows = s.Rows()
-	}
-	for name, c := range t.cols {
-		c.main = merged[name]
-		c.imported = c.imported || newRows > 0
-		c.delta.reset()
-	}
-	t.mainRows = newRows
-	t.deltaRows = 0
-	t.valid = ridset.Full(newRows)
-	return nil
-}
-
-// mergePlain rebuilds a plain column locally from its valid rows.
-func mergePlain(t *table, c *column, mainValid, deltaValid []bool) (*dict.Split, error) {
-	var col [][]byte
-	mainAV := c.main.AVCodes()
-	for j := 0; j < t.mainRows; j++ {
-		if mainValid[j] {
-			col = append(col, c.main.Entry(int(mainAV[j])))
-		}
-	}
-	for j := 0; j < t.deltaRows; j++ {
-		if deltaValid[j] {
-			col = append(col, c.delta.entry(j))
-		}
-	}
-	return dict.Build(col, dict.Params{
-		Kind:   c.def.Kind,
-		MaxLen: c.def.MaxLen,
-		BSMax:  c.def.BSMax,
-		Plain:  true,
-		Rand:   newBuildRand(),
-	})
-}
-
 // newBuildRand seeds a math/rand generator from crypto randomness for the
-// security-relevant shuffles and rotations of plain rebuilds.
-func newBuildRand() *mrand.Rand {
+// security-relevant shuffles and rotations of plain rebuilds. A failure of
+// the system randomness source is propagated — degrading to a fixed seed
+// would make the shuffle predictable.
+func newBuildRand() (*mrand.Rand, error) {
 	var seed [8]byte
 	if _, err := crand.Read(seed[:]); err != nil {
-		// crypto/rand never fails on supported platforms; fall back to a
-		// fixed seed rather than aborting a merge.
-		return mrand.New(mrand.NewSource(1))
+		return nil, fmt.Errorf("engine: seeding build shuffle: %w", err)
 	}
-	return mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seed[:]))))
+	return mrand.New(mrand.NewSource(int64(binary.LittleEndian.Uint64(seed[:])))), nil
 }

@@ -3,7 +3,9 @@ package engine
 import (
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sync"
+	"sync/atomic"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
@@ -21,7 +23,12 @@ var (
 	ErrAlreadyLoaded  = errors.New("engine: column already imported")
 	ErrMissingColumn  = errors.New("engine: row is missing a column value")
 	ErrEnclaveMissing = errors.New("engine: encrypted columns require an enclave")
+	ErrClosed         = errors.New("engine: database closed")
 )
+
+// defaultSealRows is the default tail size at which an active delta run is
+// sealed into an immutable run with a bit-packed attribute vector.
+const defaultSealRows = 4096
 
 // Option configures a DB.
 type Option interface {
@@ -29,10 +36,14 @@ type Option interface {
 }
 
 type options struct {
-	avMode     search.AVMode
-	workers    int
-	reorder    bool
-	packedScan bool
+	avMode         search.AVMode
+	workers        int
+	reorder        bool
+	packedScan     bool
+	sealRows       int
+	autoMergeRows  int
+	autoMergeBytes int
+	blockingMerge  bool
 }
 
 type avModeOption search.AVMode
@@ -66,52 +77,136 @@ type packedScanOption bool
 func (o packedScanOption) apply(opts *options) { opts.packedScan = bool(o) }
 
 // WithPackedScan toggles the bit-packed SWAR attribute-vector scan kernels
-// for main-store searches (default on). Disabled, scans unpack the codes
-// and run the original []uint32 entry points under the configured AVMode —
-// the baseline for the compression ablation. Delta stores always use the
-// unpacked path: their identity attribute vectors are tiny by design.
+// for main-store and sealed-delta-run searches (default on). Disabled, scans
+// unpack the codes and run the original []uint32 entry points under the
+// configured AVMode — the baseline for the compression ablation. The active
+// tail run always uses the direct identity path: its attribute vector is
+// AV[i] = i by construction, so the matching rows are the ValueIDs
+// themselves.
 func WithPackedScan(on bool) Option { return packedScanOption(on) }
+
+type sealRowsOption int
+
+func (o sealRowsOption) apply(opts *options) {
+	if o > 0 {
+		opts.sealRows = int(o)
+	}
+}
+
+// WithSealThreshold sets the tail size (rows) at which the active delta run
+// is sealed into an immutable run with a bit-packed attribute vector
+// (default 4096). Sealed runs answer the attribute-vector phase with the
+// word-parallel packed kernels instead of a per-row probe, so only the small
+// unsealed tail pays the linear path.
+func WithSealThreshold(rows int) Option { return sealRowsOption(rows) }
+
+type autoMergeOption struct{ rows, bytes int }
+
+func (o autoMergeOption) apply(opts *options) {
+	opts.autoMergeRows = o.rows
+	opts.autoMergeBytes = o.bytes
+}
+
+// WithAutoMerge enables the background auto-merge policy: after a write
+// commits, if the table's delta store holds at least maxRows rows or
+// maxBytes payload bytes (a bound of 0 disables that trigger), a background
+// merge is started unless one is already running. The merge runs off-lock:
+// concurrent Selects and writers proceed against the pinned version while
+// the enclave rebuilds, exactly as with an explicit MergeAsync.
+func WithAutoMerge(maxRows, maxBytes int) Option {
+	return autoMergeOption{rows: maxRows, bytes: maxBytes}
+}
+
+type blockingMergeOption bool
+
+func (o blockingMergeOption) apply(opts *options) { opts.blockingMerge = bool(o) }
+
+// WithBlockingMerge restores the legacy merge behaviour that holds the table
+// write lock for the entire enclave rebuild, stalling every concurrent
+// Select and writer on the table. It exists as the baseline for the merge
+// benchmark's blocking-vs-background comparison; production configurations
+// should keep the default (false).
+func WithBlockingMerge(on bool) Option { return blockingMergeOption(on) }
 
 // DB is an EncDBDB database instance at the DBaaS provider: a set of tables
 // plus the enclave used for protected dictionary searches.
 //
-// Locking is sharded per table: mu guards only the tables registry, and
-// every table carries its own RWMutex, so a Select or enclave Merge on one
-// table never stalls operations on another — the per-connection goroutines
-// of wire.Server contend only when they target the same table. The enclave
-// itself is internally synchronized and safe for concurrent ECALLs.
+// Locking is sharded per table and versioned within a table: DB.mu guards
+// only the tables registry, and each table's store state is a set of
+// immutable pieces (generation-stamped main store, sealed delta runs, a
+// copy-on-write validity bitmap) plus an append-only tail. Readers pin a
+// version under a brief critical section and then scan entirely lock-free,
+// so a long Select never blocks writers and an in-flight background merge
+// never blocks either. The enclave itself is internally synchronized and
+// safe for concurrent ECALLs.
 type DB struct {
 	encl *enclave.Enclave
 	opts options
 
 	mu     sync.RWMutex
 	tables map[string]*table
+
+	// closeMu orders background-merge admission against Close: closed and
+	// wg.Add are read/written together under it, so a merge admitted
+	// before Close is always covered by Close's wg.Wait. closed is also
+	// mirrored atomically for lock-free fast-path checks.
+	closeMu sync.Mutex
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	// mergeHooks are test instrumentation points inside the background
+	// merge pipeline (nil in production). Installed before traffic starts.
+	mergeHooks struct {
+		afterSeal  func(table string)
+		beforeSwap func(table string)
+	}
 }
 
-// table is the per-table store: one column store per column plus row
-// validity for the main and delta stores (paper §4.3). mu serializes writers
-// against readers of this table only; schema and the cols map are fixed at
-// CreateTable and may be read without it.
+// table is the per-table store: one column store per column plus the shared
+// versioned state (paper §4.3). mu serializes writers against each other and
+// guards the brief version-pin critical section; everything a pinned version
+// references is immutable, so readers touch mu only long enough to capture
+// pointers. schema and the cols map are fixed at CreateTable and may be read
+// without it.
 type table struct {
 	schema Schema
 	cols   map[string]*column
 
-	mu        sync.RWMutex
+	mu  sync.RWMutex
+	gen uint64 // main-store generation; bumped by every merge swap
+	// mainRows is the main store's row count; deltaRows the rows across
+	// all sealed runs plus the active tail.
 	mainRows  int
 	deltaRows int
 	// valid is the row validity bitmap over [0, mainRows+deltaRows):
 	// RecordIDs below mainRows are main-store rows, the rest delta rows.
 	// Deletions clear bits (paper §4.3); query results are ANDed with it.
+	// The bitmap is copy-on-write: every mutation installs a fresh copy,
+	// so a pinned version's bitmap epoch is frozen.
 	valid *ridset.Set
+
+	// mergeMu admits one merge pipeline at a time; merging mirrors it for
+	// lock-free status reads. lastMergeErr (under mu) surfaces background
+	// merge failures through MergeStatus.
+	mergeMu      sync.Mutex
+	merging      atomic.Bool
+	merges       uint64
+	lastMergeErr string
 }
 
 // column pairs the read-optimized main store with the write-optimized delta
-// store.
+// chain: zero or more sealed immutable runs plus the active append-only
+// tail. All store pointers are guarded by the table's mu; the pieces they
+// reference are immutable once published.
 type column struct {
 	table string
 	def   ColumnDef
 	main  *dict.Split
-	delta *deltaStore
+	// sealed is the chain of sealed delta runs, oldest first. The slice is
+	// replaced (never mutated in place below its published length) so a
+	// pinned version's captured header stays valid.
+	sealed []*deltaRun
+	tail   *deltaStore
 	// imported marks a bulk-loaded main store; tables may also start
 	// empty and grow purely through the delta store.
 	imported bool
@@ -120,7 +215,12 @@ type column struct {
 // New creates a database backed by the given enclave. A nil enclave is
 // allowed for plaintext-only databases (the PlainDBDB baseline).
 func New(encl *enclave.Enclave, opts ...Option) *DB {
-	o := options{avMode: search.AVSortedProbe, reorder: true, packedScan: true}
+	o := options{
+		avMode:     search.AVSortedProbe,
+		reorder:    true,
+		packedScan: true,
+		sealRows:   defaultSealRows,
+	}
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
@@ -130,6 +230,17 @@ func New(encl *enclave.Enclave, opts ...Option) *DB {
 // Enclave returns the enclave backing this database (nil for plaintext-only
 // databases). The data owner uses it for attestation and provisioning.
 func (db *DB) Enclave() *enclave.Enclave { return db.encl }
+
+// Close stops accepting new background merges and waits for in-flight ones
+// to finish. Queries and writes remain possible afterwards; only the
+// asynchronous merge machinery shuts down.
+func (db *DB) Close() error {
+	db.closeMu.Lock()
+	db.closed.Store(true)
+	db.closeMu.Unlock()
+	db.wg.Wait()
+	return nil
+}
 
 // lookup resolves a table name under the registry lock. The caller locks the
 // returned table as needed; a table concurrently dropped from the registry
@@ -158,7 +269,7 @@ func (db *DB) CreateTable(s Schema) error {
 			table: s.Table,
 			def:   def,
 			main:  dict.Empty(def.Kind, def.MaxLen, def.BSMax, def.Plain),
-			delta: newDeltaStore(),
+			tail:  newDeltaStore(),
 		}
 	}
 	db.mu.Lock()
@@ -222,6 +333,13 @@ func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
 	if t.deltaRows > 0 {
 		return fmt.Errorf("engine: cannot bulk import %q.%q after inserts", tableName, columnName)
 	}
+	// A merge pipeline sets merging before it seals, and sealing takes
+	// this lock — so any import that passes this check completes strictly
+	// before the base version is pinned, and the swap's replay bookkeeping
+	// never sees imported rows it mistakes for mid-rebuild appends.
+	if t.merging.Load() {
+		return fmt.Errorf("engine: cannot bulk import %q.%q during an in-flight merge", tableName, columnName)
+	}
 	if s.Kind != c.def.Kind || s.Plain != c.def.Plain {
 		return fmt.Errorf("engine: split kind %v/plain=%v does not match column %q (%v/plain=%v)",
 			s.Kind, s.Plain, columnName, c.def.Kind, c.def.Plain)
@@ -256,13 +374,16 @@ func (db *DB) ImportPlaintextColumn(tableName, columnName string, values [][]byt
 	}
 	var split *dict.Split
 	if c.def.Plain {
-		split, err = dict.Build(values, dict.Params{
-			Kind:   c.def.Kind,
-			MaxLen: c.def.MaxLen,
-			BSMax:  c.def.BSMax,
-			Plain:  true,
-			Rand:   newBuildRand(),
-		})
+		var rnd *mrand.Rand
+		if rnd, err = newBuildRand(); err == nil {
+			split, err = dict.Build(values, dict.Params{
+				Kind:   c.def.Kind,
+				MaxLen: c.def.MaxLen,
+				BSMax:  c.def.BSMax,
+				Plain:  true,
+				Rand:   rnd,
+			})
+		}
 	} else {
 		if db.encl == nil {
 			return fmt.Errorf("%w: column %q", ErrEnclaveMissing, columnName)
@@ -288,6 +409,7 @@ func (t *table) importedRows() int {
 
 // ready reports whether the table is queryable: either no column was bulk
 // imported (the table grows purely through inserts) or every column was.
+// The caller holds at least the table's read lock.
 func (t *table) ready() error {
 	imported := 0
 	for _, c := range t.cols {
@@ -306,17 +428,66 @@ func (t *table) ready() error {
 	return nil
 }
 
+// readyCheck verifies readiness under a brief read lock.
+func (t *table) readyCheck() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ready()
+}
+
 // validBools renders count validity flags starting at RecordID start as the
 // []bool shape the snapshot format and the enclave merge ECALL consume.
-func (t *table) validBools(start, count int) []bool {
+func validBools(valid *ridset.Set, start, count int) []bool {
 	if count == 0 {
 		return nil
 	}
 	out := make([]bool, count)
 	for i := range out {
-		out[i] = t.valid.Contains(uint32(start + i))
+		out[i] = valid.Contains(uint32(start + i))
 	}
 	return out
+}
+
+// anyCol returns one column as the representative for per-table shape
+// invariants that hold identically across columns by construction — every
+// write appends to all columns together, so sealed-run counts and tail
+// lengths always align. The caller holds at least the table's read lock.
+func (t *table) anyCol() *column {
+	for _, c := range t.cols {
+		return c
+	}
+	return nil
+}
+
+// sealedRunsLocked returns the table's sealed-run chain length; the caller
+// holds at least the table's read lock.
+func (t *table) sealedRunsLocked() int {
+	if c := t.anyCol(); c != nil {
+		return len(c.sealed)
+	}
+	return 0
+}
+
+// tailLenLocked returns the active tail's row count; the caller holds at
+// least the table's read lock.
+func (t *table) tailLenLocked() int {
+	if c := t.anyCol(); c != nil {
+		return len(c.tail.entries)
+	}
+	return 0
+}
+
+// deltaBytesLocked sums the delta-chain payload bytes across all columns.
+// The caller holds at least the table's read lock.
+func (t *table) deltaBytesLocked() int {
+	total := 0
+	for _, c := range t.cols {
+		for _, r := range c.sealed {
+			total += r.bytes
+		}
+		total += c.tail.bytes
+	}
+	return total
 }
 
 // Rows returns the table's total row count including invalidated rows.
@@ -331,7 +502,9 @@ func (db *DB) Rows(tableName string) (int, error) {
 }
 
 // StorageBytes returns the summed storage footprint of all column stores of
-// a table (paper Table 6 accounting).
+// a table (paper Table 6 accounting). Sealed delta runs include their
+// bit-packed attribute vectors; the active tail's identity vector is
+// implicit and costs nothing.
 func (db *DB) StorageBytes(tableName string) (int, error) {
 	t, err := db.lookup(tableName)
 	if err != nil {
@@ -344,7 +517,10 @@ func (db *DB) StorageBytes(tableName string) (int, error) {
 		if c.main != nil {
 			total += c.main.SizeBytes()
 		}
-		total += c.delta.sizeBytes()
+		for _, r := range c.sealed {
+			total += r.sizeBytes()
+		}
+		total += c.tail.sizeBytes()
 	}
 	return total, nil
 }

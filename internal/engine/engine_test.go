@@ -505,7 +505,8 @@ func TestInsertBatch(t *testing.T) {
 	if err := v.db.InsertBatch("missing", rows); err == nil {
 		t.Error("batch into missing table accepted")
 	}
-	// A bad row aborts the batch at its position; prior rows stay.
+	// A bad row anywhere aborts the whole batch: every row is validated
+	// and re-encrypted before any table state changes (all-or-nothing).
 	bad := []engine.Row{
 		{"fname": v.encryptValue(t, "t1", "fname", "B2"), "city": v.encryptValue(t, "t1", "city", "C")},
 		{"fname": v.encryptValue(t, "t1", "fname", "B2")}, // missing city
@@ -514,8 +515,16 @@ func TestInsertBatch(t *testing.T) {
 	if err := v.db.InsertBatch("t1", bad); !errors.Is(err, engine.ErrMissingColumn) {
 		t.Errorf("err = %v, want ErrMissingColumn", err)
 	}
-	if after, _ := v.db.Rows("t1"); after != before+1 {
-		t.Errorf("rows = %d, want %d (rows before the failing one remain)", after, before+1)
+	if after, _ := v.db.Rows("t1"); after != before {
+		t.Errorf("rows = %d, want %d (failed batch must leave the table untouched)", after, before)
+	}
+	res, err = v.db.Select(engine.Query{
+		Table:     "t1",
+		Filters:   []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("B2")))},
+		CountOnly: true,
+	})
+	if err != nil || res.Count != 0 {
+		t.Errorf("count = %v, %v; want 0 (no partial batch visible)", res, err)
 	}
 }
 

@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/ridset"
+)
+
+// MergeInfo is the observable state of a table's delta/merge lifecycle —
+// what MERGE STATUS reports to remote clients.
+type MergeInfo struct {
+	// Generation counts main-store versions: it starts at 0 and every
+	// completed merge swap bumps it.
+	Generation uint64
+	// Merging reports an in-flight merge pipeline (sealing, enclave
+	// rebuild, or swap).
+	Merging bool
+	// MainRows and DeltaRows describe the current version's store sizes;
+	// DeltaBytes and SealedRuns the delta chain feeding the next merge.
+	MainRows   int
+	DeltaRows  int
+	DeltaBytes int
+	SealedRuns int
+	// Merges counts completed merges; LastError is the most recent merge
+	// failure ("" if the last merge succeeded).
+	Merges    uint64
+	LastError string
+}
+
+// MergeStatus reports the table's delta/merge lifecycle state.
+func (db *DB) MergeStatus(tableName string) (MergeInfo, error) {
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return MergeInfo{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return MergeInfo{
+		Generation: t.gen,
+		Merging:    t.merging.Load(),
+		MainRows:   t.mainRows,
+		DeltaRows:  t.deltaRows,
+		DeltaBytes: t.deltaBytesLocked(),
+		SealedRuns: t.sealedRunsLocked(),
+		Merges:     t.merges,
+		LastError:  t.lastMergeErr,
+	}, nil
+}
+
+// Merge folds each column's delta chain into its main store (paper §4.3):
+// inside the enclave, the valid rows of the main store and every sealed
+// delta run are reconstructed, re-encrypted under fresh IVs, and rebuilt
+// under the column's encrypted dictionary with a fresh rotation/shuffle, so
+// the new main store carries no linkable relation to the old stores.
+// Invalidated rows are garbage collected. Plain columns are rebuilt locally
+// with the same algorithms.
+//
+// The call is synchronous — it returns when the merge has been applied —
+// but the table is locked only for two brief critical sections (sealing the
+// tail, swapping the rebuilt store in); the enclave rebuild itself runs
+// off-lock, so concurrent Selects and writers on this table proceed
+// throughout. Writes that land during the rebuild survive it: the swap
+// replays validity changes onto the new store and keeps the runs and tail
+// accrued since sealing as the new delta chain. At most one merge per table
+// runs at a time; a second Merge waits its turn.
+func (db *DB) Merge(tableName string) error {
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return err
+	}
+	t.mergeMu.Lock()
+	defer t.mergeMu.Unlock()
+	return db.mergePass(tableName, t)
+}
+
+// MergeAsync starts a background merge and returns immediately. It reports
+// false if a merge is already in flight (the table will be merged anyway)
+// and an error if the table does not exist, is not queryable, or the
+// database is closed. The merge's own outcome is observable through
+// MergeStatus.
+func (db *DB) MergeAsync(tableName string) (started bool, err error) {
+	t, err := db.lookup(tableName)
+	if err != nil {
+		return false, err
+	}
+	if err := t.readyCheck(); err != nil {
+		return false, err
+	}
+	if !t.mergeMu.TryLock() {
+		return false, nil
+	}
+	// Admission and wg.Add are one step under closeMu, so Close's drain
+	// always covers a merge it raced with.
+	db.closeMu.Lock()
+	if db.closed.Load() {
+		db.closeMu.Unlock()
+		t.mergeMu.Unlock()
+		return false, ErrClosed
+	}
+	db.wg.Add(1)
+	go func() {
+		defer db.wg.Done()
+		defer t.mergeMu.Unlock()
+		db.mergePass(tableName, t) //nolint:errcheck // recorded in lastMergeErr
+	}()
+	db.closeMu.Unlock()
+	return true, nil
+}
+
+// maybeAutoMerge applies the auto-merge policy after a write commit: when
+// the delta chain crosses the configured row or byte threshold, a
+// background merge is kicked off (a no-op if one is already running).
+func (db *DB) maybeAutoMerge(tableName string, t *table) {
+	if db.opts.autoMergeRows <= 0 && db.opts.autoMergeBytes <= 0 {
+		return
+	}
+	if db.closed.Load() || t.merging.Load() {
+		return
+	}
+	t.mu.RLock()
+	rows := t.deltaRows
+	bytes := t.deltaBytesLocked()
+	t.mu.RUnlock()
+	if (db.opts.autoMergeRows > 0 && rows >= db.opts.autoMergeRows) ||
+		(db.opts.autoMergeBytes > 0 && bytes >= db.opts.autoMergeBytes) {
+		db.MergeAsync(tableName) //nolint:errcheck // best-effort policy trigger
+	}
+}
+
+// mergePass runs one merge pipeline and records its outcome in
+// lastMergeErr so MergeStatus surfaces synchronous and background failures
+// alike; the caller holds mergeMu.
+func (db *DB) mergePass(tableName string, t *table) error {
+	t.merging.Store(true)
+	defer t.merging.Store(false)
+	err := db.runMerge(tableName, t)
+	if err != nil {
+		t.mu.Lock()
+		t.lastMergeErr = err.Error()
+		t.mu.Unlock()
+	}
+	return err
+}
+
+// runMerge is the merge pipeline body; the caller holds mergeMu.
+func (db *DB) runMerge(tableName string, t *table) error {
+	if db.opts.blockingMerge {
+		// Legacy baseline: the whole pipeline under one write lock.
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if err := t.ready(); err != nil {
+			return err
+		}
+		t.sealTailLocked(0)
+		base := t.versionLocked()
+		merged, newRows, err := db.rebuild(tableName, base)
+		if err != nil {
+			return err
+		}
+		db.swapLocked(t, base, merged, newRows)
+		return nil
+	}
+
+	// 1. Seal: freeze the current tail into a run and pin the version the
+	// rebuild will consume. Brief critical section.
+	t.mu.Lock()
+	if err := t.ready(); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.sealTailLocked(0)
+	base := t.versionLocked()
+	t.mu.Unlock()
+	if h := db.mergeHooks.afterSeal; h != nil {
+		h(tableName)
+	}
+
+	// 2. Rebuild off-lock: the enclave reconstructs and re-encrypts the
+	// pinned stores while reads and writes proceed against the live table.
+	merged, newRows, err := db.rebuild(tableName, base)
+	if err != nil {
+		return err
+	}
+	if h := db.mergeHooks.beforeSwap; h != nil {
+		h(tableName)
+	}
+
+	// 3. Swap: install the new main store and replay what accrued during
+	// the rebuild. Brief critical section.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	db.swapLocked(t, base, merged, newRows)
+	return nil
+}
+
+// rebuild produces the new main store of every column from the pinned base
+// version: the valid rows of the main store and all sealed runs, compacted
+// in RecordID order. It takes no locks — base is immutable.
+func (db *DB) rebuild(tableName string, base *version) (map[string]*dict.Split, int, error) {
+	mainValid := validBools(base.valid, 0, base.mainRows)
+	merged := make(map[string]*dict.Split, len(base.cols))
+	newRows := -1
+	for name, cv := range base.cols {
+		var (
+			s   *dict.Split
+			err error
+		)
+		if cv.def.Plain {
+			s, err = mergePlain(base, cv, mainValid)
+		} else {
+			inputs := make([]enclave.MergeInput, 0, 1+len(cv.sealed))
+			inputs = append(inputs, enclave.MergeInput{
+				Region: cv.main, AV: cv.main.Packed(), Valid: mainValid,
+			})
+			off := base.mainRows
+			for _, run := range cv.sealed {
+				inputs = append(inputs, enclave.MergeInput{
+					Region: run, AV: run.packed, Valid: validBools(base.valid, off, run.rows()),
+				})
+				off += run.rows()
+			}
+			s, err = db.encl.MergeColumns(db.columnMetaVersion(cv), cv.def.BSMax, inputs...)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("engine: merge %q.%q: %w", tableName, name, err)
+		}
+		if newRows >= 0 && s.Rows() != newRows {
+			return nil, 0, fmt.Errorf("engine: merge %q: column %q rebuilt %d rows, want %d",
+				tableName, name, s.Rows(), newRows)
+		}
+		merged[name] = s
+		newRows = s.Rows()
+	}
+	return merged, newRows, nil
+}
+
+// swapLocked installs the rebuilt main stores and reconciles the state that
+// accrued since base was sealed: rows invalidated during the rebuild are
+// re-invalidated at their compacted positions in the new store, and the
+// delta runs and tail appended during the rebuild carry over (with their
+// validity bits) as the new version's delta chain. The caller holds the
+// table write lock and mergeMu.
+func (db *DB) swapLocked(t *table, base *version, merged map[string]*dict.Split, newRows int) {
+	// Rows [0, baseRows) were fed to the rebuild; everything past them is
+	// delta appended during the rebuild and survives the swap.
+	baseRows := base.rows()
+	surviving := t.mainRows + t.deltaRows - baseRows
+	cur := t.valid
+
+	valid := ridset.New(newRows + surviving)
+	newRID := 0
+	for j := 0; j < baseRows; j++ {
+		if !base.valid.Contains(uint32(j)) {
+			continue // garbage collected by the rebuild
+		}
+		if cur.Contains(uint32(j)) {
+			valid.Add(uint32(newRID))
+		}
+		newRID++
+	}
+	for i := 0; i < surviving; i++ {
+		if cur.Contains(uint32(baseRows + i)) {
+			valid.Add(uint32(newRows + i))
+		}
+	}
+
+	baseSealed := base.sealedRuns()
+	for name, c := range t.cols {
+		c.main = merged[name]
+		c.sealed = append([]*deltaRun(nil), c.sealed[baseSealed:]...)
+		c.imported = c.imported || newRows > 0
+	}
+	t.mainRows = newRows
+	t.deltaRows = surviving
+	t.valid = valid
+	t.gen++
+	t.merges++
+	t.lastMergeErr = ""
+}
+
+// mergePlain rebuilds a plain column locally from the valid rows of the
+// pinned base version.
+func mergePlain(base *version, cv *colVersion, mainValid []bool) (*dict.Split, error) {
+	var col [][]byte
+	mainAV := cv.main.AVCodes()
+	for j := 0; j < base.mainRows; j++ {
+		if mainValid[j] {
+			col = append(col, cv.main.Entry(int(mainAV[j])))
+		}
+	}
+	off := base.mainRows
+	for _, run := range cv.sealed {
+		for j := 0; j < run.rows(); j++ {
+			if base.valid.Contains(uint32(off + j)) {
+				col = append(col, run.entries[j])
+			}
+		}
+		off += run.rows()
+	}
+	rnd, err := newBuildRand()
+	if err != nil {
+		return nil, err
+	}
+	return dict.Build(col, dict.Params{
+		Kind:   cv.def.Kind,
+		MaxLen: cv.def.MaxLen,
+		BSMax:  cv.def.BSMax,
+		Plain:  true,
+		Rand:   rnd,
+	})
+}

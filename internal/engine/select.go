@@ -63,24 +63,24 @@ type Result struct {
 // column (dictionary search in the enclave, attribute vector search in the
 // untrusted realm), the per-filter RecordID sets are intersected, validity
 // is applied, and the projected columns are rendered (paper Fig. 5 steps
-// 6-13). Only this table is locked; queries on other tables proceed in
-// parallel.
+// 6-13). The table is locked only for the brief version pin; the search and
+// rendering run lock-free against the pinned version, so a long scan never
+// blocks writers or an in-flight background merge — and vice versa.
 func (db *DB) Select(q Query) (*Result, error) {
 	t, err := db.lookup(q.Table)
 	if err != nil {
 		return nil, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if err := t.ready(); err != nil {
-		return nil, err
-	}
-
-	match, err := db.matchRows(t, q.Filters)
+	v, err := t.pin()
 	if err != nil {
 		return nil, err
 	}
-	match.IntersectWith(t.valid)
+
+	match, err := db.matchRows(v, q.Filters)
+	if err != nil {
+		return nil, err
+	}
+	match.IntersectWith(v.valid)
 	rids := match.Slice()
 
 	res := &Result{RecordIDs: rids, Count: len(rids)}
@@ -94,21 +94,21 @@ func (db *DB) Select(q Query) (*Result, error) {
 		}
 	}
 	for _, name := range project {
-		c, ok := t.cols[name]
+		cv, ok := v.cols[name]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, q.Table, name)
 		}
 		res.Columns = append(res.Columns, ResultColumn{
 			Table:  q.Table,
 			Column: name,
-			Cells:  t.render(c, rids),
+			Cells:  v.render(cv, rids),
 		})
 	}
 	return res, nil
 }
 
 // matchRows evaluates the conjunction of all filters as a bitmap over the
-// table's RecordID universe. With no filters, all rows match.
+// pinned version's RecordID universe. With no filters, all rows match.
 //
 // The cheapest filter (per planFilters) always runs first and alone: if it
 // matches nothing the conjunction is empty and the expensive searches never
@@ -122,13 +122,13 @@ func (db *DB) Select(q Query) (*Result, error) {
 // (results *and* errors) are identical regardless of worker count; the
 // parallel path merely wastes the searches the sequential one would have
 // skipped.
-func (db *DB) matchRows(t *table, filters []Filter) (*ridset.Set, error) {
-	n := t.mainRows + t.deltaRows
+func (db *DB) matchRows(v *version, filters []Filter) (*ridset.Set, error) {
+	n := v.rows()
 	if len(filters) == 0 {
 		return ridset.Full(n), nil
 	}
-	planned := db.planFilters(t, filters)
-	acc, err := db.filterRows(t, planned[0], db.opts.workers)
+	planned := db.planFilters(v, filters)
+	acc, err := db.filterRows(v, planned[0], db.opts.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +143,7 @@ func (db *DB) matchRows(t *table, filters []Filter) (*ridset.Set, error) {
 	}
 	if workers <= 1 {
 		for _, f := range rest {
-			set, err := db.filterRows(t, f, 1)
+			set, err := db.filterRows(v, f, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +172,7 @@ func (db *DB) matchRows(t *table, filters []Filter) (*ridset.Set, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				sets[i], errs[i] = db.filterRows(t, rest[i], scanWorkers)
+				sets[i], errs[i] = db.filterRows(v, rest[i], scanWorkers)
 			}
 		}()
 	}
@@ -202,21 +202,21 @@ func (db *DB) matchRows(t *table, filters []Filter) (*ridset.Set, error) {
 // short-circuits the expensive linear scans of unsorted dictionaries.
 // Filters on unknown columns keep their position and fail in filterRows
 // with a proper error.
-func (db *DB) planFilters(t *table, filters []Filter) []Filter {
+func (db *DB) planFilters(v *version, filters []Filter) []Filter {
 	if !db.opts.reorder || len(filters) < 2 {
 		return filters
 	}
 	cost := func(f Filter) int {
-		c, ok := t.cols[f.Column]
+		cv, ok := v.cols[f.Column]
 		if !ok {
 			return 0 // surface ErrNoSuchColumn first
 		}
-		// Delta stores always scan linearly but are small by design.
-		perRange := c.delta.Len()
-		if c.def.Kind.Order() == dict.OrderUnsorted {
-			perRange += c.main.Len()
+		// Delta runs always scan linearly but are small by design.
+		perRange := cv.sealedRows + cv.tail.Len()
+		if cv.def.Kind.Order() == dict.OrderUnsorted {
+			perRange += cv.main.Len()
 		} else {
-			perRange += bitsLen(c.main.Len())
+			perRange += bitsLen(cv.main.Len())
 		}
 		return perRange * len(f.Ranges)
 	}
@@ -235,33 +235,29 @@ func bitsLen(n int) int {
 	return b
 }
 
-// filterRows runs one filter against the main store and the delta store and
+// filterRows runs one filter against the main store and the delta chain and
 // merges the RecordID sets (delta RecordIDs are offset by the main row
 // count). The paper's delta-store design executes every read query on both
 // stores and merges the results (§4.3). Multi-range filters (IN-lists) OR
 // the per-range sets into the same bitmap. scanWorkers bounds the attribute
 // vector scan parallelism for this filter — matchRows splits the total
 // worker budget among concurrently evaluated filters.
-func (db *DB) filterRows(t *table, f Filter, scanWorkers int) (*ridset.Set, error) {
-	c, ok := t.cols[f.Column]
+func (db *DB) filterRows(v *version, f Filter, scanWorkers int) (*ridset.Set, error) {
+	cv, ok := v.cols[f.Column]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Column)
 	}
-	acc := ridset.New(t.mainRows + t.deltaRows)
+	acc := ridset.New(v.rows())
 	for _, rng := range f.Ranges {
-		main, err := db.searchMain(c, rng, scanWorkers)
+		main, err := db.searchMain(cv, rng, scanWorkers)
 		if err != nil {
 			return nil, err
 		}
 		if main != nil {
 			acc.UnionWith(main)
 		}
-		delta, err := db.searchDelta(c, rng, scanWorkers)
-		if err != nil {
+		if err := db.searchDelta(acc, v, cv, rng, scanWorkers); err != nil {
 			return nil, err
-		}
-		if delta != nil {
-			acc.OrShifted(delta, t.mainRows)
 		}
 	}
 	return acc, nil
@@ -271,8 +267,8 @@ func (db *DB) filterRows(t *table, f Filter, scanWorkers int) (*ridset.Set, erro
 // bitmap over the main store's RecordIDs: the dictionary search runs inside
 // the enclave (or locally for plain columns), then the attribute-vector
 // scan evaluates its result in the untrusted realm.
-func (db *DB) searchMain(c *column, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
-	s := c.main
+func (db *DB) searchMain(cv *colVersion, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
+	s := cv.main
 	if s.Rows() == 0 {
 		return nil, nil
 	}
@@ -280,10 +276,10 @@ func (db *DB) searchMain(c *column, q enclave.EncRange, scanWorkers int) (*ridse
 		res enclave.SearchResult
 		err error
 	)
-	if c.def.Plain {
-		res, err = db.plainDictSearch(c.def, s, s.EncRndOffset, q)
+	if cv.def.Plain {
+		res, err = db.plainDictSearch(cv.def, s, s.EncRndOffset, q)
 	} else {
-		res, err = db.encl.DictSearch(db.columnMeta(c), s, s.EncRndOffset, q)
+		res, err = db.encl.DictSearch(db.columnMetaVersion(cv), s, s.EncRndOffset, q)
 	}
 	if err != nil {
 		return nil, err
@@ -309,32 +305,61 @@ func (db *DB) scanMainAV(s *dict.Split, res enclave.SearchResult, scanWorkers in
 	return search.AttrVectRangesSet(s.AVCodes(), res.Ranges, scanWorkers)
 }
 
-// searchDelta performs the search on the write-optimized delta store, which
-// always uses ED9 semantics (unsorted, frequency hiding; paper §4.3). The
-// emitted bitmap is local to the delta store's RecordIDs.
-func (db *DB) searchDelta(c *column, q enclave.EncRange, scanWorkers int) (*ridset.Set, error) {
-	d := c.delta
-	if d.Len() == 0 {
-		return nil, nil
+// searchDelta performs the search on the write-optimized delta chain, which
+// always uses ED9 semantics (unsorted, frequency hiding; paper §4.3), and
+// ORs the matches into acc at their table-wide RecordIDs. Sealed runs answer
+// the attribute-vector phase with the bit-packed membership kernel built at
+// seal time; the active tail exploits its identity attribute vector
+// directly — the matching ValueIDs are the matching rows — so only the
+// small unsealed portion pays a per-element path.
+func (db *DB) searchDelta(acc *ridset.Set, v *version, cv *colVersion, q enclave.EncRange, scanWorkers int) error {
+	off := v.mainRows
+	for _, run := range cv.sealed {
+		ids, err := db.deltaDictSearch(cv, run, q)
+		if err != nil {
+			return err
+		}
+		if len(ids) > 0 {
+			var set *ridset.Set
+			if db.opts.packedScan {
+				set = search.AttrVectListPackedSet(run.packed, ids, scanWorkers)
+			} else {
+				set = search.AttrVectListSet(run.identCodes(), ids, run.rows(), db.opts.avMode, scanWorkers)
+			}
+			acc.OrShifted(set, off)
+		}
+		off += run.rows()
 	}
-	if c.def.Plain {
-		pq, err := plainRange(c.def, q)
+	if cv.tail.Len() == 0 {
+		return nil
+	}
+	ids, err := db.deltaDictSearch(cv, cv.tail, q)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		acc.Add(uint32(off + int(id)))
+	}
+	return nil
+}
+
+// deltaDictSearch runs the dictionary-search phase on one delta region
+// under ED9 semantics, returning the matching ValueIDs.
+func (db *DB) deltaDictSearch(cv *colVersion, region search.Region, q enclave.EncRange) ([]uint32, error) {
+	if cv.def.Plain {
+		pq, err := plainRange(cv.def, q)
 		if err != nil {
 			return nil, err
 		}
-		ids, err := search.UnsortedDict(d, search.PlainDecryptor{}, pq)
-		if err != nil {
-			return nil, err
-		}
-		return search.AttrVectListSet(d.av(), ids, d.Len(), db.opts.avMode, scanWorkers), nil
+		return search.UnsortedDict(region, search.PlainDecryptor{}, pq)
 	}
-	meta := db.columnMeta(c)
+	meta := db.columnMetaVersion(cv)
 	meta.Kind = dict.ED9
-	res, err := db.encl.DictSearch(meta, d, nil, q)
+	res, err := db.encl.DictSearch(meta, region, nil, q)
 	if err != nil {
 		return nil, err
 	}
-	return search.AttrVectListSet(d.av(), res.IDs, d.Len(), db.opts.avMode, scanWorkers), nil
+	return res.IDs, nil
 }
 
 // plainDictSearch runs the PlainDBDB dictionary-search phase: identical
@@ -402,17 +427,12 @@ func (db *DB) columnMeta(c *column) enclave.ColumnMeta {
 	}
 }
 
-// render reconstructs the projected cells for the matched rows by undoing
-// the split: cell = D[AV[rid]] (paper Fig. 5 step 12). Cells remain
-// ciphertexts for encrypted columns.
-func (t *table) render(c *column, rids []uint32) [][]byte {
-	cells := make([][]byte, len(rids))
-	for i, r := range rids {
-		if int(r) < t.mainRows {
-			cells[i] = c.main.Entry(int(c.main.VID(int(r))))
-			continue
-		}
-		cells[i] = c.delta.entry(int(r) - t.mainRows)
+// columnMetaVersion is columnMeta for a pinned column version.
+func (db *DB) columnMetaVersion(cv *colVersion) enclave.ColumnMeta {
+	return enclave.ColumnMeta{
+		Table:  cv.table,
+		Column: cv.def.Name,
+		Kind:   cv.def.Kind,
+		MaxLen: cv.def.MaxLen,
 	}
-	return cells
 }

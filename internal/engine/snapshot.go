@@ -7,7 +7,10 @@ import (
 	"github.com/encdbdb/encdbdb/internal/ridset"
 )
 
-// ColumnSnapshot is the serializable state of one column store.
+// ColumnSnapshot is the serializable state of one column store. Delta is the
+// flattened delta chain — sealed runs in order followed by the active tail —
+// in RecordID order; the sealed/tail boundary is a runtime performance
+// detail and is not persisted.
 type ColumnSnapshot struct {
 	Name  string
 	Main  dict.SplitData
@@ -27,25 +30,29 @@ type TableSnapshot struct {
 	Columns    []ColumnSnapshot
 }
 
-// Snapshot captures the full state of a table.
+// Snapshot captures the full state of a table. It pins a version like a
+// query does, so an in-flight background merge or concurrent writers never
+// block it — the snapshot is consistent as of the pin.
 func (db *DB) Snapshot(tableName string) (*TableSnapshot, error) {
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return nil, err
 	}
 	t.mu.RLock()
-	defer t.mu.RUnlock()
+	v := t.versionLocked()
+	t.mu.RUnlock()
 	snap := &TableSnapshot{
 		Schema:     t.schema,
-		MainValid:  t.validBools(0, t.mainRows),
-		DeltaValid: t.validBools(t.mainRows, t.deltaRows),
+		MainValid:  validBools(v.valid, 0, v.mainRows),
+		DeltaValid: validBools(v.valid, v.mainRows, v.deltaRows),
 	}
 	for _, def := range t.schema.Columns {
-		c := t.cols[def.Name]
-		cs := ColumnSnapshot{Name: def.Name, Main: c.main.Data()}
-		for i := 0; i < c.delta.Len(); i++ {
-			cs.Delta = append(cs.Delta, c.delta.entry(i))
+		cv := v.cols[def.Name]
+		cs := ColumnSnapshot{Name: def.Name, Main: cv.main.Data()}
+		for _, run := range cv.sealed {
+			cs.Delta = append(cs.Delta, run.entries...)
 		}
+		cs.Delta = append(cs.Delta, cv.tail...)
 		snap.Columns = append(snap.Columns, cs)
 	}
 	return snap, nil
@@ -90,7 +97,7 @@ func (db *DB) Restore(snap *TableSnapshot) error {
 			c.main = s
 			c.imported = s.Rows() > 0
 			for _, e := range cs.Delta {
-				c.delta.append(e)
+				c.tail.append(e)
 			}
 			if len(cs.Delta) != len(snap.DeltaValid) {
 				return fmt.Errorf("engine: restore %q: %d delta rows, %d validity flags",
@@ -103,17 +110,21 @@ func (db *DB) Restore(snap *TableSnapshot) error {
 		}
 		t.mainRows = mainRows
 		t.deltaRows = len(snap.DeltaValid)
-		t.valid = ridset.New(mainRows + t.deltaRows)
+		valid := ridset.New(mainRows + t.deltaRows)
 		for i, ok := range snap.MainValid {
 			if ok {
-				t.valid.Add(uint32(i))
+				valid.Add(uint32(i))
 			}
 		}
 		for i, ok := range snap.DeltaValid {
 			if ok {
-				t.valid.Add(uint32(mainRows + i))
+				valid.Add(uint32(mainRows + i))
 			}
 		}
+		t.valid = valid
+		// A restored delta beyond the seal threshold gets its packed runs
+		// immediately, exactly as if the rows had arrived through inserts.
+		t.sealTailLocked(db.opts.sealRows)
 		return nil
 	}
 	if err := restore(); err != nil {

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/ridset"
+)
+
+// version is an immutable, pinned view of a table: the generation-stamped
+// main stores, the sealed delta runs, a length-capped capture of each active
+// tail, and the copy-on-write validity bitmap epoch current at pin time.
+// Everything a version references is frozen — the main store is swapped
+// (never mutated) by merges, sealed runs are immutable by construction, tail
+// captures are three-index slices whose elements are never rewritten, and
+// every validity mutation installs a fresh bitmap — so a reader holding a
+// version scans entirely lock-free while writers and background merges
+// proceed (paper §4.3 delta design, taken off the lock).
+type version struct {
+	gen       uint64
+	mainRows  int
+	deltaRows int
+	valid     *ridset.Set
+	cols      map[string]*colVersion
+}
+
+// colVersion is one column's pinned stores.
+type colVersion struct {
+	table string
+	def   ColumnDef
+	main  *dict.Split
+	// sealed is the captured chain of sealed runs, oldest first.
+	sealed []*deltaRun
+	// sealedRows is the total row count across sealed (cached for render
+	// and cost estimation).
+	sealedRows int
+	// tail is the captured prefix of the active run's entries.
+	tail tailRegion
+}
+
+// tailRegion adapts a captured tail entry slice to search.Region.
+type tailRegion [][]byte
+
+// Len returns the number of captured tail rows (implements search.Region).
+func (t tailRegion) Len() int { return len(t) }
+
+// Load returns tail entry i (implements search.Region).
+func (t tailRegion) Load(i int) []byte { return t[i] }
+
+// pin captures the current version under a brief read-lock critical section
+// and verifies the table is queryable. The returned version is safe for
+// lock-free use for as long as the caller likes.
+func (t *table) pin() (*version, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.ready(); err != nil {
+		return nil, err
+	}
+	return t.versionLocked(), nil
+}
+
+// versionLocked builds the current version; the caller holds at least the
+// table's read lock.
+func (t *table) versionLocked() *version {
+	v := &version{
+		gen:       t.gen,
+		mainRows:  t.mainRows,
+		deltaRows: t.deltaRows,
+		valid:     t.valid,
+		cols:      make(map[string]*colVersion, len(t.cols)),
+	}
+	for name, c := range t.cols {
+		cv := &colVersion{table: c.table, def: c.def, main: c.main, sealed: c.sealed}
+		for _, r := range c.sealed {
+			cv.sealedRows += r.rows()
+		}
+		n := len(c.tail.entries)
+		cv.tail = tailRegion(c.tail.entries[:n:n])
+		v.cols[name] = cv
+	}
+	return v
+}
+
+// rows returns the version's total row count.
+func (v *version) rows() int { return v.mainRows + v.deltaRows }
+
+// sealedRuns returns the pinned sealed-run chain length, identical across
+// columns by construction.
+func (v *version) sealedRuns() int {
+	for _, cv := range v.cols {
+		return len(cv.sealed)
+	}
+	return 0
+}
+
+// entry resolves RecordID r of this column version to its stored payload:
+// the main store below mainRows, then the sealed runs in chain order, then
+// the tail (paper Fig. 5 step 12 applied across the store chain).
+func (cv *colVersion) entry(mainRows int, r int) []byte {
+	if r < mainRows {
+		return cv.main.Entry(int(cv.main.VID(r)))
+	}
+	i := r - mainRows
+	for _, run := range cv.sealed {
+		if i < run.rows() {
+			return run.entries[i]
+		}
+		i -= run.rows()
+	}
+	return cv.tail[i]
+}
+
+// render reconstructs the projected cells for the matched rows by undoing
+// the split: cell = D[AV[rid]] (paper Fig. 5 step 12). Cells remain
+// ciphertexts for encrypted columns.
+func (v *version) render(cv *colVersion, rids []uint32) [][]byte {
+	cells := make([][]byte, len(rids))
+	for i, r := range rids {
+		cells[i] = cv.entry(v.mainRows, int(r))
+	}
+	return cells
+}

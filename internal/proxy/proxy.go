@@ -37,6 +37,12 @@ type Executor interface {
 	Delete(table string, filters []engine.Filter) (int, error)
 	Update(table string, filters []engine.Filter, set engine.Row) (int, error)
 	Merge(table string) error
+	// MergeAsync starts a background merge and returns immediately; started
+	// is false when a merge is already in flight. MergeStatus reports the
+	// table's delta/merge lifecycle so clients can observe the background
+	// work they triggered.
+	MergeAsync(table string) (started bool, err error)
+	MergeStatus(table string) (engine.MergeInfo, error)
 }
 
 // BatchInserter is an optional Executor fast path: insert many rows into
@@ -181,12 +187,46 @@ func (p *Proxy) execute(st sqlparse.Statement) (*Result, error) {
 		}
 		return &Result{Kind: KindOK}, nil
 	case *sqlparse.MergeTable:
+		if s.Async {
+			if _, err := p.exec.MergeAsync(s.Table); err != nil {
+				return nil, err
+			}
+			return &Result{Kind: KindOK}, nil
+		}
 		if err := p.exec.Merge(s.Table); err != nil {
 			return nil, err
 		}
 		return &Result{Kind: KindOK}, nil
+	case *sqlparse.MergeStatus:
+		info, err := p.exec.MergeStatus(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		return mergeStatusResult(info), nil
 	default:
 		return nil, fmt.Errorf("proxy: unsupported statement %T", st)
+	}
+}
+
+// mergeStatusResult renders a MergeInfo as a one-row result.
+func mergeStatusResult(info engine.MergeInfo) *Result {
+	return &Result{
+		Kind: KindRows,
+		Columns: []string{
+			"generation", "merging", "main_rows", "delta_rows",
+			"delta_bytes", "sealed_runs", "merges", "last_error",
+		},
+		Rows: [][]string{{
+			strconv.FormatUint(info.Generation, 10),
+			strconv.FormatBool(info.Merging),
+			strconv.Itoa(info.MainRows),
+			strconv.Itoa(info.DeltaRows),
+			strconv.Itoa(info.DeltaBytes),
+			strconv.Itoa(info.SealedRuns),
+			strconv.FormatUint(info.Merges, 10),
+			info.LastError,
+		}},
+		Count: 1,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
@@ -186,6 +187,62 @@ func TestEndToEndMergeKeepsResults(t *testing.T) {
 	// 'Hans' > 'H' lexicographically, so it is included.
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Errorf("rows = %v, want %v", got, want)
+	}
+}
+
+func TestEndToEndMergeAsyncAndStatus(t *testing.T) {
+	p := seed(t, "ED5(16) BSMAX 3", "ED9(16)")
+	before := sortedRows(mustExec(t, p, "SELECT fname, city FROM t1"))
+
+	status := mustExec(t, p, "MERGE STATUS t1")
+	if status.Kind != proxy.KindRows || len(status.Rows) != 1 {
+		t.Fatalf("status = %+v, want one row", status)
+	}
+	col := func(res *proxy.Result, name string) string {
+		for i, c := range res.Columns {
+			if c == name {
+				return res.Rows[0][i]
+			}
+		}
+		t.Fatalf("status lacks column %q (have %v)", name, res.Columns)
+		return ""
+	}
+	if got := col(status, "delta_rows"); got != "6" {
+		t.Errorf("delta_rows before merge = %s, want 6", got)
+	}
+	if got := col(status, "generation"); got != "0" {
+		t.Errorf("generation before merge = %s, want 0", got)
+	}
+
+	mustExec(t, p, "MERGE TABLE t1 ASYNC")
+	// Poll until the background merge lands; the statement itself must not
+	// have waited for it, but the test needs the final state.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status = mustExec(t, p, "MERGE STATUS t1")
+		if col(status, "merging") == "false" && col(status, "merges") != "0" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background merge never completed: %+v", status.Rows)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := col(status, "delta_rows"); got != "0" {
+		t.Errorf("delta_rows after merge = %s, want 0", got)
+	}
+	if got := col(status, "generation"); got != "1" {
+		t.Errorf("generation after merge = %s, want 1", got)
+	}
+	if got := col(status, "main_rows"); got != "6" {
+		t.Errorf("main_rows after merge = %s, want 6", got)
+	}
+	if got := col(status, "last_error"); got != "" {
+		t.Errorf("last_error = %q, want empty", got)
+	}
+	after := sortedRows(mustExec(t, p, "SELECT fname, city FROM t1"))
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Errorf("async merge changed results:\nbefore %v\nafter  %v", before, after)
 	}
 }
 

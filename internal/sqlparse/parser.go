@@ -7,7 +7,7 @@ import (
 )
 
 // Statement is a parsed SQL statement: one of *CreateTable, *Select,
-// *Insert, *Update, *Delete, *DropTable, *MergeTable.
+// *Insert, *Update, *Delete, *DropTable, *MergeTable, *MergeStatus.
 type Statement interface {
 	stmt()
 }
@@ -172,13 +172,25 @@ type DropTable struct {
 
 func (*DropTable) stmt() {}
 
-// MergeTable is the EncDBDB extension statement MERGE TABLE t, triggering a
-// delta-store merge (paper §4.3).
+// MergeTable is the EncDBDB extension statement MERGE TABLE t [ASYNC],
+// triggering a delta-store merge (paper §4.3). The plain form waits for the
+// merge to be applied; ASYNC starts a background merge and returns
+// immediately — its progress is observable with MERGE STATUS.
 type MergeTable struct {
 	Table string
+	Async bool
 }
 
 func (*MergeTable) stmt() {}
+
+// MergeStatus is the EncDBDB extension statement MERGE STATUS t, reporting
+// the table's delta/merge lifecycle state (generation, in-flight merge,
+// delta sizes).
+type MergeStatus struct {
+	Table string
+}
+
+func (*MergeStatus) stmt() {}
 
 // Parse parses one SQL statement.
 func Parse(input string) (Statement, error) {
@@ -668,6 +680,13 @@ func (p *parser) dropTable() (Statement, error) {
 
 func (p *parser) mergeTable() (Statement, error) {
 	p.next() // MERGE
+	if p.accept("STATUS") {
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &MergeStatus{Table: table}, nil
+	}
 	if _, err := p.expect("TABLE"); err != nil {
 		return nil, err
 	}
@@ -675,5 +694,5 @@ func (p *parser) mergeTable() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &MergeTable{Table: table}, nil
+	return &MergeTable{Table: table, Async: p.accept("ASYNC")}, nil
 }

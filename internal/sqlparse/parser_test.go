@@ -151,8 +151,14 @@ func TestParseDropAndMerge(t *testing.T) {
 	if st := mustParse(t, "DROP TABLE t1").(*DropTable); st.Table != "t1" {
 		t.Errorf("drop table = %q", st.Table)
 	}
-	if st := mustParse(t, "MERGE TABLE t1").(*MergeTable); st.Table != "t1" {
-		t.Errorf("merge table = %q", st.Table)
+	if st := mustParse(t, "MERGE TABLE t1").(*MergeTable); st.Table != "t1" || st.Async {
+		t.Errorf("merge table = %q async = %v", st.Table, st.Async)
+	}
+	if st := mustParse(t, "MERGE TABLE t1 ASYNC").(*MergeTable); st.Table != "t1" || !st.Async {
+		t.Errorf("merge table async = %+v", st)
+	}
+	if st := mustParse(t, "merge status t1").(*MergeStatus); st.Table != "t1" {
+		t.Errorf("merge status = %q", st.Table)
 	}
 }
 
@@ -190,6 +196,9 @@ func TestParseErrors(t *testing.T) {
 		"UPDATE t SET",
 		"DELETE t1",
 		"DROP t1",
+		"MERGE t1",
+		"MERGE TABLE t1 SYNC",
+		"MERGE STATUS",
 		"SELECT * FROM t extra",
 		"SELECT * FROM t WHERE c = 'unterminated",
 		"SELECT * FROM t WHERE c = 'x' AND",

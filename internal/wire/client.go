@@ -359,10 +359,32 @@ func (c *Client) Update(table string, filters []engine.Filter, set engine.Row) (
 	return resp.N, nil
 }
 
-// Merge folds the delta store remotely.
+// Merge folds the delta store remotely, waiting for the merge to apply.
+// The provider-side rebuild runs off-lock, so concurrent calls on this and
+// other connections keep being served while the merge is in flight.
 func (c *Client) Merge(table string) error {
 	_, err := c.call(&request{Op: opMerge, Table: table})
 	return err
+}
+
+// MergeAsync starts a background merge at the provider and returns as soon
+// as it is admitted. started is false when a merge was already in flight.
+func (c *Client) MergeAsync(table string) (started bool, err error) {
+	resp, err := c.call(&request{Op: opMergeAsync, Table: table})
+	if err != nil {
+		return false, err
+	}
+	return resp.N == 1, nil
+}
+
+// MergeStatus reports the remote table's delta/merge lifecycle state —
+// how clients observe a background merge they triggered.
+func (c *Client) MergeStatus(table string) (engine.MergeInfo, error) {
+	resp, err := c.call(&request{Op: opMergeStatus, Table: table})
+	if err != nil {
+		return engine.MergeInfo{}, err
+	}
+	return resp.Merge, nil
 }
 
 // Tables lists remote tables.

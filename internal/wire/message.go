@@ -39,6 +39,7 @@ type response struct {
 	Result *engine.Result
 	N      int
 	Tables []string
+	Merge  engine.MergeInfo
 
 	// Subs carries one response per sub-request of an opBatch envelope.
 	Subs []response

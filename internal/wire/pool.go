@@ -134,6 +134,14 @@ func (p *Pool) Update(table string, filters []engine.Filter, set engine.Row) (in
 // Merge folds the delta store remotely.
 func (p *Pool) Merge(table string) error { return p.pick().Merge(table) }
 
+// MergeAsync starts a background merge at the provider.
+func (p *Pool) MergeAsync(table string) (bool, error) { return p.pick().MergeAsync(table) }
+
+// MergeStatus reports the remote table's delta/merge lifecycle state.
+func (p *Pool) MergeStatus(table string) (engine.MergeInfo, error) {
+	return p.pick().MergeStatus(table)
+}
+
 // Tables lists remote tables.
 func (p *Pool) Tables() ([]string, error) { return p.pick().Tables() }
 

@@ -295,6 +295,20 @@ func (s *Server) dispatch(req *request) (resp *response) {
 		if err := s.db.Merge(req.Table); err != nil {
 			return fail(err)
 		}
+	case opMergeAsync:
+		started, err := s.db.MergeAsync(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		if started {
+			resp.N = 1
+		}
+	case opMergeStatus:
+		info, err := s.db.MergeStatus(req.Table)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Merge = info
 	case opImportColumn:
 		split, err := dict.FromData(req.Split)
 		if err != nil {

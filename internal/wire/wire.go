@@ -95,6 +95,10 @@ const (
 	opRows
 	opStorageBytes
 	opBatch // carries N sub-requests executed server-side in one round trip
+	// Appended after v2 shipped; peers that predate them answer with
+	// "unknown op" rather than misparsing, since op values are stable.
+	opMergeAsync
+	opMergeStatus
 )
 
 // writeFrame writes one v1 length-prefixed payload.

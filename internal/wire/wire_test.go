@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
@@ -209,6 +210,58 @@ func TestRemoteWriteOperations(t *testing.T) {
 	res, err := p.Execute("SELECT c FROM w")
 	if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != "z" {
 		t.Fatalf("rows = %+v, %v", res, err)
+	}
+}
+
+func TestRemoteMergeAsyncAndStatus(t *testing.T) {
+	p, c := newRemoteProxy(t)
+	if _, err := p.Execute("CREATE TABLE m (c ED1(8))"); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"a", "b", "c"} {
+		if _, err := p.Execute(fmt.Sprintf("INSERT INTO m VALUES ('%s')", v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := c.MergeStatus("m")
+	if err != nil {
+		t.Fatalf("MergeStatus: %v", err)
+	}
+	if info.DeltaRows != 3 || info.Generation != 0 {
+		t.Errorf("pre-merge status = %+v, want 3 delta rows at generation 0", info)
+	}
+	started, err := c.MergeAsync("m")
+	if err != nil {
+		t.Fatalf("MergeAsync: %v", err)
+	}
+	if !started {
+		t.Error("MergeAsync reported an already-running merge on an idle table")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if info, err = c.MergeStatus("m"); err != nil {
+			t.Fatalf("MergeStatus: %v", err)
+		}
+		if !info.Merging && info.Merges > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("remote background merge never completed: %+v", info)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if info.MainRows != 3 || info.DeltaRows != 0 || info.Generation != 1 || info.LastError != "" {
+		t.Errorf("post-merge status = %+v, want 3 main rows at generation 1", info)
+	}
+	// The SQL surface reaches the same ops.
+	if _, err := p.Execute("MERGE TABLE m ASYNC"); err != nil {
+		t.Fatalf("MERGE TABLE ASYNC: %v", err)
+	}
+	if res, err := p.Execute("MERGE STATUS m"); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("MERGE STATUS = %+v, %v", res, err)
+	}
+	if _, err := c.MergeStatus("missing"); err == nil {
+		t.Error("MergeStatus on missing table succeeded")
 	}
 }
 
