@@ -18,6 +18,7 @@
 package encdbdb_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -127,7 +128,7 @@ func (s *benchSystem) runQueries(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := s.filters[i%len(s.filters)]
-		if _, err := s.db.Select(engine.Query{Table: "b", Filters: []engine.Filter{f}}); err != nil {
+		if _, err := s.db.Select(context.Background(), engine.Query{Table: "b", Filters: []engine.Filter{f}}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,13 +12,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/encdbdb/encdbdb"
+	"github.com/encdbdb/encdbdb/internal/shell"
 )
 
 func main() {
@@ -85,6 +88,9 @@ func run() error {
 	fmt.Printf("connected to %s — master key %s\n", *addr, hex.EncodeToString(owner.MasterKey()))
 	fmt.Println(`type SQL statements or \quit`)
 
+	// Ctrl-C cancels the statements in flight — the provider is told to
+	// abandon the scan over the wire — instead of killing the shell.
+	interrupt := shell.NewInterrupter(os.Stdout)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -100,72 +106,20 @@ func run() error {
 		if line == `\quit` || line == `\q` {
 			return nil
 		}
-		// Semicolon-separated statements on one line run as a batch:
-		// consecutive INSERTs into one table cost one round trip.
-		stmts := splitStatements(line)
-		if len(stmts) == 0 {
-			continue
-		}
-		if len(stmts) == 1 {
-			res, err := sess.Exec(stmts[0])
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			printResult(res)
-			continue
-		}
-		results, err := sess.ExecBatch(stmts)
+		// Semicolon-separated statements on one line run as a script:
+		// consecutive INSERTs into one table cost one round trip, and a
+		// syntax error names the failing statement and its offset.
+		ctx := interrupt.Begin()
+		results, err := sess.ExecScript(ctx, line)
+		interrupt.End()
 		for _, res := range results {
-			printResult(res)
+			shell.PrintResult(os.Stdout, res)
 		}
-		if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Println("query cancelled")
+		case err != nil:
 			fmt.Println("error:", err)
 		}
-	}
-}
-
-// splitStatements splits a shell line into statements on semicolons that
-// lie outside single-quoted SQL string literals. The grammar escapes a
-// quote as ”, so plain quote-state toggling stays correct.
-func splitStatements(line string) []string {
-	var out []string
-	start := 0
-	inQuote := false
-	for i := 0; i < len(line); i++ {
-		switch line[i] {
-		case '\'':
-			inQuote = !inQuote
-		case ';':
-			if !inQuote {
-				if part := strings.TrimSpace(line[start:i]); part != "" {
-					out = append(out, part)
-				}
-				start = i + 1
-			}
-		}
-	}
-	if part := strings.TrimSpace(line[start:]); part != "" {
-		out = append(out, part)
-	}
-	return out
-}
-
-func printResult(res *encdbdb.Result) {
-	switch res.Kind {
-	case encdbdb.KindOK:
-		fmt.Println("ok")
-	case encdbdb.KindCount:
-		fmt.Printf("count: %d\n", res.Count)
-	case encdbdb.KindAffected:
-		fmt.Printf("affected: %d\n", res.Affected)
-	default:
-		if len(res.Columns) > 0 {
-			fmt.Println(strings.Join(res.Columns, " | "))
-		}
-		for _, row := range res.Rows {
-			fmt.Println(strings.Join(row, " | "))
-		}
-		fmt.Printf("(%d rows)\n", len(res.Rows))
 	}
 }

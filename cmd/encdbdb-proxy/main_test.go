@@ -3,8 +3,13 @@ package main
 import (
 	"reflect"
 	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/sqlparse"
 )
 
+// The shell's statement splitting moved into sqlparse.SplitScript so syntax
+// errors can carry absolute offsets; this pins the shell-visible behaviour
+// (quote handling, empty-fragment dropping) through that API.
 func TestSplitStatements(t *testing.T) {
 	cases := []struct {
 		line string
@@ -22,8 +27,12 @@ func TestSplitStatements(t *testing.T) {
 			[]string{"INSERT INTO t VALUES ('it''s;fine')", "x"}},
 	}
 	for _, tc := range cases {
-		if got := splitStatements(tc.line); !reflect.DeepEqual(got, tc.want) {
-			t.Errorf("splitStatements(%q) = %q, want %q", tc.line, got, tc.want)
+		var got []string
+		for _, frag := range sqlparse.SplitScript(tc.line) {
+			got = append(got, frag.SQL)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("SplitScript(%q) = %q, want %q", tc.line, got, tc.want)
 		}
 	}
 }

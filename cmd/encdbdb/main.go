@@ -19,13 +19,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"github.com/encdbdb/encdbdb"
+	"github.com/encdbdb/encdbdb/internal/shell"
 )
 
 func main() {
@@ -77,6 +80,9 @@ func makeOwner(keyHex string) (*encdbdb.DataOwner, error) {
 }
 
 func repl(db *encdbdb.Database, sess *encdbdb.Session) error {
+	// Ctrl-C cancels the statement in flight through its context instead of
+	// killing the shell.
+	interrupt := shell.NewInterrupter(os.Stdout)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -109,30 +115,17 @@ func repl(db *encdbdb.Database, sess *encdbdb.Session) error {
 			fmt.Printf("saved %s to %s\n", parts[1], parts[2])
 			continue
 		}
-		res, err := sess.Exec(line)
-		if err != nil {
+		ctx := interrupt.Begin()
+		results, err := sess.ExecScript(ctx, line)
+		interrupt.End()
+		for _, res := range results {
+			shell.PrintResult(os.Stdout, res)
+		}
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Println("query cancelled")
+		case err != nil:
 			fmt.Println("error:", err)
-			continue
 		}
-		printResult(res)
-	}
-}
-
-func printResult(res *encdbdb.Result) {
-	switch res.Kind {
-	case encdbdb.KindOK:
-		fmt.Println("ok")
-	case encdbdb.KindCount:
-		fmt.Printf("count: %d\n", res.Count)
-	case encdbdb.KindAffected:
-		fmt.Printf("affected: %d\n", res.Affected)
-	default:
-		if len(res.Columns) > 0 {
-			fmt.Println(strings.Join(res.Columns, " | "))
-		}
-		for _, row := range res.Rows {
-			fmt.Println(strings.Join(row, " | "))
-		}
-		fmt.Printf("(%d rows)\n", len(res.Rows))
 	}
 }

@@ -26,9 +26,21 @@
 //	owner, _ := encdbdb.NewDataOwner()
 //	_ = owner.Provision(db)
 //	sess, _ := owner.Session(db)
-//	_, _ = sess.Exec("CREATE TABLE t1 (fname ED5(30) BSMAX 10)")
-//	_, _ = sess.Exec("INSERT INTO t1 VALUES ('Jessica')")
-//	res, _ := sess.Exec("SELECT fname FROM t1 WHERE fname >= 'A' AND fname < 'K'")
+//	ctx := context.Background()
+//	_, _ = sess.ExecContext(ctx, "CREATE TABLE t1 (fname ED5(30) BSMAX 10)")
+//	_, _ = sess.ExecContext(ctx, "INSERT INTO t1 VALUES (?)", "Jessica")
+//	rows, _ := sess.Query(ctx, "SELECT fname FROM t1 WHERE fname >= ? AND fname < ?", "A", "K")
+//	defer rows.Close()
+//	for rows.Next() { ... }
+//
+// The query surface follows database/sql: every data-plane call takes a
+// context that is honored end-to-end (the engine checks it between scan
+// chunks; remote providers are told to stop over the wire), '?'
+// placeholders bind arguments that are encrypted exactly like inline
+// literals, Session.Prepare amortizes parsing and schema resolution across
+// repeated executions, and Query streams decrypted rows through a *Rows
+// cursor instead of materializing the result. The legacy string-splicing
+// Session.Exec survives as a deprecated wrapper.
 //
 // Runnable programs live under examples/ and cmd/.
 package encdbdb
@@ -75,6 +87,16 @@ func GenerateKey() (Key, error) { return pae.Gen() }
 
 // Result is a decrypted query result.
 type Result = proxy.Result
+
+// Rows is a streaming cursor over a SELECT result: rows are decrypted as
+// they are consumed instead of materializing the whole result. It follows
+// database/sql's Next/Scan/Err/Close shape and adds Iter, a Go 1.23
+// range-over-func adapter.
+type Rows = proxy.Rows
+
+// Stmt is a prepared statement: parsed once, schema resolved once, executed
+// many times with per-execution '?' arguments.
+type Stmt = proxy.Stmt
 
 // ResultKind tells callers how to interpret a Result.
 type ResultKind = proxy.ResultKind

@@ -1,6 +1,7 @@
 package encdbdb_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -33,15 +34,15 @@ func newStack(t testing.TB) (*encdbdb.Database, *encdbdb.DataOwner, *encdbdb.Ses
 
 func TestPublicQuickstartFlow(t *testing.T) {
 	_, _, sess := newStack(t)
-	if _, err := sess.Exec("CREATE TABLE t1 (fname ED5(30) BSMAX 10)"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "CREATE TABLE t1 (fname ED5(30) BSMAX 10)"); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"Jessica", "Hans", "Archie"} {
-		if _, err := sess.Exec(fmt.Sprintf("INSERT INTO t1 VALUES ('%s')", v)); err != nil {
+		if _, err := sess.ExecContext(context.Background(), fmt.Sprintf("INSERT INTO t1 VALUES ('%s')", v)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := sess.Exec("SELECT fname FROM t1 WHERE fname >= 'A' AND fname < 'I'")
+	res, err := sess.ExecContext(context.Background(), "SELECT fname FROM t1 WHERE fname >= 'A' AND fname < 'I'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestPublicBulkDeploy(t *testing.T) {
 	if err := owner.DeployTable(db, schema, rows); err != nil {
 		t.Fatalf("DeployTable: %v", err)
 	}
-	res, err := sess.Exec("SELECT product FROM sales WHERE country = 'Germany'")
+	res, err := sess.ExecContext(context.Background(), "SELECT product FROM sales WHERE country = 'Germany'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +90,10 @@ func TestPublicBulkDeploy(t *testing.T) {
 
 func TestPublicPersistence(t *testing.T) {
 	db, owner, sess := newStack(t)
-	if _, err := sess.Exec("CREATE TABLE p (c ED1(8))"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "CREATE TABLE p (c ED1(8))"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Exec("INSERT INTO p VALUES ('x')"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "INSERT INTO p VALUES ('x')"); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "p.encdb")
@@ -156,7 +157,7 @@ func TestPublicRemoteDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sess.Exec("SELECT c FROM r WHERE c >= 'b'")
+	res, err := sess.ExecContext(context.Background(), "SELECT c FROM r WHERE c >= 'b'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,14 +168,14 @@ func TestPublicRemoteDeployment(t *testing.T) {
 
 func TestPublicEnclaveStats(t *testing.T) {
 	db, _, sess := newStack(t)
-	if _, err := sess.Exec("CREATE TABLE s (c ED1(8))"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "CREATE TABLE s (c ED1(8))"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Exec("INSERT INTO s VALUES ('v')"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "INSERT INTO s VALUES ('v')"); err != nil {
 		t.Fatal(err)
 	}
 	db.ResetEnclaveStats()
-	if _, err := sess.Exec("SELECT c FROM s WHERE c = 'v'"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "SELECT c FROM s WHERE c = 'v'"); err != nil {
 		t.Fatal(err)
 	}
 	if st := db.EnclaveStats(); st.ECalls == 0 {
@@ -215,7 +216,7 @@ func TestPublicTrustedSetupImport(t *testing.T) {
 	if err := db.ImportPlaintextTable(schema, rows); err != nil {
 		t.Fatalf("ImportPlaintextTable: %v", err)
 	}
-	res, err := sess.Exec("SELECT c FROM ts WHERE d = 'x' ORDER BY c")
+	res, err := sess.ExecContext(context.Background(), "SELECT c FROM ts WHERE d = 'x' ORDER BY c")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,15 +255,15 @@ func TestPublicPadProbesOption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Exec("CREATE TABLE pp (c ED1(8))"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "CREATE TABLE pp (c ED1(8))"); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"a", "b", "c", "d"} {
-		if _, err := sess.Exec(fmt.Sprintf("INSERT INTO pp VALUES ('%s')", v)); err != nil {
+		if _, err := sess.ExecContext(context.Background(), fmt.Sprintf("INSERT INTO pp VALUES ('%s')", v)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := sess.Exec("SELECT c FROM pp WHERE c >= 'b' AND c <= 'c'")
+	res, err := sess.ExecContext(context.Background(), "SELECT c FROM pp WHERE c >= 'b' AND c <= 'c'")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,10 +285,10 @@ func TestPublicQueryBeforeProvisionFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Exec("CREATE TABLE u (c ED1(8))"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "CREATE TABLE u (c ED1(8))"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.Exec("INSERT INTO u VALUES ('v')"); err == nil {
+	if _, err := sess.ExecContext(context.Background(), "INSERT INTO u VALUES ('v')"); err == nil {
 		t.Error("insert succeeded without provisioning the enclave")
 	}
 }

@@ -1,6 +1,7 @@
 package encdbdb_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,11 +37,11 @@ func Example() {
 		"INSERT INTO t1 VALUES ('Jessica')",
 	}
 	for _, s := range stmts {
-		if _, err := sess.Exec(s); err != nil {
+		if _, err := sess.ExecContext(context.Background(), s); err != nil {
 			log.Fatal(err)
 		}
 	}
-	res, err := sess.Exec("SELECT fname FROM t1 WHERE fname BETWEEN 'Archie' AND 'Hans' ORDER BY fname")
+	res, err := sess.ExecContext(context.Background(), "SELECT fname FROM t1 WHERE fname BETWEEN 'Archie' AND 'Hans' ORDER BY fname")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func ExampleDataOwner_DeployTable() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sess.Exec("SELECT COUNT(*) FROM cities WHERE country = 'DE'")
+	res, err := sess.ExecContext(context.Background(), "SELECT COUNT(*) FROM cities WHERE country = 'DE'")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -86,7 +87,7 @@ func remoteQueries(owner *encdbdb.DataOwner, client *encdbdb.Client) error {
 	if err != nil {
 		return err
 	}
-	res, err := sess.Exec("SELECT day, kind FROM events WHERE day >= '2026-06-02'")
+	res, err := sess.ExecContext(context.Background(), "SELECT day, kind FROM events WHERE day >= '2026-06-02'")
 	if err != nil {
 		return err
 	}
@@ -95,10 +96,10 @@ func remoteQueries(owner *encdbdb.DataOwner, client *encdbdb.Client) error {
 		fmt.Printf("  %s  %s\n", r[0], r[1])
 	}
 
-	if _, err := sess.Exec("INSERT INTO events VALUES ('2026-06-04', 'login')"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "INSERT INTO events VALUES ('2026-06-04', 'login')"); err != nil {
 		return err
 	}
-	cnt, err := sess.Exec("SELECT COUNT(*) FROM events WHERE kind = 'login'")
+	cnt, err := sess.ExecContext(context.Background(), "SELECT COUNT(*) FROM events WHERE kind = 'login'")
 	if err != nil {
 		return err
 	}

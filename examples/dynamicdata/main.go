@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,7 @@ func run() error {
 		return err
 	}
 	report := func(stage string) error {
-		res, err := sess.Exec("SELECT COUNT(*) FROM inventory")
+		res, err := sess.ExecContext(context.Background(), "SELECT COUNT(*) FROM inventory")
 		if err != nil {
 			return err
 		}
@@ -82,14 +83,14 @@ func run() error {
 		"UPDATE inventory SET site = 'osaka' WHERE sku = 'sku-0002'",
 		"DELETE FROM inventory WHERE sku = 'sku-0004'",
 	} {
-		if _, err := sess.Exec(stmt); err != nil {
+		if _, err := sess.ExecContext(context.Background(), stmt); err != nil {
 			return fmt.Errorf("%s: %w", stmt, err)
 		}
 	}
 	if err := report("after writes (pre-merge):"); err != nil {
 		return err
 	}
-	res, err := sess.Exec("SELECT sku FROM inventory WHERE site = 'osaka'")
+	res, err := sess.ExecContext(context.Background(), "SELECT sku FROM inventory WHERE site = 'osaka'")
 	if err != nil {
 		return err
 	}
@@ -98,13 +99,13 @@ func run() error {
 	// Merge: the enclave reconstructs valid rows, re-encrypts them under
 	// fresh IVs, and rebuilds each column with a fresh rotation/shuffle —
 	// old and new stores are unlinkable; deleted rows are gone.
-	if _, err := sess.Exec("MERGE TABLE inventory"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "MERGE TABLE inventory"); err != nil {
 		return err
 	}
 	if err := report("after MERGE TABLE:"); err != nil {
 		return err
 	}
-	res, err = sess.Exec("SELECT sku FROM inventory WHERE site = 'osaka'")
+	res, err = sess.ExecContext(context.Background(), "SELECT sku FROM inventory WHERE site = 'osaka'")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,144 @@
+// Prepared: the context-aware query API v2 — prepared statements with '?'
+// parameter binding, the streaming Rows cursor, and context cancellation —
+// exercised against a live provider over TCP (the deployment of paper
+// Fig. 2: untrusted server process, trusted proxy side).
+//
+//	go run ./examples/prepared
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"github.com/encdbdb/encdbdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// ---- Provider side: a live server on a loopback port. ----
+	provider, err := encdbdb.Open()
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := provider.Serve(ln, nil); err != nil {
+			log.Printf("server: %v", err)
+		}
+	}()
+	defer provider.Shutdown()
+
+	// ---- Trusted side: attest, provision, open a session. ----
+	owner, err := encdbdb.NewDataOwner()
+	if err != nil {
+		return err
+	}
+	client, err := encdbdb.Dial(ln.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	if err := owner.ProvisionClient(client, encdbdb.Measurement(encdbdb.DefaultEnclaveIdentity)); err != nil {
+		return err
+	}
+	sess, err := owner.RemoteSession(client)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	if _, err := sess.ExecContext(ctx, "CREATE TABLE orders (customer ED5(20) BSMAX 5, total ED1(8))"); err != nil {
+		return err
+	}
+
+	// A prepared INSERT: parsed once, schema resolved once (one round trip),
+	// then executed many times with bound arguments. The arguments are
+	// encrypted on this side exactly like inline literals — the provider
+	// sees only ciphertext either way.
+	ins, err := sess.Prepare(ctx, "INSERT INTO orders VALUES (?, ?)")
+	if err != nil {
+		return err
+	}
+	defer ins.Close()
+	customers := []string{"ada", "grace", "edsger", "barbara", "donald"}
+	for i := 0; i < 500; i++ {
+		total := fmt.Sprintf("%08d", (i*37)%1000)
+		if _, err := ins.Exec(ctx, customers[i%len(customers)], total); err != nil {
+			return err
+		}
+	}
+	fmt.Println("loaded 500 orders through one prepared statement (1 parse, 1 schema round trip)")
+
+	// A streaming SELECT: rows arrive in chunks as the provider renders
+	// them and are decrypted one by one — the full result never
+	// materializes on either side.
+	rows, err := sess.Query(ctx, "SELECT customer, total FROM orders WHERE total >= ? AND total < ?",
+		"00000500", "00000600")
+	if err != nil {
+		return err
+	}
+	n := 0
+	for rows.Next() {
+		var customer, total string
+		if err := rows.Scan(&customer, &total); err != nil {
+			return err
+		}
+		if n < 3 {
+			fmt.Printf("  %s paid %s\n", customer, total)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	rows.Close()
+	fmt.Printf("streamed %d matching rows (showing 3)\n", n)
+
+	// The Go 1.23 iterator adapter over a prepared query.
+	sel, err := sess.Prepare(ctx, "SELECT total FROM orders WHERE customer = ?")
+	if err != nil {
+		return err
+	}
+	defer sel.Close()
+	adaRows, err := sel.Query(ctx, "ada")
+	if err != nil {
+		return err
+	}
+	count := 0
+	for range adaRows.Iter() {
+		count++
+	}
+	if err := adaRows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("ada has %d orders (iterated with range-over-func)\n", count)
+
+	// Context cancellation works end-to-end: this query's context expires
+	// immediately, the provider abandons the scan between chunks, and the
+	// connection keeps serving afterwards.
+	cctx, cancel := context.WithTimeout(ctx, time.Nanosecond)
+	defer cancel()
+	if _, err := sess.ExecContext(cctx, "SELECT customer FROM orders"); errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		fmt.Println("expired context cancelled the query over the wire:", err)
+	} else if err != nil {
+		return err
+	}
+	res, err := sess.ExecContext(ctx, "SELECT COUNT(*) FROM orders WHERE customer = ?", "grace")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connection still live after cancellation: grace has %d orders\n", res.Count)
+	return nil
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,29 +45,39 @@ func run() error {
 
 	// ED5 (frequency smoothing, rotated) is the paper's recommended
 	// security/performance/storage tradeoff (§6.4).
-	stmts := []string{
-		"CREATE TABLE people (fname ED5(30) BSMAX 10, city ED1(30))",
-		"INSERT INTO people VALUES ('Jessica', 'Waterloo')",
-		"INSERT INTO people VALUES ('Hans', 'Karlsruhe')",
-		"INSERT INTO people VALUES ('Archie', 'Berlin')",
-		"INSERT INTO people VALUES ('Ella', 'Berlin')",
+	ctx := context.Background()
+	if _, err := sess.ExecContext(ctx, "CREATE TABLE people (fname ED5(30) BSMAX 10, city ED1(30))"); err != nil {
+		return err
 	}
-	for _, s := range stmts {
-		if _, err := sess.Exec(s); err != nil {
-			return fmt.Errorf("%s: %w", s, err)
+	// '?' placeholders bind values at execution time — no string splicing;
+	// the bound arguments are encrypted exactly like inline literals.
+	for _, r := range [][2]string{
+		{"Jessica", "Waterloo"}, {"Hans", "Karlsruhe"}, {"Archie", "Berlin"}, {"Ella", "Berlin"},
+	} {
+		if _, err := sess.ExecContext(ctx, "INSERT INTO people VALUES (?, ?)", r[0], r[1]); err != nil {
+			return err
 		}
 	}
 
-	res, err := sess.Exec("SELECT fname, city FROM people WHERE fname >= 'Archie' AND fname <= 'Hans'")
+	// Query streams decrypted rows through a database/sql-style cursor.
+	rows, err := sess.Query(ctx, "SELECT fname, city FROM people WHERE fname >= ? AND fname <= ?", "Archie", "Hans")
 	if err != nil {
 		return err
 	}
+	defer rows.Close()
 	fmt.Println("people with Archie <= fname <= Hans:")
-	for _, row := range res.Rows {
-		fmt.Printf("  %-10s %s\n", row[0], row[1])
+	for rows.Next() {
+		var fname, city string
+		if err := rows.Scan(&fname, &city); err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s %s\n", fname, city)
+	}
+	if err := rows.Err(); err != nil {
+		return err
 	}
 
-	count, err := sess.Exec("SELECT COUNT(*) FROM people WHERE city = 'Berlin'")
+	count, err := sess.ExecContext(ctx, "SELECT COUNT(*) FROM people WHERE city = ?", "Berlin")
 	if err != nil {
 		return err
 	}

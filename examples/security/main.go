@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -84,7 +85,7 @@ func run() error {
 		return err
 	}
 	obs.reset()
-	if _, err := sess.Exec("SELECT COUNT(*) FROM patients WHERE diagnosis = 'hypertension'"); err != nil {
+	if _, err := sess.ExecContext(context.Background(), "SELECT COUNT(*) FROM patients WHERE diagnosis = 'hypertension'"); err != nil {
 		return err
 	}
 	fmt.Printf("provider-visible access pattern of one ED5 equality query: %d dictionary\n", len(obs.snapshot()))

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -64,7 +65,7 @@ func run() error {
 	}
 
 	// The report: orders per country for products in a price range.
-	res, err := sess.Exec("SELECT country FROM orders WHERE price >= '00000250' AND price < '00000750'")
+	res, err := sess.ExecContext(context.Background(), "SELECT country FROM orders WHERE price >= '00000250' AND price < '00000750'")
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,7 @@ func run() error {
 	}
 
 	// A product-dimension range scan (prefix range over ED1).
-	cnt, err := sess.Exec("SELECT COUNT(*) FROM orders WHERE product >= 'gadget-' AND product < 'gadget-~'")
+	cnt, err := sess.ExecContext(context.Background(), "SELECT COUNT(*) FROM orders WHERE product >= 'gadget-' AND product < 'gadget-~'")
 	if err != nil {
 		return err
 	}
@@ -91,7 +92,7 @@ func run() error {
 
 	// Aggregates compute at the trusted proxy after decryption; the
 	// provider only ever evaluates encrypted ranges.
-	agg, err := sess.Exec("SELECT MIN(price), MAX(price), AVG(price) FROM orders WHERE country IN ('Germany', 'France')")
+	agg, err := sess.ExecContext(context.Background(), "SELECT MIN(price), MAX(price), AVG(price) FROM orders WHERE country IN ('Germany', 'France')")
 	if err != nil {
 		return err
 	}
@@ -99,7 +100,7 @@ func run() error {
 		agg.Rows[0][0], agg.Rows[0][1], agg.Rows[0][2])
 
 	// Top-3 most expensive orders, sorted and limited at the proxy.
-	top, err := sess.Exec("SELECT product, price FROM orders ORDER BY price DESC LIMIT 3")
+	top, err := sess.ExecContext(context.Background(), "SELECT product, price FROM orders ORDER BY price DESC LIMIT 3")
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"text/tabwriter"
 	"time"
@@ -148,7 +149,7 @@ func AblationOptimizer(cfg Config) error {
 		for i := range lat {
 			start := time.Now()
 			// Written expensive-first: only the optimizer saves us.
-			if _, err := sys.db.Select(engine.Query{
+			if _, err := sys.db.Select(context.Background(), engine.Query{
 				Table:     "aopt",
 				Filters:   []engine.Filter{all, noMatch},
 				CountOnly: true,

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -45,20 +46,24 @@ type Config struct {
 	// MergeJSONPath, when non-empty, is where the merge experiment writes
 	// its machine-readable results.
 	MergeJSONPath string
+	// PreparedJSONPath, when non-empty, is where the prepared-statement
+	// experiment writes its machine-readable results.
+	PreparedJSONPath string
 }
 
 // DefaultConfig returns a configuration that completes every experiment in
 // seconds on a laptop while preserving the paper's shapes.
 func DefaultConfig(out io.Writer) Config {
 	return Config{
-		Rows:          []int{10_000, 30_000},
-		Queries:       50,
-		RangeSizes:    []int{2, 100},
-		BSMax:         10,
-		Seed:          1,
-		Out:           out,
-		JSONPath:      "BENCH_compression.json",
-		MergeJSONPath: "BENCH_merge.json",
+		Rows:             []int{10_000, 30_000},
+		Queries:          50,
+		RangeSizes:       []int{2, 100},
+		BSMax:            10,
+		Seed:             1,
+		Out:              out,
+		JSONPath:         "BENCH_compression.json",
+		MergeJSONPath:    "BENCH_merge.json",
+		PreparedJSONPath: "BENCH_prepared.json",
 	}
 }
 
@@ -169,7 +174,7 @@ func (s *system) timeQueries(table string, filters []engine.Filter) ([]float64, 
 	totalRows := 0
 	for _, f := range filters {
 		start := time.Now()
-		res, err := s.db.Select(engine.Query{Table: table, Filters: []engine.Filter{f}})
+		res, err := s.db.Select(context.Background(), engine.Query{Table: table, Filters: []engine.Filter{f}})
 		if err != nil {
 			return nil, 0, err
 		}

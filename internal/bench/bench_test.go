@@ -215,3 +215,44 @@ func TestFig6PartialOrderHolds(t *testing.T) {
 		t.Errorf("figure 6 partial order violated:\n%s", buf.String())
 	}
 }
+
+func TestPreparedWritesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.Queries = 5
+	cfg.PreparedJSONPath = filepath.Join(t.TempDir(), "BENCH_prepared.json")
+	if err := Prepared(cfg); err != nil {
+		t.Fatalf("Prepared: %v", err)
+	}
+	blob, err := os.ReadFile(cfg.PreparedJSONPath)
+	if err != nil {
+		t.Fatalf("JSON file: %v", err)
+	}
+	var out PreparedReport
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("JSON parse: %v", err)
+	}
+	if out.Rows != 600 || out.Executions != 50 || len(out.Points) != 3 {
+		t.Fatalf("JSON shape: %+v", out)
+	}
+	modes := map[string]PreparedPoint{}
+	for _, p := range out.Points {
+		modes[p.Mode] = p
+		if p.Samples != out.Executions || p.P50us <= 0 || p.P99us < p.P50us {
+			t.Errorf("%s: implausible distribution %+v", p.Mode, p)
+		}
+	}
+	for _, m := range []string{"ad-hoc", "prepared", "streamed"} {
+		if _, ok := modes[m]; !ok {
+			t.Errorf("mode %q missing from report", m)
+		}
+	}
+	// The whole point: prepared executions do not parse; ad-hoc parses per
+	// call.
+	if modes["prepared"].Parses > 1 {
+		t.Errorf("prepared run parsed %d times, want <= 1", modes["prepared"].Parses)
+	}
+	if modes["ad-hoc"].Parses < uint64(out.Executions) {
+		t.Errorf("ad-hoc run parsed %d times, want >= %d", modes["ad-hoc"].Parses, out.Executions)
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -92,7 +93,7 @@ func Concurrency(cfg Config) error {
 				for op := 0; op < opsPerClient; op++ {
 					if op%8 == 7 {
 						row := engine.Row{def.Name: inserts[(c+op)%len(inserts)]}
-						if err := sys.db.Insert(table, row); err != nil {
+						if err := sys.db.Insert(context.Background(), table, row); err != nil {
 							errc <- err
 							return
 						}
@@ -100,7 +101,7 @@ func Concurrency(cfg Config) error {
 					}
 					f := filters[ti][op%len(filters[ti])]
 					q := engine.Query{Table: table, Filters: []engine.Filter{f}, CountOnly: true}
-					if _, err := sys.db.Select(q); err != nil {
+					if _, err := sys.db.Select(context.Background(), q); err != nil {
 						errc <- err
 						return
 					}
@@ -120,7 +121,7 @@ func Concurrency(cfg Config) error {
 	// for earlier points' inserts.
 	resetAll := func() error {
 		for _, table := range tables {
-			if err := sys.db.Merge(table); err != nil {
+			if err := sys.db.Merge(context.Background(), table); err != nil {
 				return err
 			}
 		}
@@ -182,7 +183,7 @@ func concurrencyInterference(cfg Config, sys *system, tables []string, filters [
 			if err != nil {
 				return err
 			}
-			if err := sys.db.Insert(noisy, engine.Row{"c": v}); err != nil {
+			if err := sys.db.Insert(context.Background(), noisy, engine.Row{"c": v}); err != nil {
 				return err
 			}
 		}
@@ -192,7 +193,7 @@ func concurrencyInterference(cfg Config, sys *system, tables []string, filters [
 		return err
 	}
 	mergeStart := time.Now()
-	if err := sys.db.Merge(noisy); err != nil {
+	if err := sys.db.Merge(context.Background(), noisy); err != nil {
 		return err
 	}
 	mergeDur := time.Since(mergeStart)
@@ -215,7 +216,7 @@ func concurrencyInterference(cfg Config, sys *system, tables []string, filters [
 						stormErr = err
 						return
 					}
-					if err := sys.db.Merge(noisy); err != nil {
+					if err := sys.db.Merge(context.Background(), noisy); err != nil {
 						stormErr = err
 						return
 					}
@@ -227,7 +228,7 @@ func concurrencyInterference(cfg Config, sys *system, tables []string, filters [
 			f := filters[0][i%len(filters[0])]
 			start := time.Now()
 			q := engine.Query{Table: victim, Filters: []engine.Filter{f}, CountOnly: true}
-			if _, err := sys.db.Select(q); err != nil {
+			if _, err := sys.db.Select(context.Background(), q); err != nil {
 				close(stop)
 				wg.Wait()
 				return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -95,13 +96,13 @@ func Merge(cfg Config) error {
 			}
 			batch[i] = engine.Row{def.Name: ct}
 		}
-		return s.db.InsertBatch(table, batch)
+		return s.db.InsertBatch(context.Background(), table, batch)
 	}
 
 	sample := func(s *system, filters []engine.Filter, i int) (float64, error) {
 		f := filters[i%len(filters)]
 		start := time.Now()
-		_, err := s.db.Select(engine.Query{Table: table, Filters: []engine.Filter{f}, CountOnly: true})
+		_, err := s.db.Select(context.Background(), engine.Query{Table: table, Filters: []engine.Filter{f}, CountOnly: true})
 		return float64(time.Since(start).Microseconds()), err
 	}
 
@@ -120,7 +121,7 @@ func Merge(cfg Config) error {
 		return err
 	}
 	mergeStart := time.Now()
-	if err := background.db.Merge(table); err != nil {
+	if err := background.db.Merge(context.Background(), table); err != nil {
 		return err
 	}
 	mergeDur := time.Since(mergeStart)
@@ -134,7 +135,7 @@ func Merge(cfg Config) error {
 				return nil, err
 			}
 			done := make(chan error, 1)
-			go func() { done <- s.db.Merge(table) }()
+			go func() { done <- s.db.Merge(context.Background(), table) }()
 			for i := 0; ; i++ {
 				us, err := sample(s, filters, i)
 				if err != nil {

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/proxy"
+	"github.com/encdbdb/encdbdb/internal/sqlparse"
+	"github.com/encdbdb/encdbdb/internal/workload"
+)
+
+// PreparedPoint is one mode row of the prepared-statement experiment.
+type PreparedPoint struct {
+	// Mode is "ad-hoc" (Execute re-parses and re-resolves per call),
+	// "prepared" (Stmt.Exec binds into a cached plan), or "streamed"
+	// (Stmt.Query drains the row cursor instead of materializing).
+	Mode    string  `json:"mode"`
+	Samples int     `json:"samples"`
+	P50us   float64 `json:"p50us"`
+	P99us   float64 `json:"p99us"`
+	// Parses is how many SQL parses the mode's whole sample run cost.
+	Parses uint64 `json:"parses"`
+}
+
+// PreparedReport is the machine-readable result of the prepared experiment.
+type PreparedReport struct {
+	Rows       int             `json:"rows"`
+	Executions int             `json:"executions"`
+	Points     []PreparedPoint `json:"points"`
+}
+
+// Prepared measures what the context-aware query API v2 buys on the trusted
+// path: the same parameterized range SELECT issued through (a) ad-hoc
+// Execute with inline literals — parse, schema resolution, and filter
+// planning paid on every call, the paper proxy's behaviour — (b) a prepared
+// statement whose executions only bind and encrypt the range arguments, and
+// (c) the same prepared statement drained through the streaming Rows cursor.
+// The report records per-mode parse counts alongside p50/p99, proving the
+// prepared path's <=1 parse for the whole run. Results go to cfg.Out as a
+// table and, when cfg.PreparedJSONPath is set, to that file as JSON
+// (BENCH_prepared.json).
+func Prepared(cfg Config) error {
+	rows := cfg.Rows[len(cfg.Rows)-1]
+	col := workload.Generate(workload.C2().Scaled(rows), cfg.Seed)
+	def := defFor(dict.ED5, col.Profile.ValueLen, cfg.BSMax, false)
+	gen, err := workload.NewQueryGen(col, cfg.RangeSizes[0], cfg.Seed)
+	if err != nil {
+		return err
+	}
+
+	sys, err := newSystem()
+	if err != nil {
+		return err
+	}
+	const table = "prep"
+	if err := sys.loadTable(table, def, col.Values, cfg.Seed); err != nil {
+		return err
+	}
+	p, err := proxy.New(sys.master, sys.db)
+	if err != nil {
+		return err
+	}
+
+	// Pre-draw the query bounds so every mode runs the identical workload.
+	n := 10 * cfg.Queries
+	bounds := make([][2]string, n)
+	for i := range bounds {
+		r := gen.Next()
+		bounds[i] = [2]string{string(r.Start), string(r.End)}
+	}
+
+	ctx := context.Background()
+	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s >= ? AND %s <= ?", def.Name, table, def.Name, def.Name)
+
+	run := func(mode string, exec func(lo, hi string) error) (PreparedPoint, error) {
+		lat := make([]float64, 0, n)
+		parses0 := sqlparse.ParseCount()
+		for i := 0; i < n; i++ {
+			start := time.Now()
+			if err := exec(bounds[i][0], bounds[i][1]); err != nil {
+				return PreparedPoint{}, fmt.Errorf("%s: %w", mode, err)
+			}
+			lat = append(lat, float64(time.Since(start).Microseconds()))
+		}
+		return PreparedPoint{
+			Mode:    mode,
+			Samples: len(lat),
+			P50us:   median(lat),
+			P99us:   workload.Percentile(lat, 0.99),
+			Parses:  sqlparse.ParseCount() - parses0,
+		}, nil
+	}
+
+	adhoc, err := run("ad-hoc", func(lo, hi string) error {
+		// The pre-v2 shape: values spliced into the SQL string, re-parsed
+		// and re-planned per call.
+		q := fmt.Sprintf("SELECT %s FROM %s WHERE %s >= '%s' AND %s <= '%s'",
+			def.Name, table, def.Name, lo, def.Name, hi)
+		_, err := p.Execute(ctx, q)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	stmt, err := p.Prepare(ctx, sql)
+	if err != nil {
+		return err
+	}
+	defer stmt.Close()
+	prepared, err := run("prepared", func(lo, hi string) error {
+		_, err := stmt.Exec(ctx, lo, hi)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	streamed, err := run("streamed", func(lo, hi string) error {
+		rows, err := stmt.Query(ctx, lo, hi)
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+		}
+		rows.Close()
+		return rows.Err()
+	})
+	if err != nil {
+		return err
+	}
+
+	report := PreparedReport{
+		Rows:       rows,
+		Executions: n,
+		Points:     []PreparedPoint{adhoc, prepared, streamed},
+	}
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "mode\tsamples\tp50\tp99\tparses\n")
+	for _, pt := range report.Points {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%d\n", pt.Mode, pt.Samples, ms(pt.P50us), ms(pt.P99us), pt.Parses)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	cfg.printf("(ED5, %d rows, RS=%d, %d executions per mode; ad-hoc re-parses per call, prepared binds into a cached plan)\n",
+		rows, cfg.RangeSizes[0], n)
+
+	if cfg.PreparedJSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.PreparedJSONPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("bench: write %s: %w", cfg.PreparedJSONPath, err)
+		}
+		cfg.printf("wrote %s\n", cfg.PreparedJSONPath)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -22,9 +23,9 @@ const remotePoolSize = 4
 // remoteConn is the client surface the experiment drives; *wire.Client and
 // *wire.Pool both implement it.
 type remoteConn interface {
-	Select(q engine.Query) (*engine.Result, error)
-	Insert(table string, row engine.Row) error
-	InsertBatch(table string, rows []engine.Row) error
+	Select(ctx context.Context, q engine.Query) (*engine.Result, error)
+	Insert(ctx context.Context, table string, row engine.Row) error
+	InsertBatch(ctx context.Context, table string, rows []engine.Row) error
 	Close() error
 }
 
@@ -92,7 +93,7 @@ func Remote(cfg Config) error {
 					f := filters[ti][i%len(filters[ti])]
 					q := engine.Query{Table: tables[ti], Filters: []engine.Filter{f}, CountOnly: true}
 					t0 := time.Now()
-					if _, err := conn.Select(q); err != nil {
+					if _, err := conn.Select(context.Background(), q); err != nil {
 						errc <- err
 						return
 					}
@@ -180,12 +181,12 @@ func remoteBulkLoad(cfg Config, sys *system, addr string, def engine.ColumnDef, 
 		}
 		start := time.Now()
 		if batched {
-			if err := conn.InsertBatch(table, rows); err != nil {
+			if err := conn.InsertBatch(context.Background(), table, rows); err != nil {
 				return 0, err
 			}
 		} else {
 			for _, row := range rows {
-				if err := conn.Insert(table, row); err != nil {
+				if err := conn.Insert(context.Background(), table, row); err != nil {
 					return 0, err
 				}
 			}

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -43,7 +44,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 			for i := 0; i < rounds; i++ {
 				q := search.Eq([]byte(fmt.Sprintf("v%03d", i%10)))
 				f := v.filter(t, "cc", def, q)
-				if _, err := v.db.Select(engine.Query{Table: "cc", Filters: []engine.Filter{f}, CountOnly: true}); err != nil {
+				if _, err := v.db.Select(context.Background(), engine.Query{Table: "cc", Filters: []engine.Filter{f}, CountOnly: true}); err != nil {
 					errs <- fmt.Errorf("reader %d: %w", r, err)
 					return
 				}
@@ -56,7 +57,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				val := fmt.Sprintf("w%d_%03d", w, i)
-				if err := v.db.Insert("cc", engine.Row{"c": v.encryptValue(t, "cc", "c", val)}); err != nil {
+				if err := v.db.Insert(context.Background(), "cc", engine.Row{"c": v.encryptValue(t, "cc", "c", val)}); err != nil {
 					errs <- fmt.Errorf("writer %d: %w", w, err)
 					return
 				}
@@ -67,7 +68,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 4; i++ {
-			if err := v.db.Merge("cc"); err != nil {
+			if err := v.db.Merge(context.Background(), "cc"); err != nil {
 				errs <- fmt.Errorf("merger: %w", err)
 				return
 			}
@@ -80,7 +81,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	}
 
 	// All writes must be present afterwards.
-	res, err := v.db.Select(engine.Query{Table: "cc", CountOnly: true})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "cc", CountOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestConcurrentDeleteUpdateMerge(t *testing.T) {
 			for i := 0; i < 10; i++ {
 				f := v.filter(t, "dm", def, search.Eq([]byte(fmt.Sprintf("keep%03d", w*10+i))))
 				set := engine.Row{"c": v.encryptValue(t, "dm", "c", fmt.Sprintf("upd%d_%03d", w, i))}
-				if _, err := v.db.Update("dm", []engine.Filter{f}, set); err != nil {
+				if _, err := v.db.Update(context.Background(), "dm", []engine.Filter{f}, set); err != nil {
 					errs <- err
 					return
 				}
@@ -133,7 +134,7 @@ func TestConcurrentDeleteUpdateMerge(t *testing.T) {
 		defer wg.Done()
 		for i := 40; i < 50; i++ {
 			f := v.filter(t, "dm", def, search.Eq([]byte(fmt.Sprintf("keep%03d", i))))
-			n, err := v.db.Delete("dm", []engine.Filter{f})
+			n, err := v.db.Delete(context.Background(), "dm", []engine.Filter{f})
 			if err != nil {
 				errs <- err
 				return
@@ -148,7 +149,7 @@ func TestConcurrentDeleteUpdateMerge(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5; i++ {
-			if err := v.db.Merge("dm"); err != nil {
+			if err := v.db.Merge(context.Background(), "dm"); err != nil {
 				errs <- err
 				return
 			}
@@ -159,7 +160,7 @@ func TestConcurrentDeleteUpdateMerge(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	res, err := v.db.Select(engine.Query{Table: "dm", CountOnly: true})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "dm", CountOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestConcurrentCrossTableStress(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < rounds; j++ {
 				f := v.filter(t, name, def, search.Eq([]byte(fmt.Sprintf("v%03d", j%6))))
-				if _, err := v.db.Select(engine.Query{Table: name, Filters: []engine.Filter{f}}); err != nil {
+				if _, err := v.db.Select(context.Background(), engine.Query{Table: name, Filters: []engine.Filter{f}}); err != nil {
 					errs <- fmt.Errorf("select %s: %w", name, err)
 					return
 				}
@@ -219,7 +220,7 @@ func TestConcurrentCrossTableStress(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < rounds; j++ {
 				row := engine.Row{"c": v.encryptValue(t, name, "c", fmt.Sprintf("i%d_%02d", i, j))}
-				if err := v.db.Insert(name, row); err != nil {
+				if err := v.db.Insert(context.Background(), name, row); err != nil {
 					errs <- fmt.Errorf("insert %s: %w", name, err)
 					return
 				}
@@ -230,7 +231,7 @@ func TestConcurrentCrossTableStress(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 3; j++ {
-				if err := v.db.Merge(name); err != nil {
+				if err := v.db.Merge(context.Background(), name); err != nil {
 					errs <- fmt.Errorf("merge %s: %w", name, err)
 					return
 				}
@@ -243,7 +244,7 @@ func TestConcurrentCrossTableStress(t *testing.T) {
 		defer wg.Done()
 		for j := 0; j < rounds*tables; j++ {
 			name := fmt.Sprintf("x%d", j%tables)
-			if _, err := v.db.Select(engine.Query{Table: name, CountOnly: true}); err != nil {
+			if _, err := v.db.Select(context.Background(), engine.Query{Table: name, CountOnly: true}); err != nil {
 				errs <- fmt.Errorf("roam %s: %w", name, err)
 				return
 			}
@@ -280,7 +281,7 @@ func TestConcurrentCrossTableStress(t *testing.T) {
 	// Every table must hold its seed rows plus its inserter's rows.
 	for i := 0; i < tables; i++ {
 		name := fmt.Sprintf("x%d", i)
-		res, err := v.db.Select(engine.Query{Table: name, CountOnly: true})
+		res, err := v.db.Select(context.Background(), engine.Query{Table: name, CountOnly: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,7 +336,7 @@ func TestParallelFilterEquivalence(t *testing.T) {
 			for name, val := range dr {
 				row[name] = v.encryptValue(t, "pf", name, val)
 			}
-			if err := v.db.Insert("pf", row); err != nil {
+			if err := v.db.Insert(context.Background(), "pf", row); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -366,7 +367,7 @@ func TestParallelFilterEquivalence(t *testing.T) {
 			for i := range filters {
 				filters[i] = v.filter(t, "pf", picked[i], ranges[i])
 			}
-			res, err := v.db.Select(engine.Query{Table: "pf", Filters: filters, CountOnly: true})
+			res, err := v.db.Select(context.Background(), engine.Query{Table: "pf", Filters: filters, CountOnly: true})
 			if err != nil {
 				t.Fatalf("trial %d: %v", trial, err)
 			}
@@ -398,7 +399,7 @@ func TestParallelFilterErrorConsistency(t *testing.T) {
 		badColumn := engine.Filter{Column: "nosuch", Ranges: matchSome.Ranges}
 
 		// Empty result before the bad filter: both paths return 0 rows, no error.
-		res, err := v.db.Select(engine.Query{
+		res, err := v.db.Select(context.Background(), engine.Query{
 			Table:     "ec",
 			Filters:   []engine.Filter{matchSome, matchNone, badColumn},
 			CountOnly: true,
@@ -410,7 +411,7 @@ func TestParallelFilterErrorConsistency(t *testing.T) {
 		}
 
 		// Bad filter before the conjunction empties: both paths error.
-		_, err = v.db.Select(engine.Query{
+		_, err = v.db.Select(context.Background(), engine.Query{
 			Table:     "ec",
 			Filters:   []engine.Filter{matchSome, badColumn, matchNone},
 			CountOnly: true,
@@ -444,7 +445,7 @@ func TestConcurrentDistinctTables(t *testing.T) {
 			def := engine.ColumnDef{Name: "c", Kind: dict.ED1, MaxLen: 8}
 			for j := 0; j < 20; j++ {
 				f := v.filter(t, name, def, search.Eq([]byte("x")))
-				res, err := v.db.Select(engine.Query{Table: name, Filters: []engine.Filter{f}, CountOnly: true})
+				res, err := v.db.Select(context.Background(), engine.Query{Table: name, Filters: []engine.Filter{f}, CountOnly: true})
 				if err != nil {
 					errs <- err
 					return

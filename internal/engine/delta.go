@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -184,7 +185,10 @@ func (db *DB) commitRowsLocked(t *table, payloads []map[string][]byte) {
 // write-locked, and only for the bitmap update and tail append — enclave
 // re-encryption happens before the lock — so traffic on other tables and
 // concurrent reads of this one proceed.
-func (db *DB) Insert(tableName string, row Row) error {
+func (db *DB) Insert(ctx context.Context, tableName string, row Row) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return err
@@ -211,9 +215,12 @@ func (db *DB) Insert(tableName string, row Row) error {
 // the provider-side half of the proxy's bulk-load fast path. The batch is
 // all-or-nothing: every row is validated and re-encrypted before any table
 // state changes, so a bad row leaves the table untouched.
-func (db *DB) InsertBatch(tableName string, rows []Row) error {
+func (db *DB) InsertBatch(ctx context.Context, tableName string, rows []Row) error {
 	if len(rows) == 0 {
 		return nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return err
 	}
 	t, err := db.lookup(tableName)
 	if err != nil {
@@ -244,7 +251,10 @@ func (db *DB) InsertBatch(tableName string, rows []Row) error {
 // one word-parallel AndNot into a fresh copy-on-write bitmap. Match and
 // invalidation happen atomically under the table write lock so a concurrent
 // merge swap cannot remap RecordIDs in between.
-func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
+func (db *DB) Delete(ctx context.Context, tableName string, filters []Filter) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return 0, err
@@ -254,7 +264,7 @@ func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
 	if err := t.ready(); err != nil {
 		return 0, err
 	}
-	match, err := db.matchValidLocked(t, filters)
+	match, err := db.matchValidLocked(ctx, t, filters)
 	if err != nil {
 		return 0, err
 	}
@@ -271,7 +281,10 @@ func (db *DB) Delete(tableName string, filters []Filter) (int, error) {
 // atomically under the table write lock, and the whole statement is
 // all-or-nothing: every replacement row is validated and re-encrypted
 // before any state changes. Returns the number of updated rows.
-func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
+func (db *DB) Update(ctx context.Context, tableName string, filters []Filter, set Row) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return 0, err
@@ -281,7 +294,7 @@ func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
 		t.mu.Unlock()
 		return 0, err
 	}
-	match, err := db.matchValidLocked(t, filters)
+	match, err := db.matchValidLocked(ctx, t, filters)
 	if err != nil {
 		t.mu.Unlock()
 		return 0, err
@@ -328,9 +341,9 @@ func (db *DB) Update(tableName string, filters []Filter, set Row) (int, error) {
 
 // matchValidLocked evaluates filters and applies validity; the caller holds
 // at least the table's read lock.
-func (db *DB) matchValidLocked(t *table, filters []Filter) (*ridset.Set, error) {
+func (db *DB) matchValidLocked(ctx context.Context, t *table, filters []Filter) (*ridset.Set, error) {
 	v := t.versionLocked()
-	match, err := db.matchRows(v, filters)
+	match, err := db.matchRows(ctx, v, filters)
 	if err != nil {
 		return nil, err
 	}

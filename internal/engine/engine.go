@@ -44,6 +44,7 @@ type options struct {
 	autoMergeRows  int
 	autoMergeBytes int
 	blockingMerge  bool
+	streamChunk    int
 }
 
 type avModeOption search.AVMode
@@ -216,10 +217,11 @@ type column struct {
 // allowed for plaintext-only databases (the PlainDBDB baseline).
 func New(encl *enclave.Enclave, opts ...Option) *DB {
 	o := options{
-		avMode:     search.AVSortedProbe,
-		reorder:    true,
-		packedScan: true,
-		sealRows:   defaultSealRows,
+		avMode:      search.AVSortedProbe,
+		reorder:     true,
+		packedScan:  true,
+		sealRows:    defaultSealRows,
+		streamChunk: defaultStreamChunk,
 	}
 	for _, opt := range opts {
 		opt.apply(&o)

@@ -2,6 +2,7 @@ package engine_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -161,7 +162,7 @@ func TestSelectSingleFilterAllKinds(t *testing.T) {
 		t.Run(k.String(), func(t *testing.T) {
 			v := newEnv(t)
 			fname, _ := v.standardTable(t, k, dict.ED1)
-			res, err := v.db.Select(engine.Query{
+			res, err := v.db.Select(context.Background(), engine.Query{
 				Table:   "t1",
 				Filters: []engine.Filter{v.filter(t, "t1", fname, search.Closed([]byte("Archie"), []byte("Hans")))},
 				Project: []string{"fname"},
@@ -183,7 +184,7 @@ func TestSelectConjunction(t *testing.T) {
 	fname, city := v.standardTable(t, dict.ED5, dict.ED2)
 	// fname == Jessica AND city == Berlin -> rows 1,4 have Jessica; of
 	// those, city Berlin only at row 4.
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table: "t1",
 		Filters: []engine.Filter{
 			v.filter(t, "t1", fname, search.Eq([]byte("Jessica"))),
@@ -208,7 +209,7 @@ func TestSelectProjectionPrefiltersOtherColumn(t *testing.T) {
 	// other columns of the same table).
 	v := newEnv(t)
 	fname, _ := v.standardTable(t, dict.ED1, dict.ED9)
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "t1",
 		Filters: []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Jessica")))},
 		Project: []string{"city"},
@@ -226,7 +227,7 @@ func TestSelectProjectionPrefiltersOtherColumn(t *testing.T) {
 func TestSelectNoFiltersReturnsAll(t *testing.T) {
 	v := newEnv(t)
 	v.standardTable(t, dict.ED1, dict.ED1)
-	res, err := v.db.Select(engine.Query{Table: "t1"})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "t1"})
 	if err != nil {
 		t.Fatalf("Select: %v", err)
 	}
@@ -241,7 +242,7 @@ func TestSelectNoFiltersReturnsAll(t *testing.T) {
 func TestSelectCountOnly(t *testing.T) {
 	v := newEnv(t)
 	fname, _ := v.standardTable(t, dict.ED4, dict.ED1)
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:     "t1",
 		Filters:   []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Jessica")))},
 		CountOnly: true,
@@ -264,7 +265,7 @@ func TestSelectPlainColumns(t *testing.T) {
 				t.Fatalf("CreateTable: %v", err)
 			}
 			v.loadColumn(t, "p", def, bcol("b", "d", "a", "c", "b"))
-			res, err := v.db.Select(engine.Query{
+			res, err := v.db.Select(context.Background(), engine.Query{
 				Table:   "p",
 				Filters: []engine.Filter{v.filter(t, "p", def, search.Closed([]byte("b"), []byte("c")))},
 			})
@@ -298,7 +299,7 @@ func TestSelectMixedKindsInOneTable(t *testing.T) {
 		v.loadColumn(t, "mix", def, col)
 	}
 	for _, def := range defs {
-		res, err := v.db.Select(engine.Query{
+		res, err := v.db.Select(context.Background(), engine.Query{
 			Table:   "mix",
 			Filters: []engine.Filter{v.filter(t, "mix", def, search.Eq([]byte("x")))},
 			Project: []string{def.Name},
@@ -316,16 +317,16 @@ func TestSelectErrors(t *testing.T) {
 	v := newEnv(t)
 	fname, _ := v.standardTable(t, dict.ED1, dict.ED1)
 
-	if _, err := v.db.Select(engine.Query{Table: "nope"}); !errors.Is(err, engine.ErrNoSuchTable) {
+	if _, err := v.db.Select(context.Background(), engine.Query{Table: "nope"}); !errors.Is(err, engine.ErrNoSuchTable) {
 		t.Errorf("unknown table: err = %v", err)
 	}
-	if _, err := v.db.Select(engine.Query{
+	if _, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "t1",
 		Filters: []engine.Filter{{Column: "nope"}},
 	}); !errors.Is(err, engine.ErrNoSuchColumn) {
 		t.Errorf("unknown filter column: err = %v", err)
 	}
-	if _, err := v.db.Select(engine.Query{
+	if _, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "t1",
 		Filters: []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("x")))},
 		Project: []string{"nope"},
@@ -409,15 +410,15 @@ func TestSelectPartiallyImportedTableFails(t *testing.T) {
 	if err := v.db.CreateTable(engine.Schema{Table: "t", Columns: []engine.ColumnDef{a, b}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.db.Select(engine.Query{Table: "t", CountOnly: true}); err != nil {
+	if _, err := v.db.Select(context.Background(), engine.Query{Table: "t", CountOnly: true}); err != nil {
 		t.Errorf("empty table not queryable: %v", err)
 	}
 	v.loadColumn(t, "t", a, bcol("x", "y"))
-	if _, err := v.db.Select(engine.Query{Table: "t"}); !errors.Is(err, engine.ErrNotImported) {
+	if _, err := v.db.Select(context.Background(), engine.Query{Table: "t"}); !errors.Is(err, engine.ErrNotImported) {
 		t.Errorf("err = %v, want ErrNotImported", err)
 	}
 	v.loadColumn(t, "t", b, bcol("p", "q"))
-	if _, err := v.db.Select(engine.Query{Table: "t"}); err != nil {
+	if _, err := v.db.Select(context.Background(), engine.Query{Table: "t"}); err != nil {
 		t.Errorf("fully imported table not queryable: %v", err)
 	}
 }
@@ -428,7 +429,7 @@ func TestImportAfterInsertFails(t *testing.T) {
 	if err := v.db.CreateTable(engine.Schema{Table: "t", Columns: []engine.ColumnDef{a}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.db.Insert("t", engine.Row{"a": v.encryptValue(t, "t", "a", "x")}); err != nil {
+	if err := v.db.Insert(context.Background(), "t", engine.Row{"a": v.encryptValue(t, "t", "a", "x")}); err != nil {
 		t.Fatal(err)
 	}
 	s, err := dict.Build(bcol("z"), dict.Params{
@@ -450,10 +451,10 @@ func TestInsertAndQueryDelta(t *testing.T) {
 		"fname": v.encryptValue(t, "t1", "fname", "Jessica"),
 		"city":  v.encryptValue(t, "t1", "city", "Toronto"),
 	}
-	if err := v.db.Insert("t1", row); err != nil {
+	if err := v.db.Insert(context.Background(), "t1", row); err != nil {
 		t.Fatalf("Insert: %v", err)
 	}
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "t1",
 		Filters: []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Jessica")))},
 		Project: []string{"city"},
@@ -488,10 +489,10 @@ func TestInsertBatch(t *testing.T) {
 			"city":  v.encryptValue(t, "t1", "city", fmt.Sprintf("City%d", i)),
 		}
 	}
-	if err := v.db.InsertBatch("t1", rows); err != nil {
+	if err := v.db.InsertBatch(context.Background(), "t1", rows); err != nil {
 		t.Fatalf("InsertBatch: %v", err)
 	}
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:     "t1",
 		Filters:   []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Batch")))},
 		CountOnly: true,
@@ -499,10 +500,10 @@ func TestInsertBatch(t *testing.T) {
 	if err != nil || res.Count != 10 {
 		t.Fatalf("count = %v, %v; want 10", res, err)
 	}
-	if err := v.db.InsertBatch("t1", nil); err != nil {
+	if err := v.db.InsertBatch(context.Background(), "t1", nil); err != nil {
 		t.Fatalf("empty batch: %v", err)
 	}
-	if err := v.db.InsertBatch("missing", rows); err == nil {
+	if err := v.db.InsertBatch(context.Background(), "missing", rows); err == nil {
 		t.Error("batch into missing table accepted")
 	}
 	// A bad row anywhere aborts the whole batch: every row is validated
@@ -512,13 +513,13 @@ func TestInsertBatch(t *testing.T) {
 		{"fname": v.encryptValue(t, "t1", "fname", "B2")}, // missing city
 	}
 	before, _ := v.db.Rows("t1")
-	if err := v.db.InsertBatch("t1", bad); !errors.Is(err, engine.ErrMissingColumn) {
+	if err := v.db.InsertBatch(context.Background(), "t1", bad); !errors.Is(err, engine.ErrMissingColumn) {
 		t.Errorf("err = %v, want ErrMissingColumn", err)
 	}
 	if after, _ := v.db.Rows("t1"); after != before {
 		t.Errorf("rows = %d, want %d (failed batch must leave the table untouched)", after, before)
 	}
-	res, err = v.db.Select(engine.Query{
+	res, err = v.db.Select(context.Background(), engine.Query{
 		Table:     "t1",
 		Filters:   []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("B2")))},
 		CountOnly: true,
@@ -531,7 +532,7 @@ func TestInsertBatch(t *testing.T) {
 func TestInsertMissingColumn(t *testing.T) {
 	v := newEnv(t)
 	v.standardTable(t, dict.ED1, dict.ED1)
-	err := v.db.Insert("t1", engine.Row{"fname": v.encryptValue(t, "t1", "fname", "X")})
+	err := v.db.Insert(context.Background(), "t1", engine.Row{"fname": v.encryptValue(t, "t1", "fname", "X")})
 	if !errors.Is(err, engine.ErrMissingColumn) {
 		t.Errorf("err = %v, want ErrMissingColumn", err)
 	}
@@ -543,14 +544,14 @@ func TestInsertMissingColumn(t *testing.T) {
 func TestDeleteHidesRows(t *testing.T) {
 	v := newEnv(t)
 	fname, _ := v.standardTable(t, dict.ED1, dict.ED1)
-	n, err := v.db.Delete("t1", []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Jessica")))})
+	n, err := v.db.Delete(context.Background(), "t1", []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Jessica")))})
 	if err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
 	if n != 3 {
 		t.Errorf("deleted %d rows, want 3", n)
 	}
-	res, err := v.db.Select(engine.Query{Table: "t1", CountOnly: true})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "t1", CountOnly: true})
 	if err != nil {
 		t.Fatalf("Select: %v", err)
 	}
@@ -562,7 +563,7 @@ func TestDeleteHidesRows(t *testing.T) {
 func TestUpdateRewritesRows(t *testing.T) {
 	v := newEnv(t)
 	fname, city := v.standardTable(t, dict.ED5, dict.ED1)
-	n, err := v.db.Update("t1",
+	n, err := v.db.Update(context.Background(), "t1",
 		[]engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Hans")))},
 		engine.Row{"city": v.encryptValue(t, "t1", "city", "Potsdam")},
 	)
@@ -572,7 +573,7 @@ func TestUpdateRewritesRows(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("updated %d rows, want 1", n)
 	}
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "t1",
 		Filters: []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Hans")))},
 		Project: []string{"city"},
@@ -591,11 +592,11 @@ func TestMergeFoldsDeltaAndGarbageCollects(t *testing.T) {
 	v := newEnv(t)
 	fname, _ := v.standardTable(t, dict.ED5, dict.ED2)
 	// Delete one row, insert two.
-	if _, err := v.db.Delete("t1", []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Hans")))}); err != nil {
+	if _, err := v.db.Delete(context.Background(), "t1", []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Hans")))}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"Zara", "Anna"} {
-		err := v.db.Insert("t1", engine.Row{
+		err := v.db.Insert(context.Background(), "t1", engine.Row{
 			"fname": v.encryptValue(t, "t1", "fname", name),
 			"city":  v.encryptValue(t, "t1", "city", "Ottawa"),
 		})
@@ -603,14 +604,14 @@ func TestMergeFoldsDeltaAndGarbageCollects(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := v.db.Merge("t1"); err != nil {
+	if err := v.db.Merge(context.Background(), "t1"); err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
 	// 6 - 1 + 2 = 7 rows, all in the main store now.
 	if n, _ := v.db.Rows("t1"); n != 7 {
 		t.Errorf("rows after merge = %d, want 7", n)
 	}
-	res, err := v.db.Select(engine.Query{Table: "t1", Project: []string{"fname"}})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "t1", Project: []string{"fname"}})
 	if err != nil {
 		t.Fatalf("Select: %v", err)
 	}
@@ -621,7 +622,7 @@ func TestMergeFoldsDeltaAndGarbageCollects(t *testing.T) {
 		t.Errorf("rows after merge = %v, want %v", got, want)
 	}
 	// Searches still work on the merged store.
-	res, err = v.db.Select(engine.Query{
+	res, err = v.db.Select(context.Background(), engine.Query{
 		Table:     "t1",
 		Filters:   []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Zara")))},
 		CountOnly: true,
@@ -641,13 +642,13 @@ func TestMergePlainColumns(t *testing.T) {
 		t.Fatal(err)
 	}
 	v.loadColumn(t, "p", def, bcol("m", "n"))
-	if err := v.db.Insert("p", engine.Row{"c": []byte("o")}); err != nil {
+	if err := v.db.Insert(context.Background(), "p", engine.Row{"c": []byte("o")}); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.db.Merge("p"); err != nil {
+	if err := v.db.Merge(context.Background(), "p"); err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "p",
 		Filters: []engine.Filter{v.filter(t, "p", def, search.Closed([]byte("m"), []byte("o")))},
 	})
@@ -683,7 +684,7 @@ func TestStorageBytesGrowsWithDelta(t *testing.T) {
 	if before == 0 {
 		t.Fatal("storage = 0")
 	}
-	err = v.db.Insert("t1", engine.Row{
+	err = v.db.Insert(context.Background(), "t1", engine.Row{
 		"fname": v.encryptValue(t, "t1", "fname", "New"),
 		"city":  v.encryptValue(t, "t1", "city", "Town"),
 	})
@@ -723,14 +724,14 @@ func TestEngineRandomizedAgainstOracle(t *testing.T) {
 			switch rng.Intn(3) {
 			case 0: // insert
 				val := fmt.Sprintf("v%02d", rng.Intn(12))
-				err := v.db.Insert("t", engine.Row{"c": v.encryptValue(t, "t", "c", val)})
+				err := v.db.Insert(context.Background(), "t", engine.Row{"c": v.encryptValue(t, "t", "c", val)})
 				if err != nil {
 					t.Fatal(err)
 				}
 				model = append(model, val)
 			case 1: // delete by equality
 				val := fmt.Sprintf("v%02d", rng.Intn(12))
-				if _, err := v.db.Delete("t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte(val)))}); err != nil {
+				if _, err := v.db.Delete(context.Background(), "t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte(val)))}); err != nil {
 					t.Fatal(err)
 				}
 				var kept []string
@@ -742,7 +743,7 @@ func TestEngineRandomizedAgainstOracle(t *testing.T) {
 				model = kept
 			case 2: // occasionally merge
 				if rng.Intn(2) == 0 {
-					if err := v.db.Merge("t"); err != nil {
+					if err := v.db.Merge(context.Background(), "t"); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -754,7 +755,7 @@ func TestEngineRandomizedAgainstOracle(t *testing.T) {
 				lo, hi = hi, lo
 			}
 			q := search.Closed([]byte(lo), []byte(hi))
-			res, err := v.db.Select(engine.Query{
+			res, err := v.db.Select(context.Background(), engine.Query{
 				Table:   "t",
 				Filters: []engine.Filter{v.filter(t, "t", def, q)},
 				Project: []string{"c"},
@@ -783,7 +784,7 @@ func TestResultCellsAreCiphertexts(t *testing.T) {
 	// The untrusted engine must return ciphertexts, never plaintext.
 	v := newEnv(t)
 	fname, _ := v.standardTable(t, dict.ED1, dict.ED1)
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:   "t1",
 		Filters: []engine.Filter{v.filter(t, "t1", fname, search.Eq([]byte("Hans")))},
 		Project: []string{"fname"},

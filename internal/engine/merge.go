@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
@@ -30,7 +31,10 @@ type MergeInfo struct {
 }
 
 // MergeStatus reports the table's delta/merge lifecycle state.
-func (db *DB) MergeStatus(tableName string) (MergeInfo, error) {
+func (db *DB) MergeStatus(ctx context.Context, tableName string) (MergeInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return MergeInfo{}, err
+	}
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return MergeInfo{}, err
@@ -65,7 +69,10 @@ func (db *DB) MergeStatus(tableName string) (MergeInfo, error) {
 // replays validity changes onto the new store and keeps the runs and tail
 // accrued since sealing as the new delta chain. At most one merge per table
 // runs at a time; a second Merge waits its turn.
-func (db *DB) Merge(tableName string) error {
+func (db *DB) Merge(ctx context.Context, tableName string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return err
@@ -80,7 +87,10 @@ func (db *DB) Merge(tableName string) error {
 // and an error if the table does not exist, is not queryable, or the
 // database is closed. The merge's own outcome is observable through
 // MergeStatus.
-func (db *DB) MergeAsync(tableName string) (started bool, err error) {
+func (db *DB) MergeAsync(ctx context.Context, tableName string) (started bool, err error) {
+	if err := ctxErr(ctx); err != nil {
+		return false, err
+	}
 	t, err := db.lookup(tableName)
 	if err != nil {
 		return false, err
@@ -125,7 +135,7 @@ func (db *DB) maybeAutoMerge(tableName string, t *table) {
 	t.mu.RUnlock()
 	if (db.opts.autoMergeRows > 0 && rows >= db.opts.autoMergeRows) ||
 		(db.opts.autoMergeBytes > 0 && bytes >= db.opts.autoMergeBytes) {
-		db.MergeAsync(tableName) //nolint:errcheck // best-effort policy trigger
+		db.MergeAsync(context.Background(), tableName) //nolint:errcheck // best-effort policy trigger
 	}
 }
 

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -39,14 +40,14 @@ func mergeEnvKind(t *testing.T, kind dict.Kind, opts ...engine.Option) (*env, en
 	v.loadColumn(t, "t", def, col)
 	for i := 0; i < 25; i++ {
 		s := fmt.Sprintf("d%03d", i%7)
-		if err := v.db.Insert("t", engine.Row{"c": v.encryptValue(t, "t", "c", s)}); err != nil {
+		if err := v.db.Insert(context.Background(), "t", engine.Row{"c": v.encryptValue(t, "t", "c", s)}); err != nil {
 			t.Fatal(err)
 		}
 		model = append(model, s)
 	}
 	// Delete one main-store value and one delta value.
 	for _, victim := range []string{"m003", "d002"} {
-		if _, err := v.db.Delete("t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte(victim)))}); err != nil {
+		if _, err := v.db.Delete(context.Background(), "t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte(victim)))}); err != nil {
 			t.Fatal(err)
 		}
 		var kept []string
@@ -64,7 +65,7 @@ func mergeEnvKind(t *testing.T, kind dict.Kind, opts ...engine.Option) (*env, en
 // allRows returns the sorted decrypted projection of every valid row.
 func allRows(t *testing.T, v *env, def engine.ColumnDef) []string {
 	t.Helper()
-	res, err := v.db.Select(engine.Query{Table: "t", Project: []string{"c"}})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "t", Project: []string{"c"}})
 	if err != nil {
 		t.Fatalf("Select: %v", err)
 	}
@@ -89,7 +90,7 @@ func TestSelectDuringBackgroundMerge(t *testing.T) {
 	})
 
 	mergeDone := make(chan error, 1)
-	go func() { mergeDone <- v.db.Merge("t") }()
+	go func() { mergeDone <- v.db.Merge(context.Background(), "t") }()
 	<-entered // rebuild finished, swap parked — the merge is in flight
 
 	type selRes struct {
@@ -98,7 +99,7 @@ func TestSelectDuringBackgroundMerge(t *testing.T) {
 	}
 	selDone := make(chan selRes, 1)
 	go func() {
-		res, err := v.db.Select(engine.Query{Table: "t", Project: []string{"c"}})
+		res, err := v.db.Select(context.Background(), engine.Query{Table: "t", Project: []string{"c"}})
 		if err != nil {
 			selDone <- selRes{err: err}
 			return
@@ -121,7 +122,7 @@ func TestSelectDuringBackgroundMerge(t *testing.T) {
 	}
 
 	// Writers must get through as well while the swap is parked.
-	if err := v.db.Insert("t", engine.Row{"c": v.encryptValue(t, "t", "c", "w000")}); err != nil {
+	if err := v.db.Insert(context.Background(), "t", engine.Row{"c": v.encryptValue(t, "t", "c", "w000")}); err != nil {
 		t.Fatalf("Insert during merge: %v", err)
 	}
 	model = append(model, "w000")
@@ -151,11 +152,11 @@ func TestWritesDuringRebuildAreReplayed(t *testing.T) {
 	}, nil)
 
 	mergeDone := make(chan error, 1)
-	go func() { mergeDone <- v.db.Merge("t") }()
+	go func() { mergeDone <- v.db.Merge(context.Background(), "t") }()
 	<-entered // sealed, rebuild not yet run
 
 	apply := func(victim string) {
-		if _, err := v.db.Delete("t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte(victim)))}); err != nil {
+		if _, err := v.db.Delete(context.Background(), "t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte(victim)))}); err != nil {
 			t.Fatal(err)
 		}
 		var kept []string
@@ -167,14 +168,14 @@ func TestWritesDuringRebuildAreReplayed(t *testing.T) {
 		model = kept
 	}
 	for _, s := range []string{"x001", "x002", "x003"} {
-		if err := v.db.Insert("t", engine.Row{"c": v.encryptValue(t, "t", "c", s)}); err != nil {
+		if err := v.db.Insert(context.Background(), "t", engine.Row{"c": v.encryptValue(t, "t", "c", s)}); err != nil {
 			t.Fatal(err)
 		}
 		model = append(model, s)
 	}
 	apply("m005") // rows being rebuilt right now
 	apply("x002") // a row appended after the seal
-	if n, err := v.db.Update("t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte("d004")))},
+	if n, err := v.db.Update(context.Background(), "t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte("d004")))},
 		engine.Row{"c": v.encryptValue(t, "t", "c", "u004")}); err != nil {
 		t.Fatal(err)
 	} else if n == 0 {
@@ -198,7 +199,7 @@ func TestWritesDuringRebuildAreReplayed(t *testing.T) {
 		t.Errorf("rows after merge = %v, want %v", got, model)
 	}
 	// A second, quiet merge compacts the replayed state too.
-	if err := v.db.Merge("t"); err != nil {
+	if err := v.db.Merge(context.Background(), "t"); err != nil {
 		t.Fatalf("second Merge: %v", err)
 	}
 	if got := allRows(t, v, def); fmt.Sprint(got) != fmt.Sprint(model) {
@@ -221,7 +222,7 @@ func TestConcurrentMergeBitIdentical(t *testing.T) {
 			}
 			var want [][]string
 			for _, q := range queries {
-				res, err := v.db.Select(engine.Query{
+				res, err := v.db.Select(context.Background(), engine.Query{
 					Table:   "t",
 					Filters: []engine.Filter{v.filter(t, "t", def, q)},
 					Project: []string{"c"},
@@ -241,7 +242,7 @@ func TestConcurrentMergeBitIdentical(t *testing.T) {
 			go func() { // merge storm
 				defer wg.Done()
 				for i := 0; i < 6; i++ {
-					if err := v.db.Merge("t"); err != nil {
+					if err := v.db.Merge(context.Background(), "t"); err != nil {
 						errs <- err
 						return
 					}
@@ -259,7 +260,7 @@ func TestConcurrentMergeBitIdentical(t *testing.T) {
 						default:
 						}
 						qi := (r + i) % len(queries)
-						res, err := v.db.Select(engine.Query{
+						res, err := v.db.Select(context.Background(), engine.Query{
 							Table:   "t",
 							Filters: []engine.Filter{v.filter(t, "t", def, queries[qi])},
 							Project: []string{"c"},
@@ -303,7 +304,7 @@ func TestSealedRunsAnswerQueries(t *testing.T) {
 	model := []string{"a01", "a02"}
 	for i := 0; i < 11; i++ {
 		s := fmt.Sprintf("b%02d", i)
-		if err := v.db.Insert("t", engine.Row{"c": v.encryptValue(t, "t", "c", s)}); err != nil {
+		if err := v.db.Insert(context.Background(), "t", engine.Row{"c": v.encryptValue(t, "t", "c", s)}); err != nil {
 			t.Fatal(err)
 		}
 		model = append(model, s)
@@ -320,7 +321,7 @@ func TestSealedRunsAnswerQueries(t *testing.T) {
 	}
 	// Range hitting main + both sealed runs + tail; then delete from a
 	// sealed run and re-check.
-	res, err := v.db.Select(engine.Query{
+	res, err := v.db.Select(context.Background(), engine.Query{
 		Table:     "t",
 		Filters:   []engine.Filter{v.filter(t, "t", def, search.Closed([]byte("a02"), []byte("b09")))},
 		CountOnly: true,
@@ -331,10 +332,10 @@ func TestSealedRunsAnswerQueries(t *testing.T) {
 	if res.Count != 11 {
 		t.Errorf("range count = %d, want 11", res.Count)
 	}
-	if _, err := v.db.Delete("t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte("b01")))}); err != nil {
+	if _, err := v.db.Delete(context.Background(), "t", []engine.Filter{v.filter(t, "t", def, search.Eq([]byte("b01")))}); err != nil {
 		t.Fatal(err)
 	}
-	if err := v.db.Merge("t"); err != nil {
+	if err := v.db.Merge(context.Background(), "t"); err != nil {
 		t.Fatal(err)
 	}
 	var kept []string
@@ -361,13 +362,13 @@ func TestAutoMergePolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if err := v.db.Insert("t", engine.Row{"c": v.encryptValue(t, "t", "c", fmt.Sprintf("v%02d", i))}); err != nil {
+		if err := v.db.Insert(context.Background(), "t", engine.Row{"c": v.encryptValue(t, "t", "c", fmt.Sprintf("v%02d", i))}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		info, err := v.db.MergeStatus("t")
+		info, err := v.db.MergeStatus(context.Background(), "t")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -385,7 +386,7 @@ func TestAutoMergePolicy(t *testing.T) {
 	if err := v.db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := v.db.MergeAsync("t"); err != engine.ErrClosed {
+	if _, err := v.db.MergeAsync(context.Background(), "t"); err != engine.ErrClosed {
 		t.Errorf("MergeAsync after Close = %v, want ErrClosed", err)
 	}
 }
@@ -401,15 +402,15 @@ func TestMergeAsyncReportsInFlight(t *testing.T) {
 		once.Do(func() { close(entered) })
 		<-release
 	})
-	started, err := v.db.MergeAsync("t")
+	started, err := v.db.MergeAsync(context.Background(), "t")
 	if err != nil || !started {
 		t.Fatalf("first MergeAsync = %v, %v", started, err)
 	}
 	<-entered
-	if info, err := v.db.MergeStatus("t"); err != nil || !info.Merging {
+	if info, err := v.db.MergeStatus(context.Background(), "t"); err != nil || !info.Merging {
 		t.Errorf("status mid-merge = %+v, %v; want Merging", info, err)
 	}
-	started, err = v.db.MergeAsync("t")
+	started, err = v.db.MergeAsync(context.Background(), "t")
 	if err != nil {
 		t.Fatalf("second MergeAsync: %v", err)
 	}
@@ -420,7 +421,7 @@ func TestMergeAsyncReportsInFlight(t *testing.T) {
 	if err := v.db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if info, err := v.db.MergeStatus("t"); err != nil || info.Merges != 1 || info.Merging {
+	if info, err := v.db.MergeStatus(context.Background(), "t"); err != nil || info.Merges != 1 || info.Merging {
 		t.Errorf("final status = %+v, %v; want exactly one completed merge", info, err)
 	}
 }
@@ -435,7 +436,7 @@ func TestUpdateDoesNotAliasSetBuffers(t *testing.T) {
 	}
 	v.loadColumn(t, "t", def, bcol("old"))
 	buf := []byte("new")
-	if _, err := v.db.Update("t",
+	if _, err := v.db.Update(context.Background(), "t",
 		[]engine.Filter{v.filter(t, "t", def, search.Eq([]byte("old")))},
 		engine.Row{"c": buf}); err != nil {
 		t.Fatal(err)

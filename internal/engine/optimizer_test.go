@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestOptimizerShortCircuitsUnsortedScan(t *testing.T) {
 		v.filter(t, "opt", cheap, search.Eq([]byte("nomatch"))),
 	}
 	v.db.Enclave().ResetStats()
-	res, err := v.db.Select(engine.Query{Table: "opt", Filters: filters, CountOnly: true})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "opt", Filters: filters, CountOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestOptimizerDisabledRunsInGivenOrder(t *testing.T) {
 		v.filter(t, "opt", cheap, search.Eq([]byte("nomatch"))),
 	}
 	v.db.Enclave().ResetStats()
-	if _, err := v.db.Select(engine.Query{Table: "opt", Filters: filters, CountOnly: true}); err != nil {
+	if _, err := v.db.Select(context.Background(), engine.Query{Table: "opt", Filters: filters, CountOnly: true}); err != nil {
 		t.Fatal(err)
 	}
 	if loads := v.db.Enclave().Stats().Loads; loads < 500 {
@@ -77,7 +78,7 @@ func TestOptimizerPreservesResults(t *testing.T) {
 		v.filter(t, "opt", costly, search.Closed([]byte("b00000"), []byte("b00149"))),
 		v.filter(t, "opt", cheap, search.Closed([]byte("a00000"), []byte("a00024"))),
 	}
-	res, err := v.db.Select(engine.Query{Table: "opt", Filters: filters, CountOnly: true})
+	res, err := v.db.Select(context.Background(), engine.Query{Table: "opt", Filters: filters, CountOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestOptimizerPreservesResults(t *testing.T) {
 func TestOptimizerUnknownColumnStillErrors(t *testing.T) {
 	v := newEnvWith(t)
 	optimizerTable(t, v, 50)
-	_, err := v.db.Select(engine.Query{Table: "opt", Filters: []engine.Filter{
+	_, err := v.db.Select(context.Background(), engine.Query{Table: "opt", Filters: []engine.Filter{
 		{Column: "nope"},
 		{Column: "cheap"},
 	}})

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -47,11 +48,11 @@ func TestPackedScanMatchesUnpackedQueries(t *testing.T) {
 			}
 			q := search.Range{Start: []byte(a), End: []byte(b), StartIncl: trial%2 == 0, EndIncl: trial%3 != 0}
 			f := packed.filter(t, table, def, q)
-			resP, err := packed.db.Select(engine.Query{Table: table, Filters: []engine.Filter{f}})
+			resP, err := packed.db.Select(context.Background(), engine.Query{Table: table, Filters: []engine.Filter{f}})
 			if err != nil {
 				t.Fatalf("%v packed select: %v", kind, err)
 			}
-			resL, err := legacy.db.Select(engine.Query{Table: table, Filters: []engine.Filter{f}})
+			resL, err := legacy.db.Select(context.Background(), engine.Query{Table: table, Filters: []engine.Filter{f}})
 			if err != nil {
 				t.Fatalf("%v legacy select: %v", kind, err)
 			}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -66,45 +67,88 @@ type Result struct {
 // 6-13). The table is locked only for the brief version pin; the search and
 // rendering run lock-free against the pinned version, so a long scan never
 // blocks writers or an in-flight background merge — and vice versa.
-func (db *DB) Select(q Query) (*Result, error) {
-	t, err := db.lookup(q.Table)
+//
+// The context is honored between scan chunks: cancelling it mid-scan
+// abandons the remaining per-filter searches and rendering and returns
+// ctx.Err(). SelectStream is the chunked variant that streams the rendered
+// rows instead of materializing them.
+func (db *DB) Select(ctx context.Context, q Query) (*Result, error) {
+	v, rids, err := db.selectMatch(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	v, err := t.pin()
-	if err != nil {
-		return nil, err
-	}
-
-	match, err := db.matchRows(v, q.Filters)
-	if err != nil {
-		return nil, err
-	}
-	match.IntersectWith(v.valid)
-	rids := match.Slice()
-
 	res := &Result{RecordIDs: rids, Count: len(rids)}
 	if q.CountOnly {
 		return res, nil
 	}
-	project := q.Project
-	if len(project) == 0 {
-		for _, def := range t.schema.Columns {
-			project = append(project, def.Name)
-		}
+	project, err := v.project(q)
+	if err != nil {
+		return nil, err
 	}
 	for _, name := range project {
-		cv, ok := v.cols[name]
-		if !ok {
-			return nil, fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, q.Table, name)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
 		}
 		res.Columns = append(res.Columns, ResultColumn{
 			Table:  q.Table,
 			Column: name,
-			Cells:  v.render(cv, rids),
+			Cells:  v.render(v.cols[name], rids),
 		})
 	}
 	return res, nil
+}
+
+// selectMatch runs the filter phase of a query: pin a version, evaluate the
+// conjunction, apply validity. It returns the pinned version and the matching
+// RecordIDs, shared by Select and SelectStream.
+func (db *DB) selectMatch(ctx context.Context, q Query) (*version, []uint32, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, nil, err
+	}
+	t, err := db.lookup(q.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := t.pin()
+	if err != nil {
+		return nil, nil, err
+	}
+	match, err := db.matchRows(ctx, v, q.Filters)
+	if err != nil {
+		return nil, nil, err
+	}
+	match.IntersectWith(v.valid)
+	return v, match.Slice(), nil
+}
+
+// project resolves a query's projection list against the pinned version:
+// empty means all columns in schema order. Every returned name is verified to
+// exist, so later render calls cannot fail.
+func (v *version) project(q Query) ([]string, error) {
+	project := q.Project
+	if len(project) == 0 {
+		project = make([]string, 0, len(v.cols))
+		for _, def := range v.schema.Columns {
+			project = append(project, def.Name)
+		}
+	}
+	for _, name := range project {
+		if _, ok := v.cols[name]; !ok {
+			return nil, fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, q.Table, name)
+		}
+	}
+	return project, nil
+}
+
+// ctxErr reports a context's cancellation state without blocking — the check
+// the scan loops run between chunks.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // matchRows evaluates the conjunction of all filters as a bitmap over the
@@ -122,13 +166,13 @@ func (db *DB) Select(q Query) (*Result, error) {
 // (results *and* errors) are identical regardless of worker count; the
 // parallel path merely wastes the searches the sequential one would have
 // skipped.
-func (db *DB) matchRows(v *version, filters []Filter) (*ridset.Set, error) {
+func (db *DB) matchRows(ctx context.Context, v *version, filters []Filter) (*ridset.Set, error) {
 	n := v.rows()
 	if len(filters) == 0 {
 		return ridset.Full(n), nil
 	}
 	planned := db.planFilters(v, filters)
-	acc, err := db.filterRows(v, planned[0], db.opts.workers)
+	acc, err := db.filterRows(ctx, v, planned[0], db.opts.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +187,7 @@ func (db *DB) matchRows(v *version, filters []Filter) (*ridset.Set, error) {
 	}
 	if workers <= 1 {
 		for _, f := range rest {
-			set, err := db.filterRows(v, f, 1)
+			set, err := db.filterRows(ctx, v, f, 1)
 			if err != nil {
 				return nil, err
 			}
@@ -172,7 +216,7 @@ func (db *DB) matchRows(v *version, filters []Filter) (*ridset.Set, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				sets[i], errs[i] = db.filterRows(v, rest[i], scanWorkers)
+				sets[i], errs[i] = db.filterRows(ctx, v, rest[i], scanWorkers)
 			}
 		}()
 	}
@@ -241,14 +285,19 @@ func bitsLen(n int) int {
 // stores and merges the results (§4.3). Multi-range filters (IN-lists) OR
 // the per-range sets into the same bitmap. scanWorkers bounds the attribute
 // vector scan parallelism for this filter — matchRows splits the total
-// worker budget among concurrently evaluated filters.
-func (db *DB) filterRows(v *version, f Filter, scanWorkers int) (*ridset.Set, error) {
+// worker budget among concurrently evaluated filters. The context is checked
+// between per-range scan chunks, so a cancelled query stops before the next
+// dictionary search or attribute-vector scan starts.
+func (db *DB) filterRows(ctx context.Context, v *version, f Filter, scanWorkers int) (*ridset.Set, error) {
 	cv, ok := v.cols[f.Column]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Column)
 	}
 	acc := ridset.New(v.rows())
 	for _, rng := range f.Ranges {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		main, err := db.searchMain(cv, rng, scanWorkers)
 		if err != nil {
 			return nil, err
@@ -256,7 +305,7 @@ func (db *DB) filterRows(v *version, f Filter, scanWorkers int) (*ridset.Set, er
 		if main != nil {
 			acc.UnionWith(main)
 		}
-		if err := db.searchDelta(acc, v, cv, rng, scanWorkers); err != nil {
+		if err := db.searchDelta(ctx, acc, v, cv, rng, scanWorkers); err != nil {
 			return nil, err
 		}
 	}
@@ -312,9 +361,12 @@ func (db *DB) scanMainAV(s *dict.Split, res enclave.SearchResult, scanWorkers in
 // seal time; the active tail exploits its identity attribute vector
 // directly — the matching ValueIDs are the matching rows — so only the
 // small unsealed portion pays a per-element path.
-func (db *DB) searchDelta(acc *ridset.Set, v *version, cv *colVersion, q enclave.EncRange, scanWorkers int) error {
+func (db *DB) searchDelta(ctx context.Context, acc *ridset.Set, v *version, cv *colVersion, q enclave.EncRange, scanWorkers int) error {
 	off := v.mainRows
 	for _, run := range cv.sealed {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		ids, err := db.deltaDictSearch(cv, run, q)
 		if err != nil {
 			return err

@@ -15,6 +15,7 @@ import (
 // version scans entirely lock-free while writers and background merges
 // proceed (paper §4.3 delta design, taken off the lock).
 type version struct {
+	schema    Schema
 	gen       uint64
 	mainRows  int
 	deltaRows int
@@ -61,6 +62,7 @@ func (t *table) pin() (*version, error) {
 // table's read lock.
 func (t *table) versionLocked() *version {
 	v := &version{
+		schema:    t.schema,
 		gen:       t.gen,
 		mainRows:  t.mainRows,
 		deltaRows: t.deltaRows,

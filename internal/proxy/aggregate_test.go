@@ -1,6 +1,7 @@
 package proxy_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestAggregateSumAvg(t *testing.T) {
 
 func TestAggregateSumRejectsNonNumeric(t *testing.T) {
 	p := seedNumeric(t)
-	if _, err := p.Execute("SELECT SUM(item) FROM orders"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELECT SUM(item) FROM orders"); err == nil {
 		t.Error("SUM over non-numeric column succeeded")
 	}
 }
@@ -117,7 +118,7 @@ func TestLimit(t *testing.T) {
 
 func TestOrderByUnknownColumn(t *testing.T) {
 	p := seedNumeric(t)
-	if _, err := p.Execute("SELECT item FROM orders ORDER BY nope"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELECT item FROM orders ORDER BY nope"); err == nil {
 		t.Error("unknown ORDER BY column accepted")
 	}
 }
@@ -179,7 +180,7 @@ func TestInListAcrossColumnsAndKinds(t *testing.T) {
 
 func TestInListRejectsOversizedMember(t *testing.T) {
 	p := seedNumeric(t)
-	if _, err := p.Execute("SELECT item FROM orders WHERE item IN ('waaaaaaaaaaaaaaaaaaytoolong')"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELECT item FROM orders WHERE item IN ('waaaaaaaaaaaaaaaaaaytoolong')"); err == nil {
 		t.Error("oversized IN member accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package proxy_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestExecBatchMixedStatements(t *testing.T) {
 		"SELECT COUNT(*) FROM bt",
 		"INSERT INTO bt VALUES ('d')",
 	}
-	results, err := p.ExecBatch(sqls)
+	results, err := p.ExecBatch(context.Background(), sqls)
 	if err != nil {
 		t.Fatalf("ExecBatch: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestExecBatchMixedStatements(t *testing.T) {
 	if results[4].Kind != proxy.KindCount || results[4].Count != 3 {
 		t.Errorf("count mid-batch = %+v, want 3 (inserts before the select must be applied)", results[4])
 	}
-	res, err := p.Execute("SELECT COUNT(*) FROM bt")
+	res, err := p.Execute(context.Background(), "SELECT COUNT(*) FROM bt")
 	if err != nil || res.Count != 4 {
 		t.Fatalf("final count = %+v, %v; want 4", res, err)
 	}
@@ -52,7 +53,7 @@ func TestExecBatchGroupsPerTable(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		sqls = append(sqls, fmt.Sprintf("INSERT INTO g2 VALUES ('b%d')", i))
 	}
-	results, err := p.ExecBatch(sqls)
+	results, err := p.ExecBatch(context.Background(), sqls)
 	if err != nil {
 		t.Fatalf("ExecBatch: %v", err)
 	}
@@ -60,7 +61,7 @@ func TestExecBatchGroupsPerTable(t *testing.T) {
 		t.Fatalf("got %d results for %d statements", len(results), len(sqls))
 	}
 	for _, table := range []string{"g1", "g2"} {
-		res, err := p.Execute("SELECT COUNT(*) FROM " + table)
+		res, err := p.Execute(context.Background(), "SELECT COUNT(*) FROM "+table)
 		if err != nil || res.Count != 5 {
 			t.Fatalf("%s count = %+v, %v", table, res, err)
 		}
@@ -69,19 +70,19 @@ func TestExecBatchGroupsPerTable(t *testing.T) {
 
 func TestExecBatchParseErrorReportsStatement(t *testing.T) {
 	p := newStack(t)
-	_, err := p.ExecBatch([]string{"CREATE TABLE pe (c ED1(8))", "NOT SQL"})
+	_, err := p.ExecBatch(context.Background(), []string{"CREATE TABLE pe (c ED1(8))", "NOT SQL"})
 	if err == nil || !strings.Contains(err.Error(), "statement 1") {
 		t.Fatalf("err = %v, want statement 1 position", err)
 	}
 	// Parse errors are detected up front: nothing may have executed.
-	if _, err := p.Execute("SELECT COUNT(*) FROM pe"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELECT COUNT(*) FROM pe"); err == nil {
 		t.Fatal("table was created despite a parse error later in the batch")
 	}
 }
 
 func TestExecBatchStopsAtRuntimeError(t *testing.T) {
 	p := newStack(t)
-	results, err := p.ExecBatch([]string{
+	results, err := p.ExecBatch(context.Background(), []string{
 		"CREATE TABLE re (c ED1(4))",
 		"INSERT INTO re VALUES ('ok')",
 		"INSERT INTO missing VALUES ('x')",
@@ -93,7 +94,7 @@ func TestExecBatchStopsAtRuntimeError(t *testing.T) {
 	if len(results) < 1 || results[0].Kind != proxy.KindOK {
 		t.Fatalf("results before failure = %+v", results)
 	}
-	res, qerr := p.Execute("SELECT COUNT(*) FROM re")
+	res, qerr := p.Execute(context.Background(), "SELECT COUNT(*) FROM re")
 	if qerr != nil || res.Count != 1 {
 		t.Fatalf("count = %+v, %v; want 1 (statement after the failure must not run)", res, qerr)
 	}

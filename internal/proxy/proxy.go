@@ -12,11 +12,13 @@ package proxy
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
@@ -26,23 +28,26 @@ import (
 )
 
 // Executor is the provider-side surface the proxy drives. *engine.DB
-// implements it for embedded deployments; the wire client implements it for
-// remote ones.
+// implements it for embedded deployments; the wire client and pool implement
+// it for remote ones. Data-plane operations take a context that is honored
+// end-to-end: the embedded engine checks it between scan chunks, and the
+// wire client relays cancellation to the server. Metadata and DDL operations
+// (Schema, CreateTable, DropTable) are quick and stay context-free.
 type Executor interface {
 	Schema(table string) (engine.Schema, error)
 	CreateTable(s engine.Schema) error
 	DropTable(name string) error
-	Select(q engine.Query) (*engine.Result, error)
-	Insert(table string, row engine.Row) error
-	Delete(table string, filters []engine.Filter) (int, error)
-	Update(table string, filters []engine.Filter, set engine.Row) (int, error)
-	Merge(table string) error
+	Select(ctx context.Context, q engine.Query) (*engine.Result, error)
+	Insert(ctx context.Context, table string, row engine.Row) error
+	Delete(ctx context.Context, table string, filters []engine.Filter) (int, error)
+	Update(ctx context.Context, table string, filters []engine.Filter, set engine.Row) (int, error)
+	Merge(ctx context.Context, table string) error
 	// MergeAsync starts a background merge and returns immediately; started
 	// is false when a merge is already in flight. MergeStatus reports the
 	// table's delta/merge lifecycle so clients can observe the background
 	// work they triggered.
-	MergeAsync(table string) (started bool, err error)
-	MergeStatus(table string) (engine.MergeInfo, error)
+	MergeAsync(ctx context.Context, table string) (started bool, err error)
+	MergeStatus(ctx context.Context, table string) (engine.MergeInfo, error)
 }
 
 // BatchInserter is an optional Executor fast path: insert many rows into
@@ -50,14 +55,24 @@ type Executor interface {
 // that is one round trip instead of one per row; the embedded engine takes
 // its table write lock once instead of per row.
 type BatchInserter interface {
-	InsertBatch(table string, rows []engine.Row) error
+	InsertBatch(ctx context.Context, table string, rows []engine.Row) error
+}
+
+// StreamExecutor is an optional Executor fast path: evaluate a Select and
+// deliver the result in chunks instead of materializing it. The embedded
+// engine renders lazily from a pinned version; the wire client receives
+// chunked result frames. Executors without it are served by a materialized
+// Select wrapped as a single chunk.
+type StreamExecutor interface {
+	SelectStream(ctx context.Context, q engine.Query) (engine.ResultStream, error)
 }
 
 // Statically ensure the embedded engine satisfies the executor surface and
-// the batch fast path.
+// the fast paths.
 var (
-	_ Executor      = (*engine.DB)(nil)
-	_ BatchInserter = (*engine.DB)(nil)
+	_ Executor       = (*engine.DB)(nil)
+	_ BatchInserter  = (*engine.DB)(nil)
+	_ StreamExecutor = (*engine.DB)(nil)
 )
 
 // ResultKind tells callers how to interpret a Result.
@@ -85,9 +100,21 @@ type Result struct {
 }
 
 // Proxy is the trusted query gateway.
+//
+// Statements are parameterizable: every value position may be a '?'
+// placeholder bound at execution time from the args of Execute, Query, or a
+// prepared statement's Exec/Query. Binding happens on the trusted side —
+// arguments are encrypted exactly like inline literals, so the provider's
+// view is identical either way.
 type Proxy struct {
 	master pae.Key
 	exec   Executor
+
+	// ciphers caches derived per-column ciphers (keyed table+NUL+column) so
+	// repeated statements skip the HKDF derivation — shared by ad-hoc and
+	// prepared execution.
+	cmu     sync.RWMutex
+	ciphers map[string]*pae.Cipher
 }
 
 // New creates a proxy holding the data owner's master key.
@@ -98,16 +125,59 @@ func New(master pae.Key, exec Executor) (*Proxy, error) {
 	if exec == nil {
 		return nil, errors.New("proxy: executor must not be nil")
 	}
-	return &Proxy{master: master, exec: exec}, nil
+	return &Proxy{master: master, exec: exec, ciphers: make(map[string]*pae.Cipher)}, nil
 }
 
-// Execute parses and runs one SQL statement, returning a decrypted result.
-func (p *Proxy) Execute(sql string) (*Result, error) {
+// bindArgs renders Query/Exec arguments to the string values the engine
+// stores. Only types with one obvious encoding are accepted.
+func bindArgs(args []any) ([]string, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]string, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case string:
+			out[i] = v
+		case []byte:
+			out[i] = string(v)
+		case int:
+			out[i] = strconv.Itoa(v)
+		case int64:
+			out[i] = strconv.FormatInt(v, 10)
+		case uint64:
+			out[i] = strconv.FormatUint(v, 10)
+		case fmt.Stringer:
+			out[i] = v.String()
+		default:
+			return nil, fmt.Errorf("proxy: unsupported argument %d type %T", i+1, a)
+		}
+	}
+	return out, nil
+}
+
+// parseAndBind parses one statement and binds its placeholders.
+func parseAndBind(sql string, args []any) (sqlparse.Statement, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.execute(st)
+	vals, err := bindArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return sqlparse.Bind(st, vals)
+}
+
+// Execute parses and runs one SQL statement, returning a decrypted,
+// materialized result. '?' placeholders in the statement are bound from args
+// in order. For large SELECT results prefer Query, which streams.
+func (p *Proxy) Execute(ctx context.Context, sql string, args ...any) (*Result, error) {
+	st, err := parseAndBind(sql, args)
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(ctx, st, nil)
 }
 
 // ExecBatch runs several statements in order, returning one result per
@@ -115,7 +185,7 @@ func (p *Proxy) Execute(sql string) (*Result, error) {
 // the executor's BatchInserter fast path when available, so bulk loads cost
 // one round trip per run instead of one per row. On error, the returned
 // slice holds the results of the statements completed before the failure.
-func (p *Proxy) ExecBatch(sqls []string) ([]*Result, error) {
+func (p *Proxy) ExecBatch(ctx context.Context, sqls []string) ([]*Result, error) {
 	stmts := make([]sqlparse.Statement, len(sqls))
 	for i, sql := range sqls {
 		st, err := sqlparse.Parse(sql)
@@ -124,12 +194,29 @@ func (p *Proxy) ExecBatch(sqls []string) ([]*Result, error) {
 		}
 		stmts[i] = st
 	}
+	return p.execStmts(ctx, stmts)
+}
+
+// ExecScript splits a semicolon-separated script, parses it as a whole —
+// syntax errors name the failing statement and its absolute byte offset in
+// the script — and executes it like ExecBatch.
+func (p *Proxy) ExecScript(ctx context.Context, script string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	return p.execStmts(ctx, stmts)
+}
+
+// execStmts executes parsed statements in order with the batched-INSERT
+// fast path.
+func (p *Proxy) execStmts(ctx context.Context, stmts []sqlparse.Statement) ([]*Result, error) {
 	bi, _ := p.exec.(BatchInserter)
 	results := make([]*Result, 0, len(stmts))
 	for i := 0; i < len(stmts); {
 		ins, ok := stmts[i].(*sqlparse.Insert)
 		if !ok || bi == nil {
-			res, err := p.execute(stmts[i])
+			res, err := p.execute(ctx, stmts[i], nil)
 			if err != nil {
 				return results, fmt.Errorf("proxy: statement %d: %w", i, err)
 			}
@@ -151,13 +238,19 @@ func (p *Proxy) ExecBatch(sqls []string) ([]*Result, error) {
 		}
 		rows := make([]engine.Row, 0, j-i)
 		for k := i; k < j; k++ {
+			// The fast path bypasses execute(), so it must re-apply its
+			// unbound-placeholder guard: a '?' must never silently insert
+			// its zero value.
+			if n := sqlparse.NumParams(stmts[k]); n > 0 {
+				return results, fmt.Errorf("proxy: statement %d: statement has %d unbound placeholders", k, n)
+			}
 			row, err := p.insertRow(schema, stmts[k].(*sqlparse.Insert))
 			if err != nil {
 				return results, fmt.Errorf("proxy: statement %d: %w", k, err)
 			}
 			rows = append(rows, row)
 		}
-		if err := bi.InsertBatch(ins.Table, rows); err != nil {
+		if err := bi.InsertBatch(ctx, ins.Table, rows); err != nil {
 			return results, err
 		}
 		for k := i; k < j; k++ {
@@ -168,19 +261,45 @@ func (p *Proxy) ExecBatch(sqls []string) ([]*Result, error) {
 	return results, nil
 }
 
-// execute runs one parsed statement.
-func (p *Proxy) execute(st sqlparse.Statement) (*Result, error) {
+// execute runs one parsed, fully bound statement. schema, when non-nil, is a
+// prepared statement's cached resolution and skips the per-call lookup.
+func (p *Proxy) execute(ctx context.Context, st sqlparse.Statement, schema *engine.Schema) (*Result, error) {
+	if n := sqlparse.NumParams(st); n > 0 {
+		return nil, fmt.Errorf("proxy: statement has %d unbound placeholders", n)
+	}
+	schemaFor := func(table string) (engine.Schema, error) {
+		if schema != nil && schema.Table == table {
+			return *schema, nil
+		}
+		return p.exec.Schema(table)
+	}
 	switch s := st.(type) {
 	case *sqlparse.CreateTable:
 		return p.createTable(s)
 	case *sqlparse.Select:
-		return p.selectStmt(s)
+		sc, err := schemaFor(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		return p.selectStmt(ctx, s, sc)
 	case *sqlparse.Insert:
-		return p.insert(s)
+		sc, err := schemaFor(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		return p.insert(ctx, s, sc)
 	case *sqlparse.Update:
-		return p.update(s)
+		sc, err := schemaFor(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		return p.update(ctx, s, sc)
 	case *sqlparse.Delete:
-		return p.delete(s)
+		sc, err := schemaFor(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		return p.delete(ctx, s, sc)
 	case *sqlparse.DropTable:
 		if err := p.exec.DropTable(s.Table); err != nil {
 			return nil, err
@@ -188,17 +307,17 @@ func (p *Proxy) execute(st sqlparse.Statement) (*Result, error) {
 		return &Result{Kind: KindOK}, nil
 	case *sqlparse.MergeTable:
 		if s.Async {
-			if _, err := p.exec.MergeAsync(s.Table); err != nil {
+			if _, err := p.exec.MergeAsync(ctx, s.Table); err != nil {
 				return nil, err
 			}
 			return &Result{Kind: KindOK}, nil
 		}
-		if err := p.exec.Merge(s.Table); err != nil {
+		if err := p.exec.Merge(ctx, s.Table); err != nil {
 			return nil, err
 		}
 		return &Result{Kind: KindOK}, nil
 	case *sqlparse.MergeStatus:
-		info, err := p.exec.MergeStatus(s.Table)
+		info, err := p.exec.MergeStatus(ctx, s.Table)
 		if err != nil {
 			return nil, err
 		}
@@ -247,16 +366,14 @@ func (p *Proxy) createTable(s *sqlparse.CreateTable) (*Result, error) {
 	return &Result{Kind: KindOK}, nil
 }
 
-func (p *Proxy) selectStmt(s *sqlparse.Select) (*Result, error) {
-	schema, err := p.exec.Schema(s.Table)
-	if err != nil {
-		return nil, err
-	}
+// selectPlan converts a parsed SELECT into the provider-side query plus the
+// bookkeeping the trusted side needs afterwards.
+func (p *Proxy) selectPlan(s *sqlparse.Select, schema engine.Schema) (q engine.Query, extraSort bool, err error) {
 	filters, err := p.Filters(schema, s.Where)
 	if err != nil {
-		return nil, err
+		return engine.Query{}, false, err
 	}
-	q := engine.Query{Table: s.Table, Filters: filters, CountOnly: s.Count}
+	q = engine.Query{Table: s.Table, Filters: filters, CountOnly: s.Count}
 	switch {
 	case s.Count:
 	case len(s.Aggregates) > 0:
@@ -266,12 +383,19 @@ func (p *Proxy) selectStmt(s *sqlparse.Select) (*Result, error) {
 	}
 	// The sort column must be rendered even if not requested; it is
 	// stripped again after sorting.
-	extraSort := false
 	if s.OrderBy != "" && len(s.Aggregates) == 0 && !s.Star && !s.Count && !contains(q.Project, s.OrderBy) {
 		q.Project = append(append([]string(nil), q.Project...), s.OrderBy)
 		extraSort = true
 	}
-	res, err := p.exec.Select(q)
+	return q, extraSort, nil
+}
+
+func (p *Proxy) selectStmt(ctx context.Context, s *sqlparse.Select, schema engine.Schema) (*Result, error) {
+	q, extraSort, err := p.selectPlan(s, schema)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.exec.Select(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -405,16 +529,12 @@ func orderAndLimit(s *sqlparse.Select, out *Result, extraSort bool) error {
 	return nil
 }
 
-func (p *Proxy) insert(s *sqlparse.Insert) (*Result, error) {
-	schema, err := p.exec.Schema(s.Table)
-	if err != nil {
-		return nil, err
-	}
+func (p *Proxy) insert(ctx context.Context, s *sqlparse.Insert, schema engine.Schema) (*Result, error) {
 	row, err := p.insertRow(schema, s)
 	if err != nil {
 		return nil, err
 	}
-	if err := p.exec.Insert(s.Table, row); err != nil {
+	if err := p.exec.Insert(ctx, s.Table, row); err != nil {
 		return nil, err
 	}
 	return &Result{Kind: KindAffected, Affected: 1}, nil
@@ -438,7 +558,7 @@ func (p *Proxy) insertRow(schema engine.Schema, s *sqlparse.Insert) (engine.Row,
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, name)
 		}
-		v := []byte(s.Values[i])
+		v := []byte(s.Values[i].S)
 		if err := validateValue(def, v); err != nil {
 			return nil, err
 		}
@@ -451,11 +571,7 @@ func (p *Proxy) insertRow(schema engine.Schema, s *sqlparse.Insert) (engine.Row,
 	return row, nil
 }
 
-func (p *Proxy) update(s *sqlparse.Update) (*Result, error) {
-	schema, err := p.exec.Schema(s.Table)
-	if err != nil {
-		return nil, err
-	}
+func (p *Proxy) update(ctx context.Context, s *sqlparse.Update, schema engine.Schema) (*Result, error) {
 	filters, err := p.Filters(schema, s.Where)
 	if err != nil {
 		return nil, err
@@ -466,7 +582,7 @@ func (p *Proxy) update(s *sqlparse.Update) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, a.Column)
 		}
-		v := []byte(a.Value)
+		v := []byte(a.Value.S)
 		if err := validateValue(def, v); err != nil {
 			return nil, err
 		}
@@ -476,23 +592,19 @@ func (p *Proxy) update(s *sqlparse.Update) (*Result, error) {
 		}
 		set[a.Column] = cell
 	}
-	n, err := p.exec.Update(s.Table, filters, set)
+	n, err := p.exec.Update(ctx, s.Table, filters, set)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Kind: KindAffected, Affected: n}, nil
 }
 
-func (p *Proxy) delete(s *sqlparse.Delete) (*Result, error) {
-	schema, err := p.exec.Schema(s.Table)
-	if err != nil {
-		return nil, err
-	}
+func (p *Proxy) delete(ctx context.Context, s *sqlparse.Delete, schema engine.Schema) (*Result, error) {
 	filters, err := p.Filters(schema, s.Where)
 	if err != nil {
 		return nil, err
 	}
-	n, err := p.exec.Delete(s.Table, filters)
+	n, err := p.exec.Delete(ctx, s.Table, filters)
 	if err != nil {
 		return nil, err
 	}
@@ -512,12 +624,28 @@ func (p *Proxy) encryptCell(table string, def engine.ColumnDef, v []byte) ([]byt
 	return c.Encrypt(v)
 }
 
+// cipher returns the column's derived cipher, caching it so repeated
+// statements (prepared or ad-hoc) pay the key derivation once.
 func (p *Proxy) cipher(table, column string) (*pae.Cipher, error) {
+	k := table + "\x00" + column
+	p.cmu.RLock()
+	c := p.ciphers[k]
+	p.cmu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
 	key, err := pae.Derive(p.master, table, column)
 	if err != nil {
 		return nil, err
 	}
-	return pae.NewCipher(key)
+	c, err = pae.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	p.cmu.Lock()
+	p.ciphers[k] = c
+	p.cmu.Unlock()
+	return c, nil
 }
 
 // decryptResult turns the provider's ciphertext cells into plaintext rows
@@ -652,13 +780,13 @@ func (p *Proxy) Filters(schema engine.Schema, preds []sqlparse.Predicate) ([]eng
 func inMembers(def engine.ColumnDef, pred sqlparse.Predicate) ([][]byte, error) {
 	seen := make(map[string]bool, len(pred.Values))
 	var out [][]byte
-	for _, s := range pred.Values {
-		v := []byte(s)
+	for _, m := range pred.Values {
+		v := []byte(m.S)
 		if err := validateValue(def, v); err != nil {
 			return nil, err
 		}
-		if !seen[s] {
-			seen[s] = true
+		if !seen[m.S] {
+			seen[m.S] = true
 			out = append(out, v)
 		}
 	}
@@ -694,7 +822,7 @@ func fullRange(def engine.ColumnDef) search.Range {
 
 // predicateRange converts one SQL predicate into a range.
 func predicateRange(def engine.ColumnDef, pred sqlparse.Predicate) (search.Range, error) {
-	v := []byte(pred.Value)
+	v := []byte(pred.Value.S)
 	if err := validateValue(def, v); err != nil {
 		return search.Range{}, err
 	}
@@ -711,7 +839,7 @@ func predicateRange(def engine.ColumnDef, pred sqlparse.Predicate) (search.Range
 	case sqlparse.OpGe:
 		return search.Range{Start: v, End: full.End, StartIncl: true, EndIncl: true}, nil
 	case sqlparse.OpBetween:
-		v2 := []byte(pred.Value2)
+		v2 := []byte(pred.Value2.S)
 		if err := validateValue(def, v2); err != nil {
 			return search.Range{}, err
 		}

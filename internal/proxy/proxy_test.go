@@ -1,6 +1,7 @@
 package proxy_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,7 +44,7 @@ func newStack(t testing.TB) *proxy.Proxy {
 
 func mustExec(t testing.TB, p *proxy.Proxy, sql string) *proxy.Result {
 	t.Helper()
-	res, err := p.Execute(sql)
+	res, err := p.Execute(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("Execute(%q): %v", sql, err)
 	}
@@ -249,7 +250,7 @@ func TestEndToEndMergeAsyncAndStatus(t *testing.T) {
 func TestEndToEndDropTable(t *testing.T) {
 	p := seed(t, "ED1(16)", "ED1(16)")
 	mustExec(t, p, "DROP TABLE t1")
-	if _, err := p.Execute("SELECT * FROM t1"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELECT * FROM t1"); err == nil {
 		t.Error("query on dropped table succeeded")
 	}
 }
@@ -257,7 +258,7 @@ func TestEndToEndDropTable(t *testing.T) {
 func TestInsertRejectsOversizedValue(t *testing.T) {
 	p := newStack(t)
 	mustExec(t, p, "CREATE TABLE s (c ED1(4))")
-	if _, err := p.Execute("INSERT INTO s VALUES ('toolongvalue')"); err == nil {
+	if _, err := p.Execute(context.Background(), "INSERT INTO s VALUES ('toolongvalue')"); err == nil {
 		t.Error("oversized insert accepted")
 	}
 }
@@ -266,14 +267,14 @@ func TestQueryRejectsOversizedBound(t *testing.T) {
 	p := newStack(t)
 	mustExec(t, p, "CREATE TABLE s (c ED1(4))")
 	mustExec(t, p, "INSERT INTO s VALUES ('ab')")
-	if _, err := p.Execute("SELECT c FROM s WHERE c = 'toolongvalue'"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELECT c FROM s WHERE c = 'toolongvalue'"); err == nil {
 		t.Error("oversized bound accepted")
 	}
 }
 
 func TestExecuteSyntaxError(t *testing.T) {
 	p := newStack(t)
-	if _, err := p.Execute("SELEKT"); err == nil {
+	if _, err := p.Execute(context.Background(), "SELEKT"); err == nil {
 		t.Error("syntax error not reported")
 	}
 }

@@ -1,0 +1,317 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/sqlparse"
+)
+
+// ErrRowsClosed is returned by Scan after Close or after Next returned
+// false.
+var ErrRowsClosed = errors.New("proxy: rows closed")
+
+// Rows is a streaming cursor over a SELECT result. Rows are decrypted
+// incrementally as they are consumed, chunk by chunk, instead of
+// materializing the whole result: against the embedded engine the rows are
+// rendered lazily from a pinned version, against a remote provider they
+// arrive as chunked result frames.
+//
+// Usage follows database/sql:
+//
+//	rows, err := sess.Query(ctx, "SELECT a, b FROM t WHERE a >= ?", lo)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var a, b string
+//	    if err := rows.Scan(&a, &b); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Cancelling the query's context mid-iteration stops the underlying scan
+// (locally and over the wire) and surfaces context.Canceled through Err.
+type Rows struct {
+	cols []string
+	// dec decodes one stored cell per column (decrypt or pass-through).
+	dec    []func([]byte) (string, error)
+	stream engine.ResultStream
+
+	// chunk is the current engine chunk being served; row indexes into it.
+	chunk *engine.Result
+	row   int
+
+	// mat serves an already-materialized, already-decrypted result (the
+	// path queries with ORDER BY, aggregates, or COUNT take).
+	mat    *Result
+	matRow int
+
+	// limit is the number of rows still allowed out (-1 = unlimited); the
+	// streaming path applies LIMIT client-side by stopping early.
+	limit int
+
+	cur    []string
+	err    error
+	closed bool
+}
+
+// Columns returns the result column names in projection order.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row, fetching and decrypting the next chunk when
+// the current one is exhausted. It returns false at the end of the result or
+// on error — check Err afterwards.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.limit == 0 {
+		r.close()
+		return false
+	}
+	if r.mat != nil {
+		if r.matRow >= len(r.mat.Rows) {
+			r.close()
+			return false
+		}
+		r.cur = r.mat.Rows[r.matRow]
+		r.matRow++
+		if r.limit > 0 {
+			r.limit--
+		}
+		return true
+	}
+	for r.chunk == nil || r.row >= r.chunk.Count {
+		chunk, err := r.stream.Next()
+		if err == io.EOF {
+			r.close()
+			return false
+		}
+		if err != nil {
+			r.err = err
+			r.close()
+			return false
+		}
+		r.chunk, r.row = chunk, 0
+	}
+	row, err := r.decodeRow(r.chunk, r.row)
+	if err != nil {
+		r.err = err
+		r.close()
+		return false
+	}
+	r.cur = row
+	r.row++
+	if r.limit > 0 {
+		r.limit--
+	}
+	return true
+}
+
+// decodeRow decrypts row i of a chunk into projection order.
+func (r *Rows) decodeRow(chunk *engine.Result, i int) ([]string, error) {
+	if len(chunk.Columns) != len(r.cols) {
+		return nil, fmt.Errorf("proxy: chunk has %d columns, want %d", len(chunk.Columns), len(r.cols))
+	}
+	out := make([]string, len(r.cols))
+	for ci := range r.cols {
+		cells := chunk.Columns[ci].Cells
+		if i >= len(cells) {
+			return nil, fmt.Errorf("proxy: column %q chunk has %d cells, want > %d", r.cols[ci], len(cells), i)
+		}
+		v, err := r.dec[ci](cells[i])
+		if err != nil {
+			return nil, fmt.Errorf("proxy: decrypt %q: %w", r.cols[ci], err)
+		}
+		out[ci] = v
+	}
+	return out, nil
+}
+
+// Row returns the current row (valid after a true Next). The slice is owned
+// by the caller until the next Next call.
+func (r *Rows) Row() []string { return r.cur }
+
+// Scan copies the current row's values into dest pointers, one per column.
+func (r *Rows) Scan(dest ...*string) error {
+	if r.cur == nil {
+		if r.err != nil {
+			return r.err
+		}
+		return ErrRowsClosed
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("proxy: Scan got %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		if d == nil {
+			return fmt.Errorf("proxy: Scan destination %d is nil", i)
+		}
+		*d = r.cur[i]
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. Successful
+// exhaustion and Close leave it nil.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor. Against a remote provider an unfinished stream
+// is cancelled server-side; the connection stays usable. Close is idempotent
+// and implied by exhausting Next.
+func (r *Rows) Close() error {
+	r.close()
+	return nil
+}
+
+func (r *Rows) close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.cur = nil
+	if r.stream != nil {
+		r.stream.Close()
+	}
+}
+
+// Iter adapts the cursor to a Go 1.23 range-over-func sequence:
+//
+//	for row := range rows.Iter() { ... }
+//	if err := rows.Err(); err != nil { ... }
+//
+// The cursor closes itself when the loop ends (normally or via break); check
+// Err afterwards as with manual Next iteration.
+func (r *Rows) Iter() iter.Seq[[]string] {
+	return func(yield func([]string) bool) {
+		defer r.Close()
+		for r.Next() {
+			if !yield(r.cur) {
+				return
+			}
+		}
+	}
+}
+
+// All drains the cursor into a materialized slice and closes it.
+func (r *Rows) All() ([][]string, error) {
+	defer r.Close()
+	var out [][]string
+	for r.Next() {
+		out = append(out, r.cur)
+	}
+	return out, r.Err()
+}
+
+// Query parses and runs one SELECT, returning a streaming cursor. '?'
+// placeholders are bound from args. Plain projections stream end-to-end;
+// SELECTs that need the whole result on the trusted side first — ORDER BY,
+// aggregates, COUNT(*) — materialize internally and iterate the finished
+// result, so the cursor API is uniform.
+func (p *Proxy) Query(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	st, err := parseAndBind(sql, args)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("proxy: Query requires a SELECT statement, got %T (use Exec)", st)
+	}
+	schema, err := p.exec.Schema(sel.Table)
+	if err != nil {
+		return nil, err
+	}
+	return p.queryRows(ctx, sel, schema)
+}
+
+// queryRows runs a bound SELECT as a cursor.
+func (p *Proxy) queryRows(ctx context.Context, sel *sqlparse.Select, schema engine.Schema) (*Rows, error) {
+	if !streamable(sel) {
+		res, err := p.selectStmt(ctx, sel, schema)
+		if err != nil {
+			return nil, err
+		}
+		return materializedRows(res), nil
+	}
+	q, _, err := p.selectPlan(sel, schema)
+	if err != nil {
+		return nil, err
+	}
+	project := q.Project
+	if len(project) == 0 {
+		for _, def := range schema.Columns {
+			project = append(project, def.Name)
+		}
+	}
+	dec, err := p.decoders(schema, project)
+	if err != nil {
+		return nil, err
+	}
+	var stream engine.ResultStream
+	if se, ok := p.exec.(StreamExecutor); ok {
+		stream, err = se.SelectStream(ctx, q)
+	} else {
+		var res *engine.Result
+		res, err = p.exec.Select(ctx, q)
+		if err == nil {
+			stream = engine.MaterializedStream(res)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cols: project, dec: dec, stream: stream, limit: sel.Limit}, nil
+}
+
+// streamable reports whether a SELECT can stream: anything that must see the
+// whole result on the trusted side first (sorting, aggregation, counting)
+// cannot.
+func streamable(sel *sqlparse.Select) bool {
+	return !sel.Count && len(sel.Aggregates) == 0 && sel.OrderBy == ""
+}
+
+// decoders builds the per-column cell decoders for a projection.
+func (p *Proxy) decoders(schema engine.Schema, project []string) ([]func([]byte) (string, error), error) {
+	dec := make([]func([]byte) (string, error), len(project))
+	for i, name := range project {
+		def, ok := schema.Column(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, name)
+		}
+		if def.Plain {
+			dec[i] = func(cell []byte) (string, error) { return string(cell), nil }
+			continue
+		}
+		c, err := p.cipher(schema.Table, name)
+		if err != nil {
+			return nil, err
+		}
+		dec[i] = func(cell []byte) (string, error) {
+			v, err := c.Decrypt(cell)
+			if err != nil {
+				return "", err
+			}
+			return string(v), nil
+		}
+	}
+	return dec, nil
+}
+
+// materializedRows wraps a decrypted Result as a cursor. Counts become a
+// single-row result with one "count" column so Query has a uniform shape.
+func materializedRows(res *Result) *Rows {
+	if res.Kind == KindCount {
+		return &Rows{
+			mat: &Result{
+				Kind:    KindRows,
+				Columns: []string{"count"},
+				Rows:    [][]string{{fmt.Sprint(res.Count)}},
+			},
+			cols:  []string{"count"},
+			limit: -1,
+		}
+	}
+	return &Rows{mat: res, cols: append([]string(nil), res.Columns...), limit: -1}
+}

@@ -1,0 +1,193 @@
+package proxy_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestQueryStreamsRows: a plain projection streams and matches Execute.
+func TestQueryStreamsRows(t *testing.T) {
+	ctx := context.Background()
+	p := seed(t, "ED5(16) BSMAX 3", "ED1(16)")
+	rows, err := p.Query(ctx, "SELECT fname, city FROM t1 WHERE fname >= ? AND fname <= ?", "A", "Zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if got := rows.Columns(); !reflect.DeepEqual(got, []string{"fname", "city"}) {
+		t.Fatalf("columns = %v", got)
+	}
+	var got []string
+	for rows.Next() {
+		var fname, city string
+		if err := rows.Scan(&fname, &city); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fname+"|"+city)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := sortedRows(mustExec(t, p, "SELECT fname, city FROM t1"))
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rows = %v, want %v", got, want)
+	}
+}
+
+// TestQueryIter drives the Go 1.23 range-over-func adapter.
+func TestQueryIter(t *testing.T) {
+	p := seed(t, "ED1(16)", "ED1(16)")
+	rows, err := p.Query(context.Background(), "SELECT fname FROM t1 WHERE city = ?", "Berlin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for row := range rows.Iter() {
+		if len(row) != 1 {
+			t.Fatalf("row = %v", row)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("rows = %d, want 3", n)
+	}
+	// Break mid-iteration closes cleanly.
+	rows2, err := p.Query(context.Background(), "SELECT fname FROM t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range rows2.Iter() {
+		break
+	}
+	if err := rows2.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryLimitStreams: LIMIT without ORDER BY stops the stream early.
+func TestQueryLimitStreams(t *testing.T) {
+	p := seed(t, "ED1(16)", "ED1(16)")
+	rows, err := p.Query(context.Background(), "SELECT fname FROM t1 LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("rows = %d, want 2", len(got))
+	}
+}
+
+// TestQueryMaterializedPaths: ORDER BY, aggregates, and COUNT go through the
+// materialized path but keep the cursor shape.
+func TestQueryMaterializedPaths(t *testing.T) {
+	ctx := context.Background()
+	p := seed(t, "ED1(16)", "ED1(16)")
+
+	rows, err := p.Query(ctx, "SELECT fname FROM t1 ORDER BY fname DESC LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0][0] < got[1][0] {
+		t.Fatalf("ordered rows = %v", got)
+	}
+
+	rows, err = p.Query(ctx, "SELECT COUNT(*) FROM t1 WHERE city = ?", "Berlin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != "3" {
+		t.Fatalf("count rows = %v", got)
+	}
+
+	rows, err = p.Query(ctx, "SELECT MIN(fname), MAX(fname) FROM t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0] != "Archie" || got[0][1] != "Jessica" {
+		t.Fatalf("aggregate rows = %v", got)
+	}
+}
+
+// TestQueryRejectsNonSelect: writes must go through Exec.
+func TestQueryRejectsNonSelect(t *testing.T) {
+	p := seed(t, "ED1(16)", "ED1(16)")
+	if _, err := p.Query(context.Background(), "DELETE FROM t1"); err == nil {
+		t.Fatal("Query accepted a DELETE")
+	}
+}
+
+// TestQueryScanErrors: Scan shape errors are reported without corrupting the
+// cursor.
+func TestQueryScanErrors(t *testing.T) {
+	p := seed(t, "ED1(16)", "ED1(16)")
+	rows, err := p.Query(context.Background(), "SELECT fname, city FROM t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var only string
+	if err := rows.Scan(&only); err == nil {
+		t.Fatal("Scan before Next succeeded")
+	}
+	if !rows.Next() {
+		t.Fatal(rows.Err())
+	}
+	if err := rows.Scan(&only); err == nil {
+		t.Fatal("Scan with wrong arity succeeded")
+	}
+	var a, b string
+	if err := rows.Scan(&a, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a == "" || b == "" {
+		t.Fatalf("scan = %q, %q", a, b)
+	}
+}
+
+// TestQueryManyRowsStreams pushes enough rows through Query to span several
+// engine chunks.
+func TestQueryManyRowsStreams(t *testing.T) {
+	ctx := context.Background()
+	p := newStack(t)
+	mustExec(t, p, "CREATE TABLE big (v ED1(8))")
+	var sqls []string
+	for i := 0; i < 300; i++ {
+		sqls = append(sqls, fmt.Sprintf("INSERT INTO big VALUES ('v%05d')", i))
+	}
+	if _, err := p.ExecBatch(ctx, sqls); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := p.Query(ctx, "SELECT v FROM big WHERE v >= ? AND v <= ?", "v", "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 300 {
+		t.Fatalf("rows = %d, want 300", len(got))
+	}
+}

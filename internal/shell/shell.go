@@ -1,0 +1,92 @@
+// Package shell holds the pieces the interactive commands (encdbdb,
+// encdbdb-proxy) share: Ctrl-C-driven query cancellation and result
+// rendering.
+package shell
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/proxy"
+)
+
+// Interrupter turns Ctrl-C into context cancellation for the statement
+// currently executing, instead of killing the shell: while a query is in
+// flight (between Begin and End) an interrupt cancels its context — the
+// engine abandons the scan between chunks, remote providers are told to stop
+// over the wire — and at the prompt it just prints a hint.
+type Interrupter struct {
+	mu     sync.Mutex
+	cancel context.CancelFunc
+	out    io.Writer
+}
+
+// NewInterrupter installs the SIGINT handler. out receives the at-prompt
+// hint (defaults to os.Stderr when nil).
+func NewInterrupter(out io.Writer) *Interrupter {
+	if out == nil {
+		out = os.Stderr
+	}
+	in := &Interrupter{out: out}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		for range ch {
+			in.mu.Lock()
+			if in.cancel != nil {
+				in.cancel()
+				fmt.Fprintln(in.out, "cancelling query...")
+			} else {
+				fmt.Fprintln(in.out, `(interrupt — type \quit to exit)`)
+			}
+			in.mu.Unlock()
+		}
+	}()
+	return in
+}
+
+// Begin returns the context for one statement execution; until End is
+// called, Ctrl-C cancels it.
+func (in *Interrupter) Begin() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	in.mu.Lock()
+	in.cancel = cancel
+	in.mu.Unlock()
+	return ctx
+}
+
+// End leaves query mode: subsequent interrupts hit the prompt, not a
+// finished query's context.
+func (in *Interrupter) End() {
+	in.mu.Lock()
+	if in.cancel != nil {
+		in.cancel()
+		in.cancel = nil
+	}
+	in.mu.Unlock()
+}
+
+// PrintResult renders one decrypted result like the classic shells do.
+func PrintResult(w io.Writer, res *proxy.Result) {
+	switch res.Kind {
+	case proxy.KindOK:
+		fmt.Fprintln(w, "ok")
+	case proxy.KindCount:
+		fmt.Fprintf(w, "count: %d\n", res.Count)
+	case proxy.KindAffected:
+		fmt.Fprintf(w, "affected: %d\n", res.Affected)
+	default:
+		if len(res.Columns) > 0 {
+			fmt.Fprintln(w, strings.Join(res.Columns, " | "))
+		}
+		for _, row := range res.Rows {
+			fmt.Fprintln(w, strings.Join(row, " | "))
+		}
+		fmt.Fprintf(w, "(%d rows)\n", len(res.Rows))
+	}
+}

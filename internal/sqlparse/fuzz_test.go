@@ -1,0 +1,50 @@
+package sqlparse
+
+import "testing"
+
+// FuzzParse drives the placeholder-aware parser with arbitrary input: it must
+// never panic, and anything it accepts must survive NumParams counting and a
+// full Bind round (the prepared-statement hot path).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"CREATE TABLE t1 (fname ED5(30) BSMAX 10, city ED1(20), note PLAIN ED3(40))",
+		"SELECT fname, city FROM t1 WHERE fname >= 'A' AND fname < 'F'",
+		"SELECT c FROM t WHERE c >= ? AND c < ? AND d IN (?, 'x', ?)",
+		"SELECT COUNT(*) FROM t1 WHERE city = ?",
+		"SELECT MIN(p), MAX(p) FROM t WHERE q BETWEEN ? AND ? ORDER BY p DESC LIMIT 3",
+		"INSERT INTO t1 (fname, city) VALUES (?, 'London')",
+		"INSERT INTO t1 VALUES ('O''Brien', ?)",
+		"UPDATE t1 SET city = ?, fname = 'Eve' WHERE fname = ?",
+		"DELETE FROM t1 WHERE city IN (?, ?)",
+		"MERGE TABLE t1 ASYNC",
+		"MERGE STATUS t1",
+		"DROP TABLE t1;",
+		"SELECT a FROM t; INSERT INTO t VALUES ('x;y'); DROP TABLE t",
+		"SELECT * FROM t WHERE c = 'unterminated",
+		"??;?'?;;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			ParseScript(input) // must not panic either
+			return
+		}
+		n := NumParams(st)
+		if n < 0 {
+			t.Fatalf("NumParams(%q) = %d", input, n)
+		}
+		args := make([]string, n)
+		for i := range args {
+			args[i] = "v"
+		}
+		bound, err := Bind(st, args)
+		if err != nil {
+			t.Fatalf("Bind(%q, %d args): %v", input, n, err)
+		}
+		if NumParams(bound) != 0 {
+			t.Fatalf("Bind(%q) left placeholders", input)
+		}
+	})
+}

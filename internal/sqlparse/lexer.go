@@ -19,6 +19,17 @@
 // WHERE clauses are conjunctions of comparisons (=, <, <=, >, >=, BETWEEN)
 // against string literals; the proxy later converts them into the uniform
 // encrypted two-sided ranges of paper §4.2 step 5.
+//
+// Every value position — WHERE comparison operands, BETWEEN bounds, IN-list
+// members, INSERT values, and UPDATE SET values — may instead be a '?'
+// placeholder. Placeholders are numbered left to right; NumParams reports a
+// statement's placeholder count and Bind substitutes arguments, which is how
+// the proxy's prepared statements parse once and execute many times.
+//
+// Multi-statement scripts (semicolon-separated) are handled by SplitScript
+// and ParseScript; their syntax errors carry the statement index and the
+// absolute byte offset within the script, so a bad predicate in a batch
+// pinpoints which statement and where.
 package sqlparse
 
 import (
@@ -45,17 +56,25 @@ type token struct {
 }
 
 // SyntaxError reports a parse failure with its byte offset in the input.
+// For errors produced by ParseScript, Stmt is the 0-based index of the
+// failing statement within the script and Pos is absolute within the whole
+// script; for single-statement Parse, Stmt is -1 and Pos is relative to the
+// statement.
 type SyntaxError struct {
-	Pos int
-	Msg string
+	Pos  int
+	Stmt int
+	Msg  string
 }
 
 func (e *SyntaxError) Error() string {
+	if e.Stmt >= 0 {
+		return fmt.Sprintf("sql: statement %d: syntax error at offset %d: %s", e.Stmt, e.Pos, e.Msg)
+	}
 	return fmt.Sprintf("sql: syntax error at offset %d: %s", e.Pos, e.Msg)
 }
 
 func errAt(pos int, format string, args ...any) error {
-	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Pos: pos, Stmt: -1, Msg: fmt.Sprintf(format, args...)}
 }
 
 // lex tokenizes the input. String literals use single quotes with ”
@@ -75,7 +94,7 @@ func lex(input string) ([]token, error) {
 			}
 			toks = append(toks, token{kind: tokString, text: s, pos: i})
 			i = next
-		case c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == ';':
+		case c == '(' || c == ')' || c == ',' || c == '*' || c == '=' || c == ';' || c == '?':
 			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
 			i++
 		case c == '<' || c == '>':

@@ -2,9 +2,25 @@ package sqlparse
 
 import (
 	"strconv"
+	"strings"
+	"sync/atomic"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 )
+
+// Value is one value position in a statement: either a string literal or a
+// '?' placeholder awaiting an argument. Placeholders are numbered 1..N left
+// to right; a literal has Param == 0.
+type Value struct {
+	S     string
+	Param int
+}
+
+// Lit wraps a literal string value.
+func Lit(s string) Value { return Value{S: s} }
+
+// IsParam reports whether the value is an unbound placeholder.
+func (v Value) IsParam() bool { return v.Param != 0 }
 
 // Statement is a parsed SQL statement: one of *CreateTable, *Select,
 // *Insert, *Update, *Delete, *DropTable, *MergeTable, *MergeStatus.
@@ -70,11 +86,11 @@ func (op CompareOp) String() string {
 type Predicate struct {
 	Column string
 	Op     CompareOp
-	Value  string
+	Value  Value
 	// Value2 is the upper bound for BETWEEN.
-	Value2 string
+	Value2 Value
 	// Values is the member list for IN.
-	Values []string
+	Values []Value
 }
 
 // AggFunc is an aggregate function in a SELECT list.
@@ -137,7 +153,7 @@ func (*Select) stmt() {}
 type Insert struct {
 	Table   string
 	Columns []string
-	Values  []string
+	Values  []Value
 }
 
 func (*Insert) stmt() {}
@@ -145,7 +161,7 @@ func (*Insert) stmt() {}
 // Assignment is one SET clause of an UPDATE.
 type Assignment struct {
 	Column string
-	Value  string
+	Value  Value
 }
 
 // Update is an UPDATE statement.
@@ -192,8 +208,16 @@ type MergeStatus struct {
 
 func (*MergeStatus) stmt() {}
 
+// parses counts Parse invocations process-wide; tests and benchmarks use it
+// to prove prepared statements amortize parsing.
+var parses atomic.Uint64
+
+// ParseCount returns the number of Parse calls made so far process-wide.
+func ParseCount() uint64 { return parses.Load() }
+
 // Parse parses one SQL statement.
 func Parse(input string) (Statement, error) {
+	parses.Add(1)
 	toks, err := lex(input)
 	if err != nil {
 		return nil, err
@@ -212,9 +236,163 @@ func Parse(input string) (Statement, error) {
 	return st, nil
 }
 
+// Fragment is one statement's text within a multi-statement script, with its
+// absolute byte offset in the script.
+type Fragment struct {
+	SQL string
+	Pos int
+}
+
+// SplitScript splits a semicolon-separated script into statement fragments.
+// Semicolons inside single-quoted string literals do not split (the grammar
+// escapes a quote as ”, so plain quote-state toggling stays correct). Empty
+// fragments are dropped.
+func SplitScript(script string) []Fragment {
+	var out []Fragment
+	start := 0
+	inQuote := false
+	flush := func(end int) {
+		frag := script[start:end]
+		trimmed := strings.TrimSpace(frag)
+		if trimmed != "" {
+			out = append(out, Fragment{SQL: trimmed, Pos: start + strings.Index(frag, trimmed)})
+		}
+		start = end + 1
+	}
+	for i := 0; i < len(script); i++ {
+		switch script[i] {
+		case '\'':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				flush(i)
+			}
+		}
+	}
+	if start <= len(script) {
+		flush(len(script))
+	}
+	return out
+}
+
+// ParseScript parses a semicolon-separated script into statements. A syntax
+// error identifies the failing statement: its SyntaxError carries the 0-based
+// statement index and the absolute byte offset within the whole script.
+func ParseScript(script string) ([]Statement, error) {
+	frags := SplitScript(script)
+	stmts := make([]Statement, 0, len(frags))
+	for i, frag := range frags {
+		st, err := Parse(frag.SQL)
+		if err != nil {
+			if se, ok := err.(*SyntaxError); ok {
+				return nil, &SyntaxError{Pos: se.Pos + frag.Pos, Stmt: i, Msg: se.Msg}
+			}
+			return nil, err
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+// walkValues visits every value position of a statement in placeholder
+// numbering order.
+func walkValues(st Statement, f func(*Value)) {
+	preds := func(where []Predicate) {
+		for i := range where {
+			p := &where[i]
+			f(&p.Value)
+			f(&p.Value2)
+			for j := range p.Values {
+				f(&p.Values[j])
+			}
+		}
+	}
+	switch s := st.(type) {
+	case *Select:
+		preds(s.Where)
+	case *Insert:
+		for i := range s.Values {
+			f(&s.Values[i])
+		}
+	case *Update:
+		for i := range s.Set {
+			f(&s.Set[i].Value)
+		}
+		preds(s.Where)
+	case *Delete:
+		preds(s.Where)
+	}
+}
+
+// NumParams returns the number of '?' placeholders in a statement.
+func NumParams(st Statement) int {
+	n := 0
+	walkValues(st, func(v *Value) {
+		if v.IsParam() {
+			n++
+		}
+	})
+	return n
+}
+
+// Bind returns a deep copy of the statement with every '?' placeholder
+// replaced by the corresponding argument (placeholder i takes args[i-1]).
+// The argument count must match NumParams exactly; the input statement is
+// left untouched, so a prepared template can be bound many times.
+func Bind(st Statement, args []string) (Statement, error) {
+	want := NumParams(st)
+	if len(args) != want {
+		return nil, errAt(0, "statement has %d placeholders but %d arguments were bound", want, len(args))
+	}
+	if want == 0 {
+		return st, nil
+	}
+	out := clone(st)
+	walkValues(out, func(v *Value) {
+		if v.IsParam() {
+			*v = Value{S: args[v.Param-1]}
+		}
+	})
+	return out, nil
+}
+
+// clone deep-copies a statement's bindable parts (predicate, insert, and
+// assignment values); fixed parts are shared.
+func clone(st Statement) Statement {
+	clonePreds := func(where []Predicate) []Predicate {
+		out := append([]Predicate(nil), where...)
+		for i := range out {
+			out[i].Values = append([]Value(nil), out[i].Values...)
+		}
+		return out
+	}
+	switch s := st.(type) {
+	case *Select:
+		c := *s
+		c.Where = clonePreds(s.Where)
+		return &c
+	case *Insert:
+		c := *s
+		c.Values = append([]Value(nil), s.Values...)
+		return &c
+	case *Update:
+		c := *s
+		c.Set = append([]Assignment(nil), s.Set...)
+		c.Where = clonePreds(s.Where)
+		return &c
+	case *Delete:
+		c := *s
+		c.Where = clonePreds(s.Where)
+		return &c
+	default:
+		return st
+	}
+}
+
 type parser struct {
-	toks []token
-	i    int
+	toks    []token
+	i       int
+	nparams int
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -253,12 +431,18 @@ func (p *parser) ident() (string, error) {
 	return t.raw, nil
 }
 
-func (p *parser) stringLit() (string, error) {
+// value parses one value position: a string literal or a '?' placeholder.
+func (p *parser) value() (Value, error) {
 	t := p.next()
-	if t.kind != tokString {
-		return "", errAt(t.pos, "expected string literal, found %q", t.text)
+	switch {
+	case t.kind == tokString:
+		return Value{S: t.text}, nil
+	case t.kind == tokSymbol && t.text == "?":
+		p.nparams++
+		return Value{Param: p.nparams}, nil
+	default:
+		return Value{}, errAt(t.pos, "expected string literal or ?, found %q", t.text)
 	}
-	return t.text, nil
 }
 
 func (p *parser) number() (int, error) {
@@ -526,13 +710,13 @@ func (p *parser) predicate() (Predicate, error) {
 		pred.Op = OpGe
 	case "BETWEEN":
 		pred.Op = OpBetween
-		if pred.Value, err = p.stringLit(); err != nil {
+		if pred.Value, err = p.value(); err != nil {
 			return pred, err
 		}
 		if _, err := p.expect("AND"); err != nil {
 			return pred, err
 		}
-		if pred.Value2, err = p.stringLit(); err != nil {
+		if pred.Value2, err = p.value(); err != nil {
 			return pred, err
 		}
 		return pred, nil
@@ -542,7 +726,7 @@ func (p *parser) predicate() (Predicate, error) {
 			return pred, err
 		}
 		for {
-			v, err := p.stringLit()
+			v, err := p.value()
 			if err != nil {
 				return pred, err
 			}
@@ -558,7 +742,7 @@ func (p *parser) predicate() (Predicate, error) {
 	default:
 		return pred, errAt(opTok.pos, "expected comparison operator, found %q", opTok.text)
 	}
-	if pred.Value, err = p.stringLit(); err != nil {
+	if pred.Value, err = p.value(); err != nil {
 		return pred, err
 	}
 	return pred, nil
@@ -597,7 +781,7 @@ func (p *parser) insertStmt() (Statement, error) {
 		return nil, err
 	}
 	for {
-		v, err := p.stringLit()
+		v, err := p.value()
 		if err != nil {
 			return nil, err
 		}
@@ -634,7 +818,7 @@ func (p *parser) updateStmt() (Statement, error) {
 		if _, err := p.expect("="); err != nil {
 			return nil, err
 		}
-		val, err := p.stringLit()
+		val, err := p.value()
 		if err != nil {
 			return nil, err
 		}

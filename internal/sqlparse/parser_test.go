@@ -61,9 +61,9 @@ func TestParseSelect(t *testing.T) {
 		t.Errorf("select head = %+v", sel)
 	}
 	want := []Predicate{
-		{Column: "fname", Op: OpGe, Value: "A"},
-		{Column: "fname", Op: OpLt, Value: "F"},
-		{Column: "city", Op: OpEq, Value: "Berlin"},
+		{Column: "fname", Op: OpGe, Value: Lit("A")},
+		{Column: "fname", Op: OpLt, Value: Lit("F")},
+		{Column: "city", Op: OpEq, Value: Lit("Berlin")},
 	}
 	if len(sel.Where) != len(want) {
 		t.Fatalf("predicates = %d, want %d", len(sel.Where), len(want))
@@ -91,7 +91,7 @@ func TestParseSelectCount(t *testing.T) {
 
 func TestParseSelectBetween(t *testing.T) {
 	sel := mustParse(t, "SELECT c FROM t WHERE c BETWEEN 'a' AND 'b'").(*Select)
-	want := Predicate{Column: "c", Op: OpBetween, Value: "a", Value2: "b"}
+	want := Predicate{Column: "c", Op: OpBetween, Value: Lit("a"), Value2: Lit("b")}
 	if len(sel.Where) != 1 || !predEq(sel.Where[0], want) {
 		t.Errorf("where = %+v, want %+v", sel.Where, want)
 	}
@@ -105,7 +105,7 @@ func TestParseInsert(t *testing.T) {
 	if len(ins.Columns) != 2 || ins.Columns[0] != "fname" || ins.Columns[1] != "city" {
 		t.Errorf("columns = %v", ins.Columns)
 	}
-	if len(ins.Values) != 2 || ins.Values[0] != "Ada" || ins.Values[1] != "London" {
+	if len(ins.Values) != 2 || ins.Values[0] != Lit("Ada") || ins.Values[1] != Lit("London") {
 		t.Errorf("values = %v", ins.Values)
 	}
 }
@@ -128,7 +128,7 @@ func TestParseUpdate(t *testing.T) {
 	if up.Table != "t1" || len(up.Set) != 2 || len(up.Where) != 1 {
 		t.Fatalf("up = %+v", up)
 	}
-	if up.Set[0] != (Assignment{Column: "city", Value: "Paris"}) {
+	if up.Set[0] != (Assignment{Column: "city", Value: Lit("Paris")}) {
 		t.Errorf("set[0] = %+v", up.Set[0])
 	}
 }
@@ -164,7 +164,7 @@ func TestParseDropAndMerge(t *testing.T) {
 
 func TestParseStringEscapes(t *testing.T) {
 	sel := mustParse(t, "SELECT c FROM t WHERE c = 'O''Brien'").(*Select)
-	if sel.Where[0].Value != "O'Brien" {
+	if sel.Where[0].Value != Lit("O'Brien") {
 		t.Errorf("value = %q, want O'Brien", sel.Where[0].Value)
 	}
 }
@@ -317,7 +317,7 @@ func predEq(a, b Predicate) bool {
 
 func TestParseIn(t *testing.T) {
 	sel := mustParse(t, "SELECT c FROM t WHERE c IN ('a', 'b', 'c')").(*Select)
-	want := Predicate{Column: "c", Op: OpIn, Values: []string{"a", "b", "c"}}
+	want := Predicate{Column: "c", Op: OpIn, Values: []Value{Lit("a"), Lit("b"), Lit("c")}}
 	if len(sel.Where) != 1 || !predEq(sel.Where[0], want) {
 		t.Errorf("where = %+v, want %+v", sel.Where, want)
 	}

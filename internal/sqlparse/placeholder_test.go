@@ -1,0 +1,169 @@
+package sqlparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParsePlaceholders(t *testing.T) {
+	sel := mustParse(t, "SELECT c FROM t WHERE c >= ? AND c < ? AND d IN (?, 'x', ?)").(*Select)
+	if got := NumParams(sel); got != 4 {
+		t.Fatalf("NumParams = %d, want 4", got)
+	}
+	if sel.Where[0].Value != (Value{Param: 1}) || sel.Where[1].Value != (Value{Param: 2}) {
+		t.Errorf("range placeholders = %+v", sel.Where)
+	}
+	in := sel.Where[2].Values
+	if in[0] != (Value{Param: 3}) || in[1] != Lit("x") || in[2] != (Value{Param: 4}) {
+		t.Errorf("in placeholders = %+v", in)
+	}
+}
+
+func TestParsePlaceholderPositions(t *testing.T) {
+	for sql, want := range map[string]int{
+		"INSERT INTO t VALUES (?, ?)":                2,
+		"UPDATE t SET c = ? WHERE d = ?":             2,
+		"DELETE FROM t WHERE c BETWEEN ? AND ?":      2,
+		"SELECT c FROM t WHERE c = 'literal'":        0,
+		"SELECT c FROM t WHERE c BETWEEN 'a' AND ?":  1,
+		"INSERT INTO t (a, b) VALUES ('x', ?)":       1,
+		"UPDATE t SET a = 'x', b = ? WHERE c IN (?)": 2,
+	} {
+		st := mustParse(t, sql)
+		if got := NumParams(st); got != want {
+			t.Errorf("NumParams(%q) = %d, want %d", sql, got, want)
+		}
+	}
+}
+
+func TestBind(t *testing.T) {
+	tmpl := mustParse(t, "SELECT c FROM t WHERE c >= ? AND c < ?")
+	bound, err := Bind(tmpl, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := bound.(*Select)
+	if sel.Where[0].Value != Lit("a") || sel.Where[1].Value != Lit("b") {
+		t.Errorf("bound = %+v", sel.Where)
+	}
+	// The template must stay reusable: its placeholders are untouched.
+	if tmpl.(*Select).Where[0].Value != (Value{Param: 1}) {
+		t.Errorf("template mutated: %+v", tmpl.(*Select).Where)
+	}
+	if bound2, err := Bind(tmpl, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	} else if bound2.(*Select).Where[0].Value != Lit("x") {
+		t.Errorf("rebind = %+v", bound2.(*Select).Where)
+	}
+}
+
+func TestBindAllStatementKinds(t *testing.T) {
+	for sql, args := range map[string][]string{
+		"INSERT INTO t VALUES (?, ?)":           {"a", "b"},
+		"UPDATE t SET c = ? WHERE d = ?":        {"a", "b"},
+		"DELETE FROM t WHERE c BETWEEN ? AND ?": {"a", "b"},
+		"SELECT c FROM t WHERE c IN (?, ?)":     {"a", "b"},
+	} {
+		st := mustParse(t, sql)
+		bound, err := Bind(st, args)
+		if err != nil {
+			t.Fatalf("Bind(%q): %v", sql, err)
+		}
+		if NumParams(bound) != 0 {
+			t.Errorf("Bind(%q) left placeholders: %+v", sql, bound)
+		}
+		if NumParams(st) != len(args) {
+			t.Errorf("Bind(%q) mutated the template", sql)
+		}
+	}
+}
+
+func TestBindArgCountMismatch(t *testing.T) {
+	st := mustParse(t, "SELECT c FROM t WHERE c = ?")
+	if _, err := Bind(st, nil); err == nil {
+		t.Error("binding 0 args to 1 placeholder succeeded")
+	}
+	if _, err := Bind(st, []string{"a", "b"}); err == nil {
+		t.Error("binding 2 args to 1 placeholder succeeded")
+	}
+	// No placeholders + no args returns the statement unchanged.
+	plain := mustParse(t, "SELECT c FROM t WHERE c = 'x'")
+	if bound, err := Bind(plain, nil); err != nil || bound != plain {
+		t.Errorf("Bind(no-params) = %v, %v", bound, err)
+	}
+}
+
+func TestPlaceholderOutsideValuePosition(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT ? FROM t",
+		"CREATE TABLE t (c ED1(?))",
+		"SELECT c FROM t WHERE ? = 'x'",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestSplitScript(t *testing.T) {
+	frags := SplitScript("SELECT a FROM t;  INSERT INTO t VALUES ('x;y') ; DROP TABLE t;")
+	want := []Fragment{
+		{SQL: "SELECT a FROM t", Pos: 0},
+		{SQL: "INSERT INTO t VALUES ('x;y')", Pos: 18},
+		{SQL: "DROP TABLE t", Pos: 49},
+	}
+	if len(frags) != len(want) {
+		t.Fatalf("fragments = %+v", frags)
+	}
+	for i, w := range want {
+		if frags[i] != w {
+			t.Errorf("fragment %d = %+v, want %+v", i, frags[i], w)
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (c ED1(5)); INSERT INTO t VALUES ('x'); SELECT c FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+	if _, ok := stmts[1].(*Insert); !ok {
+		t.Errorf("stmts[1] = %T", stmts[1])
+	}
+}
+
+// TestParseScriptErrorCarriesStatementAndOffset pins the batch diagnostics: a
+// bad predicate in the middle of a script reports which statement failed and
+// the absolute byte offset of the offending token in the whole script.
+func TestParseScriptErrorCarriesStatementAndOffset(t *testing.T) {
+	script := "SELECT a FROM t; SELECT b FROM t WHERE b !! 'x'; SELECT c FROM t"
+	_, err := ParseScript(script)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Stmt != 1 {
+		t.Errorf("Stmt = %d, want 1", se.Stmt)
+	}
+	if want := strings.Index(script, "!!"); se.Pos != want {
+		t.Errorf("Pos = %d, want absolute offset %d", se.Pos, want)
+	}
+	if !strings.Contains(err.Error(), "statement 1") {
+		t.Errorf("error %q does not name the statement", err)
+	}
+}
+
+func TestParseCountAdvances(t *testing.T) {
+	before := ParseCount()
+	mustParse(t, "SELECT c FROM t")
+	if ParseCount() != before+1 {
+		t.Errorf("ParseCount did not advance by 1")
+	}
+}

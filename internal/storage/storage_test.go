@@ -2,6 +2,7 @@ package storage_test
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -86,7 +87,7 @@ func seed(t testing.TB, p *proxy.Proxy) {
 
 func mustExec(t testing.TB, p *proxy.Proxy, sql string) *proxy.Result {
 	t.Helper()
-	res, err := p.Execute(sql)
+	res, err := p.Execute(context.Background(), sql)
 	if err != nil {
 		t.Fatalf("Execute(%q): %v", sql, err)
 	}
@@ -241,7 +242,7 @@ func TestLoadsLegacyV1Format(t *testing.T) {
 	}
 	// Merge so the main stores (the part whose layout changed) hold data;
 	// keep one post-merge insert so delta persistence is exercised too.
-	if err := db.Merge("t1"); err != nil {
+	if err := db.Merge(context.Background(), "t1"); err != nil {
 		t.Fatalf("Merge: %v", err)
 	}
 	mustExec(t, p, "INSERT INTO t1 VALUES ('Zoe', 'Aachen', 'vip')")

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"testing"
 
 	"github.com/encdbdb/encdbdb/internal/engine"
@@ -19,7 +20,7 @@ func benchClient(b *testing.B, dial func(string) (*Client, error)) *Client {
 	if err := c.CreateTable(plainSchema("bench")); err != nil {
 		b.Fatal(err)
 	}
-	if err := c.Insert("bench", engine.Row{"c": []byte("v")}); err != nil {
+	if err := c.Insert(context.Background(), "bench", engine.Row{"c": []byte("v")}); err != nil {
 		b.Fatal(err)
 	}
 	return c
@@ -73,7 +74,7 @@ func BenchmarkInsertBatch100(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.InsertBatch("bench", rows); err != nil {
+		if err := c.InsertBatch(context.Background(), "bench", rows); err != nil {
 			b.Fatal(err)
 		}
 	}

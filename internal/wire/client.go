@@ -2,8 +2,10 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -24,6 +26,11 @@ const errBatchAborted = "wire: aborted by earlier batch failure"
 // helloTimeout bounds version negotiation against unresponsive peers.
 const helloTimeout = 5 * time.Second
 
+// streamBuffer is how many result chunks a streaming Select may buffer
+// client-side before the connection's demux loop blocks — the flow-control
+// window between a fast server and a slow row consumer.
+const streamBuffer = 32
+
 // Client is the trusted side's connection to a remote EncDBDB provider. It
 // implements proxy.Executor, so a proxy.Proxy can drive a remote database
 // exactly like an embedded one, plus the attestation and bulk-load
@@ -34,6 +41,13 @@ const helloTimeout = 5 * time.Second
 // connection-unique ID, a single reader goroutine demuxes the out-of-order
 // responses, and writes are coalesced. Against a v1 server the client falls
 // back to lock-step, serializing one round trip at a time.
+//
+// Data-plane calls take a context. On a multiplexed connection a cancelled
+// context sends an advisory opCancel for the in-flight request — a server
+// running this version stops its scan between chunks and frees the worker —
+// and the call returns ctx.Err() immediately without wedging the connection
+// (the late response is discarded when it arrives). Peers that predate
+// opCancel answer it with an unknown-op error, which is ignored.
 type Client struct {
 	conn net.Conn
 
@@ -42,12 +56,28 @@ type Client struct {
 	mu       sync.Mutex
 
 	// Multiplexed state: pending maps in-flight request IDs to their
-	// caller's channel; failure is sticky and poisons all future calls.
+	// caller's delivery state; failure is sticky and poisons all future
+	// calls. failed is closed on the first failure so streaming consumers
+	// blocked outside the pending protocol wake up.
 	w       *muxWriter
 	nextID  atomic.Uint64
 	pmu     sync.Mutex
-	pending map[uint64]chan callResult
+	pending map[uint64]*pendingCall
 	failure error
+	failed  chan struct{}
+
+	// noStream records that the server answered opSelectStream with an
+	// unknown-op error: it predates streaming, so SelectStream falls back to
+	// a materialized Select for the rest of the connection.
+	noStream atomic.Bool
+}
+
+// pendingCall is one in-flight request's delivery state. Simple calls
+// receive exactly one callResult; streaming calls receive one per chunk plus
+// a final one, and stay registered until the final frame.
+type pendingCall struct {
+	ch     chan callResult
+	stream bool
 }
 
 type callResult struct {
@@ -105,7 +135,8 @@ func negotiate(conn net.Conn) (*Client, error) {
 	c := &Client{
 		conn:    conn,
 		w:       newMuxWriter(conn),
-		pending: make(map[uint64]chan callResult),
+		pending: make(map[uint64]*pendingCall),
+		failed:  make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
@@ -138,23 +169,41 @@ func (c *Client) Close() error {
 }
 
 // fail poisons the client: the first failure sticks, the connection closes,
-// and every pending caller is completed with err.
+// and every pending caller is completed with err. Deliveries never block:
+// simple calls have a one-slot buffer that is theirs alone, and streaming
+// consumers that cannot take another message are woken through the failed
+// channel instead.
 func (c *Client) fail(err error) {
 	c.pmu.Lock()
-	if c.failure == nil {
+	first := c.failure == nil
+	if first {
 		c.failure = err
 	}
 	pending := c.pending
-	c.pending = make(map[uint64]chan callResult)
+	c.pending = make(map[uint64]*pendingCall)
 	c.pmu.Unlock()
 	c.conn.Close()
-	for _, ch := range pending {
-		ch <- callResult{err: err}
+	if first {
+		close(c.failed)
+	}
+	for _, pc := range pending {
+		select {
+		case pc.ch <- callResult{err: err}:
+		default:
+		}
 	}
 }
 
+// failErr returns the sticky failure ("" pre-failure returns nil).
+func (c *Client) failErr() error {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.failure
+}
+
 // readLoop demuxes responses to their in-flight callers — the only reader
-// of a multiplexed connection.
+// of a multiplexed connection. Streaming requests stay registered until
+// their final frame (More unset or Err set) arrives.
 func (c *Client) readLoop() {
 	mr := newMuxReader(bufio.NewReader(c.conn))
 	for {
@@ -165,47 +214,134 @@ func (c *Client) readLoop() {
 			return
 		}
 		c.pmu.Lock()
-		ch, ok := c.pending[id]
-		delete(c.pending, id)
+		pc, ok := c.pending[id]
+		if ok && (!pc.stream || !resp.More || resp.Err != "") {
+			delete(c.pending, id)
+		}
 		c.pmu.Unlock()
 		if !ok {
-			// A duplicate or never-issued ID means the streams have
-			// diverged; nothing on this connection can be trusted anymore.
-			c.fail(fmt.Errorf("wire: response for unknown request id %d", id))
-			return
+			// A response for an unregistered ID is normal for a call
+			// abandoned by context cancellation — the late answer is simply
+			// discarded. (Duplicate or never-issued IDs are indistinguishable
+			// from that here; stream divergence still surfaces as gob decode
+			// errors.)
+			continue
 		}
-		ch <- callResult{resp: resp}
+		if pc.stream {
+			// A slow streaming consumer exerts backpressure on the whole
+			// connection; the buffer bounds how far the server can run
+			// ahead. Abandoned streams drain themselves via Close or wake
+			// up through the failed channel if the connection dies.
+			select {
+			case pc.ch <- callResult{resp: resp}:
+			case <-c.failed:
+			}
+			continue
+		}
+		pc.ch <- callResult{resp: resp}
 	}
 }
 
-// call performs one request/response round trip. Multiplexed connections
-// allow any number of concurrent calls.
-func (c *Client) call(req *request) (*response, error) {
-	if c.lockstep {
-		return c.roundTrip(req)
-	}
+// register allocates a request ID and delivery state.
+func (c *Client) register(stream bool) (uint64, *pendingCall, error) {
 	id := c.nextID.Add(1)
-	ch := make(chan callResult, 1)
+	buffer := 1
+	if stream {
+		buffer = streamBuffer
+	}
+	pc := &pendingCall{ch: make(chan callResult, buffer), stream: stream}
 	c.pmu.Lock()
 	if err := c.failure; err != nil {
 		c.pmu.Unlock()
+		return 0, nil, err
+	}
+	c.pending[id] = pc
+	c.pmu.Unlock()
+	return id, pc, nil
+}
+
+// unregister drops a pending entry (used when a send fails before any
+// response can arrive, and by cancellation paths that stop listening).
+func (c *Client) unregister(id uint64) {
+	c.pmu.Lock()
+	delete(c.pending, id)
+	c.pmu.Unlock()
+}
+
+// sendCancel fires an advisory opCancel for an in-flight request. It runs as
+// its own round trip whose outcome is irrelevant: a server with cancel
+// support stops the target's work, an older one answers unknown-op, and
+// either response resolves this request normally.
+func (c *Client) sendCancel(id uint64) {
+	go func() {
+		_, _ = c.call(context.Background(), &request{Op: opCancel, Cancel: id})
+	}()
+}
+
+// call performs one request/response round trip. Multiplexed connections
+// allow any number of concurrent calls. A cancelled context returns
+// immediately with ctx.Err(); the request keeps its ID registered so the
+// server's (possibly already-sent) response is discarded cleanly.
+func (c *Client) call(ctx context.Context, req *request) (*response, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.pending[id] = ch
-	c.pmu.Unlock()
+	if c.lockstep {
+		resp, err := c.roundTrip(req)
+		if err == nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+		}
+		return resp, err
+	}
+	id, pc, err := c.register(false)
+	if err != nil {
+		return nil, err
+	}
 	if err := c.w.send(id, req); err != nil {
 		// A partial frame corrupts the stream for everyone; poison the
-		// connection. fail delivers to ch unless the reader already did.
+		// connection. fail delivers to pc.ch unless the reader already did.
 		c.fail(fmt.Errorf("wire: send: %w", err))
 	}
-	res := <-ch
-	if res.err != nil {
-		return nil, res.err
+	select {
+	case res := <-pc.ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.resp.Err != "" {
+			return nil, wireError(res.resp.Err)
+		}
+		return res.resp, nil
+	case <-ctx.Done():
+		// Advisory cancel; the entry stays registered so the eventual
+		// response (buffered one slot) is consumed nowhere and dropped by
+		// the read loop bookkeeping.
+		c.sendCancel(id)
+		return nil, ctx.Err()
 	}
-	if res.resp.Err != "" {
-		return nil, errors.New(res.resp.Err)
+}
+
+// wireError rehydrates provider-side error text, restoring the context
+// sentinel errors so errors.Is(err, context.Canceled) works across the wire.
+func wireError(msg string) error {
+	switch msg {
+	case context.Canceled.Error():
+		return context.Canceled
+	case context.DeadlineExceeded.Error():
+		return context.DeadlineExceeded
 	}
-	return res.resp, nil
+	return errors.New(msg)
+}
+
+// isUnknownOp reports whether a provider-side error is exactly the
+// unknown-op reply a peer produces for an op it predates (see
+// Server.dispatch). Matched by full-string equality so a genuine query
+// error that merely mentions the words cannot misfire — engine errors
+// always carry prefixes and quoted identifiers, so they can never equal
+// this exact text.
+func isUnknownOp(err error, o op) bool {
+	return err != nil && err.Error() == fmt.Sprintf("wire: unknown op %d", o)
 }
 
 // roundTrip is the v1 lock-step path: a self-contained gob frame each way,
@@ -229,7 +365,7 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 		return nil, fmt.Errorf("wire: decode response: %w", err)
 	}
 	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
+		return nil, wireError(resp.Err)
 	}
 	return &resp, nil
 }
@@ -237,8 +373,8 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 // callBatch ships subs as one opBatch envelope: a single round trip
 // regardless of len(subs). Sub-requests execute in order server-side; the
 // first failure aborts the remainder.
-func (c *Client) callBatch(subs []request) ([]response, error) {
-	resp, err := c.call(&request{Op: opBatch, Subs: subs})
+func (c *Client) callBatch(ctx context.Context, subs []request) ([]response, error) {
+	resp, err := c.call(ctx, &request{Op: opBatch, Subs: subs})
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +386,7 @@ func (c *Client) callBatch(subs []request) ([]response, error) {
 
 // Quote requests a remote attestation quote bound to nonce (setup step 2).
 func (c *Client) Quote(nonce []byte) (enclave.Quote, error) {
-	resp, err := c.call(&request{Op: opQuote, Nonce: nonce})
+	resp, err := c.call(context.Background(), &request{Op: opQuote, Nonce: nonce})
 	if err != nil {
 		return enclave.Quote{}, err
 	}
@@ -259,19 +395,19 @@ func (c *Client) Quote(nonce []byte) (enclave.Quote, error) {
 
 // Provision ships the sealed master key to the provider's enclave.
 func (c *Client) Provision(sk enclave.SealedKey) error {
-	_, err := c.call(&request{Op: opProvision, Sealed: sk})
+	_, err := c.call(context.Background(), &request{Op: opProvision, Sealed: sk})
 	return err
 }
 
 // ImportColumn bulk-loads a pre-built column split (setup step 4).
 func (c *Client) ImportColumn(table, column string, data dict.SplitData) error {
-	_, err := c.call(&request{Op: opImportColumn, Table: table, Column: column, Split: data})
+	_, err := c.call(context.Background(), &request{Op: opImportColumn, Table: table, Column: column, Split: data})
 	return err
 }
 
 // Schema fetches a table schema.
 func (c *Client) Schema(table string) (engine.Schema, error) {
-	resp, err := c.call(&request{Op: opSchema, Table: table})
+	resp, err := c.call(context.Background(), &request{Op: opSchema, Table: table})
 	if err != nil {
 		return engine.Schema{}, err
 	}
@@ -280,19 +416,21 @@ func (c *Client) Schema(table string) (engine.Schema, error) {
 
 // CreateTable registers a schema at the provider.
 func (c *Client) CreateTable(s engine.Schema) error {
-	_, err := c.call(&request{Op: opCreateTable, Schema: s})
+	_, err := c.call(context.Background(), &request{Op: opCreateTable, Schema: s})
 	return err
 }
 
 // DropTable removes a table at the provider.
 func (c *Client) DropTable(name string) error {
-	_, err := c.call(&request{Op: opDropTable, Table: name})
+	_, err := c.call(context.Background(), &request{Op: opDropTable, Table: name})
 	return err
 }
 
-// Select evaluates an encrypted query remotely.
-func (c *Client) Select(q engine.Query) (*engine.Result, error) {
-	resp, err := c.call(&request{Op: opSelect, Query: q})
+// Select evaluates an encrypted query remotely, materializing the full
+// result. Cancelling ctx abandons the call (and advises the server to stop
+// the scan) without disturbing other traffic on the connection.
+func (c *Client) Select(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	resp, err := c.call(ctx, &request{Op: opSelect, Query: q})
 	if err != nil {
 		return nil, err
 	}
@@ -302,9 +440,169 @@ func (c *Client) Select(q engine.Query) (*engine.Result, error) {
 	return resp.Result, nil
 }
 
+// SelectStream evaluates an encrypted query remotely and streams the result
+// in chunks as the provider renders them, so the first rows arrive before
+// the last are rendered and the full result never materializes on either
+// side. Against providers that predate streaming (or on the v1 lock-step
+// fallback) it degrades transparently to a materialized Select delivered as
+// one chunk. The returned stream must be closed.
+func (c *Client) SelectStream(ctx context.Context, q engine.Query) (engine.ResultStream, error) {
+	if c.lockstep || c.noStream.Load() {
+		return c.materializedStream(ctx, q)
+	}
+	id, pc, err := c.register(true)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.w.send(id, &request{Op: opSelectStream, Query: q}); err != nil {
+		c.fail(fmt.Errorf("wire: send: %w", err))
+	}
+	// Wait for the first frame before returning: it either proves the
+	// server streams (chunk or terminator), reports a query error, or
+	// reveals a pre-streaming server to fall back on.
+	select {
+	case res := <-pc.ch:
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.resp.Err != "" {
+			err := wireError(res.resp.Err)
+			if isUnknownOp(err, opSelectStream) {
+				c.noStream.Store(true)
+				return c.materializedStream(ctx, q)
+			}
+			return nil, err
+		}
+		return &clientStream{c: c, ctx: ctx, id: id, pc: pc, head: res.resp, total: res.resp.N}, nil
+	case <-ctx.Done():
+		c.sendCancel(id)
+		c.drainAbandoned(id, pc)
+		return nil, ctx.Err()
+	}
+}
+
+// materializedStream is the streaming fallback: one ordinary Select, served
+// as a single chunk.
+func (c *Client) materializedStream(ctx context.Context, q engine.Query) (engine.ResultStream, error) {
+	res, err := c.Select(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return engine.MaterializedStream(res), nil
+}
+
+// drainAbandoned unregisters a streaming request and discards chunks that
+// already arrived, letting the demux loop drop the rest.
+func (c *Client) drainAbandoned(id uint64, pc *pendingCall) {
+	c.unregister(id)
+	for {
+		select {
+		case <-pc.ch:
+		default:
+			return
+		}
+	}
+}
+
+// clientStream is the client half of a streamed Select: chunks arrive on the
+// pending channel as the demux loop delivers them; the final frame (More
+// unset) ends the stream.
+type clientStream struct {
+	c   *Client
+	ctx context.Context
+	id  uint64
+	pc  *pendingCall
+
+	head      *response // first frame, held back by SelectStream
+	total     int
+	done      bool
+	cancelled bool
+	err       error
+}
+
+// Next returns the next chunk, or io.EOF after the final frame.
+func (s *clientStream) Next() (*engine.Result, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.done {
+		return nil, io.EOF
+	}
+	for {
+		resp := s.head
+		s.head = nil
+		if resp == nil {
+			select {
+			case res := <-s.pc.ch:
+				if res.err != nil {
+					return nil, s.finish(res.err)
+				}
+				resp = res.resp
+			case <-s.c.failed:
+				return nil, s.finish(s.c.failErr())
+			case <-s.ctx.Done():
+				if !s.cancelled {
+					s.cancelled = true
+					s.c.sendCancel(s.id)
+				}
+				s.c.drainAbandoned(s.id, s.pc)
+				return nil, s.finish(s.ctx.Err())
+			}
+		}
+		if resp.Err != "" {
+			return nil, s.finish(wireError(resp.Err))
+		}
+		if !resp.More {
+			s.total = resp.N
+			s.done = true
+			return nil, io.EOF
+		}
+		s.total = resp.N
+		if resp.Result == nil {
+			continue // defensive: a chunk frame always carries rows
+		}
+		return resp.Result, nil
+	}
+}
+
+// finish records a terminal error.
+func (s *clientStream) finish(err error) error {
+	s.err = err
+	return err
+}
+
+// Count returns the total match count, known from the first frame onward.
+func (s *clientStream) Count() int { return s.total }
+
+// Close ends the stream: an unfinished one is cancelled server-side and
+// drained so the connection stays usable for other calls.
+func (s *clientStream) Close() error {
+	if s.done || s.err != nil {
+		return nil
+	}
+	if !s.cancelled {
+		s.cancelled = true
+		s.c.sendCancel(s.id)
+	}
+	// Drain to the final frame so the demux loop is never left blocked on
+	// this stream's buffer.
+	for {
+		select {
+		case res := <-s.pc.ch:
+			if res.err != nil || res.resp.Err != "" || !res.resp.More {
+				s.done = true
+				return nil
+			}
+		case <-s.c.failed:
+			s.done = true
+			return nil
+		}
+	}
+}
+
 // Insert appends an encrypted row.
-func (c *Client) Insert(table string, row engine.Row) error {
-	_, err := c.call(&request{Op: opInsert, Table: table, Row: row})
+func (c *Client) Insert(ctx context.Context, table string, row engine.Row) error {
+	_, err := c.call(ctx, &request{Op: opInsert, Table: table, Row: row})
 	return err
 }
 
@@ -313,13 +611,13 @@ func (c *Client) Insert(table string, row engine.Row) error {
 // remain inserted at the provider. On a lock-step fallback connection the
 // peer may predate the batch envelope entirely, so the batch degrades to
 // per-row round trips with the same ordering and abort semantics.
-func (c *Client) InsertBatch(table string, rows []engine.Row) error {
+func (c *Client) InsertBatch(ctx context.Context, table string, rows []engine.Row) error {
 	if len(rows) == 0 {
 		return nil
 	}
 	if c.lockstep {
 		for i, r := range rows {
-			if err := c.Insert(table, r); err != nil {
+			if err := c.Insert(ctx, table, r); err != nil {
 				return fmt.Errorf("wire: batch insert row %d: %w", i, err)
 			}
 		}
@@ -329,7 +627,7 @@ func (c *Client) InsertBatch(table string, rows []engine.Row) error {
 	for i, r := range rows {
 		subs[i] = request{Op: opInsert, Table: table, Row: r}
 	}
-	resps, err := c.callBatch(subs)
+	resps, err := c.callBatch(ctx, subs)
 	if err != nil {
 		return err
 	}
@@ -342,8 +640,8 @@ func (c *Client) InsertBatch(table string, rows []engine.Row) error {
 }
 
 // Delete invalidates matching rows.
-func (c *Client) Delete(table string, filters []engine.Filter) (int, error) {
-	resp, err := c.call(&request{Op: opDelete, Table: table, Filters: filters})
+func (c *Client) Delete(ctx context.Context, table string, filters []engine.Filter) (int, error) {
+	resp, err := c.call(ctx, &request{Op: opDelete, Table: table, Filters: filters})
 	if err != nil {
 		return 0, err
 	}
@@ -351,8 +649,8 @@ func (c *Client) Delete(table string, filters []engine.Filter) (int, error) {
 }
 
 // Update rewrites matching rows.
-func (c *Client) Update(table string, filters []engine.Filter, set engine.Row) (int, error) {
-	resp, err := c.call(&request{Op: opUpdate, Table: table, Filters: filters, Set: set})
+func (c *Client) Update(ctx context.Context, table string, filters []engine.Filter, set engine.Row) (int, error) {
+	resp, err := c.call(ctx, &request{Op: opUpdate, Table: table, Filters: filters, Set: set})
 	if err != nil {
 		return 0, err
 	}
@@ -362,15 +660,15 @@ func (c *Client) Update(table string, filters []engine.Filter, set engine.Row) (
 // Merge folds the delta store remotely, waiting for the merge to apply.
 // The provider-side rebuild runs off-lock, so concurrent calls on this and
 // other connections keep being served while the merge is in flight.
-func (c *Client) Merge(table string) error {
-	_, err := c.call(&request{Op: opMerge, Table: table})
+func (c *Client) Merge(ctx context.Context, table string) error {
+	_, err := c.call(ctx, &request{Op: opMerge, Table: table})
 	return err
 }
 
 // MergeAsync starts a background merge at the provider and returns as soon
 // as it is admitted. started is false when a merge was already in flight.
-func (c *Client) MergeAsync(table string) (started bool, err error) {
-	resp, err := c.call(&request{Op: opMergeAsync, Table: table})
+func (c *Client) MergeAsync(ctx context.Context, table string) (started bool, err error) {
+	resp, err := c.call(ctx, &request{Op: opMergeAsync, Table: table})
 	if err != nil {
 		return false, err
 	}
@@ -379,8 +677,8 @@ func (c *Client) MergeAsync(table string) (started bool, err error) {
 
 // MergeStatus reports the remote table's delta/merge lifecycle state —
 // how clients observe a background merge they triggered.
-func (c *Client) MergeStatus(table string) (engine.MergeInfo, error) {
-	resp, err := c.call(&request{Op: opMergeStatus, Table: table})
+func (c *Client) MergeStatus(ctx context.Context, table string) (engine.MergeInfo, error) {
+	resp, err := c.call(ctx, &request{Op: opMergeStatus, Table: table})
 	if err != nil {
 		return engine.MergeInfo{}, err
 	}
@@ -389,7 +687,7 @@ func (c *Client) MergeStatus(table string) (engine.MergeInfo, error) {
 
 // Tables lists remote tables.
 func (c *Client) Tables() ([]string, error) {
-	resp, err := c.call(&request{Op: opTables})
+	resp, err := c.call(context.Background(), &request{Op: opTables})
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +696,7 @@ func (c *Client) Tables() ([]string, error) {
 
 // Rows returns a remote table's total row count.
 func (c *Client) Rows(table string) (int, error) {
-	resp, err := c.call(&request{Op: opRows, Table: table})
+	resp, err := c.call(context.Background(), &request{Op: opRows, Table: table})
 	if err != nil {
 		return 0, err
 	}
@@ -407,7 +705,7 @@ func (c *Client) Rows(table string) (int, error) {
 
 // StorageBytes returns a remote table's storage footprint.
 func (c *Client) StorageBytes(table string) (int, error) {
-	resp, err := c.call(&request{Op: opStorageBytes, Table: table})
+	resp, err := c.call(context.Background(), &request{Op: opStorageBytes, Table: table})
 	if err != nil {
 		return 0, err
 	}

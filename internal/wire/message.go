@@ -28,6 +28,9 @@ type request struct {
 	// Subs carries the sub-requests of an opBatch envelope. Nesting is not
 	// allowed.
 	Subs []request
+
+	// Cancel names the in-flight request ID an opCancel targets.
+	Cancel uint64
 }
 
 // response is the single wire response envelope. Err is the provider-side
@@ -43,6 +46,11 @@ type response struct {
 
 	// Subs carries one response per sub-request of an opBatch envelope.
 	Subs []response
+
+	// More marks a non-final chunk of an opSelectStream result: the peer
+	// keeps reading frames for the same request ID until a frame with More
+	// unset (the terminator, which carries no rows) or Err set arrives.
+	More bool
 }
 
 // encodeMsg gob-encodes a message into a frame payload.

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -111,35 +112,47 @@ func (p *Pool) CreateTable(s engine.Schema) error { return p.pick().CreateTable(
 func (p *Pool) DropTable(name string) error { return p.pick().DropTable(name) }
 
 // Select evaluates an encrypted query remotely.
-func (p *Pool) Select(q engine.Query) (*engine.Result, error) { return p.pick().Select(q) }
+func (p *Pool) Select(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	return p.pick().Select(ctx, q)
+}
+
+// SelectStream evaluates an encrypted query remotely, streaming the result
+// in chunks over one pooled connection.
+func (p *Pool) SelectStream(ctx context.Context, q engine.Query) (engine.ResultStream, error) {
+	return p.pick().SelectStream(ctx, q)
+}
 
 // Insert appends an encrypted row.
-func (p *Pool) Insert(table string, row engine.Row) error { return p.pick().Insert(table, row) }
+func (p *Pool) Insert(ctx context.Context, table string, row engine.Row) error {
+	return p.pick().Insert(ctx, table, row)
+}
 
 // InsertBatch appends rows in one round trip on one pooled connection.
-func (p *Pool) InsertBatch(table string, rows []engine.Row) error {
-	return p.pick().InsertBatch(table, rows)
+func (p *Pool) InsertBatch(ctx context.Context, table string, rows []engine.Row) error {
+	return p.pick().InsertBatch(ctx, table, rows)
 }
 
 // Delete invalidates matching rows.
-func (p *Pool) Delete(table string, filters []engine.Filter) (int, error) {
-	return p.pick().Delete(table, filters)
+func (p *Pool) Delete(ctx context.Context, table string, filters []engine.Filter) (int, error) {
+	return p.pick().Delete(ctx, table, filters)
 }
 
 // Update rewrites matching rows.
-func (p *Pool) Update(table string, filters []engine.Filter, set engine.Row) (int, error) {
-	return p.pick().Update(table, filters, set)
+func (p *Pool) Update(ctx context.Context, table string, filters []engine.Filter, set engine.Row) (int, error) {
+	return p.pick().Update(ctx, table, filters, set)
 }
 
 // Merge folds the delta store remotely.
-func (p *Pool) Merge(table string) error { return p.pick().Merge(table) }
+func (p *Pool) Merge(ctx context.Context, table string) error { return p.pick().Merge(ctx, table) }
 
 // MergeAsync starts a background merge at the provider.
-func (p *Pool) MergeAsync(table string) (bool, error) { return p.pick().MergeAsync(table) }
+func (p *Pool) MergeAsync(ctx context.Context, table string) (bool, error) {
+	return p.pick().MergeAsync(ctx, table)
+}
 
 // MergeStatus reports the remote table's delta/merge lifecycle state.
-func (p *Pool) MergeStatus(table string) (engine.MergeInfo, error) {
-	return p.pick().MergeStatus(table)
+func (p *Pool) MergeStatus(ctx context.Context, table string) (engine.MergeInfo, error) {
+	return p.pick().MergeStatus(ctx, table)
 }
 
 // Tables lists remote tables.

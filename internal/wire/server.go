@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,6 +17,13 @@ import (
 // defaultConnWorkers is the default per-connection dispatch concurrency for
 // multiplexed connections.
 const defaultConnWorkers = 16
+
+// queuedPerWorker scales the per-connection bound on decoded-but-not-yet-
+// finished requests: connWorkers*queuedPerWorker outstanding requests are
+// admitted before the read loop stops draining frames. Large enough that
+// opCancel frames reach a saturated connection, small enough to bound the
+// memory a peer that never reads responses can pin.
+const queuedPerWorker = 64
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -45,6 +53,11 @@ type Server struct {
 	db          *engine.DB
 	logf        func(format string, args ...any)
 	connWorkers int
+
+	// legacyOps makes the server answer the post-PR ops (opSelectStream,
+	// opCancel) with unknown-op errors, emulating a v2 peer built before
+	// they existed. Tests use it to pin the compatibility fallbacks.
+	legacyOps bool
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -155,7 +168,7 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 			s.logf("wire: bad request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
-		resp := s.dispatch(&req)
+		resp := s.dispatch(context.Background(), &req)
 		out, err2 := encodeMsg(resp)
 		if err2 != nil {
 			s.logf("wire: encode response: %v", err2)
@@ -168,12 +181,51 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 	}
 }
 
+// inflightSet tracks the cancel functions of a connection's dispatched
+// requests so an opCancel frame can reach into a running scan.
+type inflightSet struct {
+	mu sync.Mutex
+	m  map[uint64]context.CancelFunc
+}
+
+// add registers a request's cancel function under its ID.
+func (in *inflightSet) add(id uint64, cancel context.CancelFunc) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.m == nil {
+		in.m = make(map[uint64]context.CancelFunc)
+	}
+	in.m[id] = cancel
+}
+
+// remove drops a finished request.
+func (in *inflightSet) remove(id uint64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.m, id)
+}
+
+// cancel fires the cancel function registered under id, if any. Cancellation
+// is advisory, so an unknown ID (already finished, never dispatched) is fine.
+func (in *inflightSet) cancel(id uint64) {
+	in.mu.Lock()
+	fn := in.m[id]
+	in.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
 // serveMux is the v2 loop: finish negotiation, then decode frames on this
 // goroutine (so the read buffer can be reused) and dispatch each request on
 // its own bounded worker goroutine. Responses go out under the connection
 // write lock in completion order. Before returning — peer drop or server
 // Close — it drains all in-flight workers, whose late responses then fail
 // with a write error on the closed connection instead of panicking.
+//
+// Every dispatched request runs under its own context, registered in the
+// connection's inflight set: an opCancel frame cancels the named request's
+// context mid-scan, and tearing the connection down cancels them all.
 func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	clientVer, err := br.ReadByte()
 	if err != nil {
@@ -190,8 +242,20 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	if err := writeHello(conn, ver); err != nil {
 		return
 	}
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
+	inflight := &inflightSet{}
 	mw := newMuxWriter(conn)
+	// Two bounds: sem caps how many requests *execute* concurrently;
+	// queueSem caps how many decoded requests may be outstanding
+	// (queued + executing) so a peer that never reads responses cannot
+	// queue unbounded memory. The queue bound is deliberately much larger
+	// than the execution bound: the read loop keeps draining frames while
+	// all workers are busy, which is what lets an opCancel frame reach a
+	// saturated connection instead of queuing behind the requests it is
+	// trying to interrupt.
 	sem := make(chan struct{}, s.connWorkers)
+	queueSem := make(chan struct{}, s.connWorkers*queuedPerWorker)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	mr := newMuxReader(br)
@@ -207,12 +271,35 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 			}
 			return
 		}
-		sem <- struct{}{}
+		if req.Op == opCancel && !s.legacyOps {
+			// Handled inline, before any queue admission: cancellation must
+			// not queue behind the very requests it is trying to interrupt.
+			inflight.cancel(req.Cancel)
+			if err := mw.send(id, &response{}); err != nil {
+				s.logf("wire: send response: %v", err)
+				conn.Close()
+				return
+			}
+			continue
+		}
+		// Register the request's context before handing it to a worker, so
+		// an opCancel that races ahead of the worker's execution still
+		// cancels it (the engine surfaces context.Canceled when the worker
+		// eventually runs it).
+		ctx, cancel := context.WithCancel(connCtx)
+		inflight.add(id, cancel)
+		queueSem <- struct{}{}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() { <-queueSem }()
+			sem <- struct{}{}
 			defer func() { <-sem }()
-			if err := mw.send(id, s.dispatch(req)); err != nil {
+			defer func() {
+				inflight.remove(id)
+				cancel()
+			}()
+			if err := s.serveRequest(ctx, mw, id, req); err != nil {
 				// Whether the connection died or the response stream broke
 				// (encode failure, oversized response), no further response
 				// can be delivered on it. Close so the peer's read loop
@@ -225,10 +312,66 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
+// serveRequest executes one multiplexed request and writes its response(s):
+// a single frame for ordinary ops, a chunk sequence for opSelectStream.
+func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req *request) error {
+	if req.Op == opSelectStream && !s.legacyOps {
+		return s.serveSelectStream(ctx, mw, id, req)
+	}
+	return mw.send(id, s.dispatch(ctx, req))
+}
+
+// serveSelectStream renders a Select chunk by chunk, writing each as its own
+// frame under the request's ID: response.More marks chunks, a final frame
+// with More unset (carrying the total count) terminates, and an error —
+// including the query's context being cancelled by opCancel — terminates
+// with Err set. Only send failures are returned; query failures travel to
+// the peer. Like dispatch, panics in the engine's lazy render path are
+// converted to an error terminator instead of taking down the provider.
+func (s *Server) serveSelectStream(ctx context.Context, mw *muxWriter, id uint64, req *request) error {
+	final, sendErr := s.streamChunks(ctx, mw, id, req)
+	if sendErr != nil {
+		return sendErr
+	}
+	return mw.send(id, final)
+}
+
+// streamChunks writes the chunk frames of one streamed Select and returns
+// the terminator frame for serveSelectStream to send, upholding dispatch's
+// invariant that a panic in a handler becomes an error response rather than
+// an unrecovered goroutine panic.
+func (s *Server) streamChunks(ctx context.Context, mw *muxWriter, id uint64, req *request) (final *response, sendErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("wire: panic handling op %d: %v", req.Op, r)
+			final, sendErr = &response{Err: fmt.Sprintf("wire: internal error handling op %d", req.Op)}, nil
+		}
+	}()
+	st, err := s.db.SelectStream(ctx, req.Query)
+	if err != nil {
+		return &response{Err: err.Error()}, nil
+	}
+	defer st.Close()
+	for {
+		chunk, err := st.Next()
+		if err == io.EOF {
+			return &response{N: st.Count()}, nil
+		}
+		if err != nil {
+			return &response{Err: err.Error()}, nil
+		}
+		if err := mw.send(id, &response{Result: chunk, More: true, N: st.Count()}); err != nil {
+			return nil, err
+		}
+	}
+}
+
 // dispatch executes one request against the database. Panics in handlers
 // are converted to error responses so one bad request cannot take down the
-// provider.
-func (s *Server) dispatch(req *request) (resp *response) {
+// provider. Ops the server predates (or pretends to, under legacyOps)
+// answer with an "unknown op" error, which is also what real pre-streaming
+// v2 servers produce for opSelectStream and opCancel.
+func (s *Server) dispatch(ctx context.Context, req *request) (resp *response) {
 	resp = &response{}
 	defer func() {
 		if r := recover(); r != nil {
@@ -240,7 +383,16 @@ func (s *Server) dispatch(req *request) (resp *response) {
 		resp.Err = err.Error()
 		return resp
 	}
+	if s.legacyOps && (req.Op == opSelectStream || req.Op == opCancel) {
+		return fail(fmt.Errorf("wire: unknown op %d", req.Op))
+	}
 	switch req.Op {
+	case opSelect:
+		res, err := s.db.Select(ctx, req.Query)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Result = res
 	case opQuote:
 		encl := s.db.Enclave()
 		if encl == nil {
@@ -269,34 +421,28 @@ func (s *Server) dispatch(req *request) (resp *response) {
 		if err := s.db.DropTable(req.Table); err != nil {
 			return fail(err)
 		}
-	case opSelect:
-		res, err := s.db.Select(req.Query)
-		if err != nil {
-			return fail(err)
-		}
-		resp.Result = res
 	case opInsert:
-		if err := s.db.Insert(req.Table, req.Row); err != nil {
+		if err := s.db.Insert(ctx, req.Table, req.Row); err != nil {
 			return fail(err)
 		}
 	case opDelete:
-		n, err := s.db.Delete(req.Table, req.Filters)
+		n, err := s.db.Delete(ctx, req.Table, req.Filters)
 		if err != nil {
 			return fail(err)
 		}
 		resp.N = n
 	case opUpdate:
-		n, err := s.db.Update(req.Table, req.Filters, req.Set)
+		n, err := s.db.Update(ctx, req.Table, req.Filters, req.Set)
 		if err != nil {
 			return fail(err)
 		}
 		resp.N = n
 	case opMerge:
-		if err := s.db.Merge(req.Table); err != nil {
+		if err := s.db.Merge(ctx, req.Table); err != nil {
 			return fail(err)
 		}
 	case opMergeAsync:
-		started, err := s.db.MergeAsync(req.Table)
+		started, err := s.db.MergeAsync(ctx, req.Table)
 		if err != nil {
 			return fail(err)
 		}
@@ -304,11 +450,18 @@ func (s *Server) dispatch(req *request) (resp *response) {
 			resp.N = 1
 		}
 	case opMergeStatus:
-		info, err := s.db.MergeStatus(req.Table)
+		info, err := s.db.MergeStatus(ctx, req.Table)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Merge = info
+	case opSelectStream:
+		// Reached only on a lock-step connection, whose strict
+		// request/response alternation cannot carry chunked frames.
+		return fail(errors.New("wire: streaming requires a multiplexed connection"))
+	case opCancel:
+		// Reached only on a lock-step connection, where nothing can be in
+		// flight to cancel; answer harmlessly.
 	case opImportColumn:
 		split, err := dict.FromData(req.Split)
 		if err != nil {
@@ -332,7 +485,7 @@ func (s *Server) dispatch(req *request) (resp *response) {
 		}
 		resp.N = n
 	case opBatch:
-		resp.Subs = s.dispatchBatch(req.Subs)
+		resp.Subs = s.dispatchBatch(ctx, req.Subs)
 	default:
 		return fail(fmt.Errorf("wire: unknown op %d", req.Op))
 	}
@@ -342,7 +495,7 @@ func (s *Server) dispatch(req *request) (resp *response) {
 // dispatchBatch executes the sub-requests of an opBatch envelope in order,
 // stopping at (and marking the remainder after) the first failure. Inserts
 // into one table take the engine's single-lock batch path.
-func (s *Server) dispatchBatch(subs []request) []response {
+func (s *Server) dispatchBatch(ctx context.Context, subs []request) []response {
 	out := make([]response, len(subs))
 	for i := 0; i < len(subs); i++ {
 		if subs[i].Op == opBatch {
@@ -354,13 +507,13 @@ func (s *Server) dispatchBatch(subs []request) []response {
 			for j := 0; j < n; j++ {
 				rows[j] = subs[i+j].Row
 			}
-			if err := s.db.InsertBatch(subs[i].Table, rows); err != nil {
+			if err := s.db.InsertBatch(ctx, subs[i].Table, rows); err != nil {
 				out[i].Err = err.Error()
 			} else {
 				i += n - 1
 			}
 		} else {
-			out[i] = *s.dispatch(&subs[i])
+			out[i] = *s.dispatch(ctx, &subs[i])
 		}
 		if out[i].Err != "" {
 			for j := i + 1; j < len(subs); j++ {

@@ -99,6 +99,15 @@ const (
 	// "unknown op" rather than misparsing, since op values are stable.
 	opMergeAsync
 	opMergeStatus
+	// Appended for the context-aware query API: opSelectStream answers with
+	// chunked result frames (response.More marks non-final chunks) under the
+	// request's ID; opCancel asks the server to cancel the in-flight request
+	// named by request.Cancel. Both degrade gracefully against v2 peers that
+	// predate them: the client falls back to a materialized Select when
+	// opSelectStream is unknown, and an unknown-op reply to opCancel is
+	// ignored (cancellation is advisory).
+	opSelectStream
+	opCancel
 )
 
 // writeFrame writes one v1 length-prefixed payload.

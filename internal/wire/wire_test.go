@@ -1,6 +1,7 @@
 package wire_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"net"
@@ -80,23 +81,23 @@ func newRemoteProxy(t testing.TB) (*proxy.Proxy, *wire.Client) {
 
 func TestRemoteEndToEnd(t *testing.T) {
 	p, c := newRemoteProxy(t)
-	if _, err := p.Execute("CREATE TABLE t1 (fname ED5(16) BSMAX 3, city ED1(16))"); err != nil {
+	if _, err := p.Execute(context.Background(), "CREATE TABLE t1 (fname ED5(16) BSMAX 3, city ED1(16))"); err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	rows := [][2]string{{"Hans", "Berlin"}, {"Jessica", "Waterloo"}, {"Archie", "Karlsruhe"}}
 	for _, r := range rows {
-		if _, err := p.Execute(fmt.Sprintf("INSERT INTO t1 VALUES ('%s', '%s')", r[0], r[1])); err != nil {
+		if _, err := p.Execute(context.Background(), fmt.Sprintf("INSERT INTO t1 VALUES ('%s', '%s')", r[0], r[1])); err != nil {
 			t.Fatalf("insert: %v", err)
 		}
 	}
-	res, err := p.Execute("SELECT fname, city FROM t1 WHERE fname >= 'Archie' AND fname <= 'Hans'")
+	res, err := p.Execute(context.Background(), "SELECT fname, city FROM t1 WHERE fname >= 'Archie' AND fname <= 'Hans'")
 	if err != nil {
 		t.Fatalf("select: %v", err)
 	}
 	if len(res.Rows) != 2 {
 		t.Fatalf("rows = %v, want 2", res.Rows)
 	}
-	cnt, err := p.Execute("SELECT COUNT(*) FROM t1")
+	cnt, err := p.Execute(context.Background(), "SELECT COUNT(*) FROM t1")
 	if err != nil || cnt.Count != 3 {
 		t.Fatalf("count = %+v, %v", cnt, err)
 	}
@@ -145,7 +146,7 @@ func TestRemoteBulkImport(t *testing.T) {
 	if err := c2.ImportColumn("bulk", "c", split.Data()); err != nil {
 		t.Fatalf("ImportColumn: %v", err)
 	}
-	res, err := p2.Execute("SELECT c FROM bulk WHERE c = 'x'")
+	res, err := p2.Execute(context.Background(), "SELECT c FROM bulk WHERE c = 'x'")
 	if err != nil {
 		t.Fatalf("select: %v", err)
 	}
@@ -156,7 +157,7 @@ func TestRemoteBulkImport(t *testing.T) {
 
 func TestRemoteErrorsPropagate(t *testing.T) {
 	p, c := newRemoteProxy(t)
-	if _, err := p.Execute("SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "no such table") {
+	if _, err := p.Execute(context.Background(), "SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "no such table") {
 		t.Errorf("err = %v, want table error", err)
 	}
 	if err := c.DropTable("missing"); err == nil {
@@ -181,33 +182,33 @@ func TestRemoteQueryWithoutProvisionFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Execute("INSERT INTO x VALUES ('a')"); err == nil {
+	if _, err := p.Execute(context.Background(), "INSERT INTO x VALUES ('a')"); err == nil {
 		t.Error("insert without provisioned enclave succeeded")
 	}
 }
 
 func TestRemoteWriteOperations(t *testing.T) {
 	p, _ := newRemoteProxy(t)
-	if _, err := p.Execute("CREATE TABLE w (c ED9(8))"); err != nil {
+	if _, err := p.Execute(context.Background(), "CREATE TABLE w (c ED9(8))"); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"a", "b", "a"} {
-		if _, err := p.Execute(fmt.Sprintf("INSERT INTO w VALUES ('%s')", v)); err != nil {
+		if _, err := p.Execute(context.Background(), fmt.Sprintf("INSERT INTO w VALUES ('%s')", v)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	up, err := p.Execute("UPDATE w SET c = 'z' WHERE c = 'b'")
+	up, err := p.Execute(context.Background(), "UPDATE w SET c = 'z' WHERE c = 'b'")
 	if err != nil || up.Affected != 1 {
 		t.Fatalf("update = %+v, %v", up, err)
 	}
-	del, err := p.Execute("DELETE FROM w WHERE c = 'a'")
+	del, err := p.Execute(context.Background(), "DELETE FROM w WHERE c = 'a'")
 	if err != nil || del.Affected != 2 {
 		t.Fatalf("delete = %+v, %v", del, err)
 	}
-	if _, err := p.Execute("MERGE TABLE w"); err != nil {
+	if _, err := p.Execute(context.Background(), "MERGE TABLE w"); err != nil {
 		t.Fatalf("merge: %v", err)
 	}
-	res, err := p.Execute("SELECT c FROM w")
+	res, err := p.Execute(context.Background(), "SELECT c FROM w")
 	if err != nil || len(res.Rows) != 1 || res.Rows[0][0] != "z" {
 		t.Fatalf("rows = %+v, %v", res, err)
 	}
@@ -215,22 +216,22 @@ func TestRemoteWriteOperations(t *testing.T) {
 
 func TestRemoteMergeAsyncAndStatus(t *testing.T) {
 	p, c := newRemoteProxy(t)
-	if _, err := p.Execute("CREATE TABLE m (c ED1(8))"); err != nil {
+	if _, err := p.Execute(context.Background(), "CREATE TABLE m (c ED1(8))"); err != nil {
 		t.Fatal(err)
 	}
 	for _, v := range []string{"a", "b", "c"} {
-		if _, err := p.Execute(fmt.Sprintf("INSERT INTO m VALUES ('%s')", v)); err != nil {
+		if _, err := p.Execute(context.Background(), fmt.Sprintf("INSERT INTO m VALUES ('%s')", v)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	info, err := c.MergeStatus("m")
+	info, err := c.MergeStatus(context.Background(), "m")
 	if err != nil {
 		t.Fatalf("MergeStatus: %v", err)
 	}
 	if info.DeltaRows != 3 || info.Generation != 0 {
 		t.Errorf("pre-merge status = %+v, want 3 delta rows at generation 0", info)
 	}
-	started, err := c.MergeAsync("m")
+	started, err := c.MergeAsync(context.Background(), "m")
 	if err != nil {
 		t.Fatalf("MergeAsync: %v", err)
 	}
@@ -239,7 +240,7 @@ func TestRemoteMergeAsyncAndStatus(t *testing.T) {
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if info, err = c.MergeStatus("m"); err != nil {
+		if info, err = c.MergeStatus(context.Background(), "m"); err != nil {
 			t.Fatalf("MergeStatus: %v", err)
 		}
 		if !info.Merging && info.Merges > 0 {
@@ -254,13 +255,13 @@ func TestRemoteMergeAsyncAndStatus(t *testing.T) {
 		t.Errorf("post-merge status = %+v, want 3 main rows at generation 1", info)
 	}
 	// The SQL surface reaches the same ops.
-	if _, err := p.Execute("MERGE TABLE m ASYNC"); err != nil {
+	if _, err := p.Execute(context.Background(), "MERGE TABLE m ASYNC"); err != nil {
 		t.Fatalf("MERGE TABLE ASYNC: %v", err)
 	}
-	if res, err := p.Execute("MERGE STATUS m"); err != nil || len(res.Rows) != 1 {
+	if res, err := p.Execute(context.Background(), "MERGE STATUS m"); err != nil || len(res.Rows) != 1 {
 		t.Fatalf("MERGE STATUS = %+v, %v", res, err)
 	}
-	if _, err := c.MergeStatus("missing"); err == nil {
+	if _, err := c.MergeStatus(context.Background(), "missing"); err == nil {
 		t.Error("MergeStatus on missing table succeeded")
 	}
 }
@@ -278,10 +279,10 @@ func TestConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pSetup.Execute("CREATE TABLE cc (c ED1(8))"); err != nil {
+	if _, err := pSetup.Execute(context.Background(), "CREATE TABLE cc (c ED1(8))"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := pSetup.Execute("INSERT INTO cc VALUES ('v')"); err != nil {
+	if _, err := pSetup.Execute(context.Background(), "INSERT INTO cc VALUES ('v')"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -301,7 +302,7 @@ func TestConcurrentClients(t *testing.T) {
 				return
 			}
 			for j := 0; j < 10; j++ {
-				res, err := p.Execute("SELECT c FROM cc WHERE c = 'v'")
+				res, err := p.Execute(context.Background(), "SELECT c FROM cc WHERE c = 'v'")
 				if err != nil {
 					errs <- err
 					return
