@@ -1,0 +1,486 @@
+package av
+
+import (
+	"github.com/encdbdb/encdbdb/internal/ridset"
+)
+
+// The scan kernels. Every predicate shape (range disjunction, ValueID-set
+// membership) exists in two combine modes over the same per-block dispatch:
+//
+//   - Or mode (ScanRanges, ScanBitset): the per-group match words are ORed
+//     into out. Distinct group ranges touch disjoint words of out, so shards
+//     of the parallel scan may run concurrently against the same set.
+//   - Into mode (ScanRangesInto, ScanBitsetInto): the match words are ANDed
+//     into an accumulator, fusing this predicate into a running conjunction.
+//     Groups whose accumulator word is already zero are skipped without
+//     evaluating the predicate — the early-out that makes fused conjunctions
+//     cheaper the more selective the preceding predicates were. Within the
+//     scanned window, accumulator bits of rows >= Len() are always cleared,
+//     so a full-window fused scan leaves the boundary word exact. The bool
+//     result reports whether any accumulator word in the window is still
+//     non-zero, letting callers short-circuit the remaining predicates.
+//
+// Both modes share the single tail-masking emit points (emitOr/emitAnd); the
+// only kernel path that bypasses them — the RLE span fill — cannot produce a
+// row >= Len() by construction, since run ends never exceed the block's rows.
+
+// ScanRanges evaluates the disjunction of the inclusive ValueID ranges over
+// the row groups [gLo, gHi) and ORs the per-group 64-bit match words into
+// out, whose universe must cover [0, Len()).
+func (v *Vector) ScanRanges(out *ridset.Set, gLo, gHi int, ranges []Range) {
+	v.scanRanges(out, gLo, gHi, ranges, false)
+}
+
+// ScanRangesInto fuses the range disjunction into acc: each group's match
+// word is ANDed into the accumulator word, with zero-word early-out. It
+// reports whether any word of [gLo, gHi) remains non-zero.
+func (v *Vector) ScanRangesInto(acc *ridset.Set, gLo, gHi int, ranges []Range) bool {
+	return v.scanRanges(acc, gLo, gHi, ranges, true)
+}
+
+func (v *Vector) scanRanges(set *ridset.Set, gLo, gHi int, ranges []Range, and bool) bool {
+	// Clamp once: codes hold at most w bits, so a range reaching past the
+	// largest representable code is truncated and a range starting past it
+	// can never match.
+	maxCode := uint32(0)
+	if v.w > 0 {
+		maxCode = v.codeMask()
+	}
+	// The dictionary searches emit at most two ranges; keep that common
+	// case allocation-free.
+	var buf [2]Range
+	active := buf[:0]
+	if len(ranges) > len(buf) {
+		active = make([]Range, 0, len(ranges))
+	}
+	zeroMatch := false // does some range cover code 0 (the w==0 case)?
+	for _, r := range ranges {
+		if r.Lo > r.Hi || r.Lo > maxCode {
+			continue
+		}
+		if r.Hi > maxCode {
+			r.Hi = maxCode
+		}
+		if r.Lo == 0 {
+			zeroMatch = true
+		}
+		active = append(active, r)
+	}
+	if len(active) == 0 {
+		if and {
+			return zeroWindow(set, gLo, gHi)
+		}
+		return false
+	}
+	if v.w == 0 {
+		// Every code is 0: all rows match iff some range covers 0.
+		return v.scanConst(set, gLo, gHi, zeroMatch, and)
+	}
+	if v.blocks == nil {
+		any := false
+		for g := gLo; g < gHi; g++ {
+			if and && set.Word(g) == 0 {
+				continue
+			}
+			m := rangesGroupWord(v.words[g*v.w:g*v.w+v.w], active)
+			if and {
+				if v.emitAnd(set, g, m) {
+					any = true
+				}
+			} else {
+				v.emitOr(set, g, m)
+			}
+		}
+		return any
+	}
+	any := false
+	for b := gLo / BlockGroups; b*BlockGroups < gHi; b++ {
+		blk := v.blocks[b]
+		bgLo, bgHi := v.blockWindow(b, gLo, gHi)
+		if blk.Enc == EncRLE {
+			if v.scanRuns(set, b, blk, bgLo, bgHi, func(vid uint32) bool {
+				return rangesContain(active, vid)
+			}, and) {
+				any = true
+			}
+			continue
+		}
+		if v.scanSliceRanges(set, blk, bgLo, bgHi, active, and) {
+			any = true
+		}
+	}
+	return any
+}
+
+// scanSliceRanges evaluates the range disjunction over one packed or FoR
+// block, translating the ranges into the block's base-subtracted code space.
+func (v *Vector) scanSliceRanges(set *ridset.Set, blk Block, gLo, gHi int, active []Range, and bool) bool {
+	var buf [2]Range
+	tact := buf[:0]
+	if len(active) > len(buf) {
+		tact = make([]Range, 0, len(active))
+	}
+	maxStored := uint32((uint64(1) << uint(blk.W)) - 1)
+	for _, r := range active {
+		if r.Hi < blk.Base {
+			continue
+		}
+		var lo uint32
+		if r.Lo > blk.Base {
+			lo = r.Lo - blk.Base
+		}
+		if lo > maxStored {
+			continue
+		}
+		hi := r.Hi - blk.Base
+		if hi > maxStored {
+			hi = maxStored
+		}
+		tact = append(tact, Range{Lo: lo, Hi: hi})
+	}
+	if len(tact) == 0 {
+		if and {
+			return zeroWindow(set, gLo, gHi)
+		}
+		return false
+	}
+	if blk.W == 0 {
+		// A constant FoR block: every row holds Base, and a surviving
+		// translated range proves some query range covers it.
+		return v.scanConst(set, gLo, gHi, true, and)
+	}
+	w, g0 := int(blk.W), (gLo/BlockGroups)*BlockGroups
+	any := false
+	for g := gLo; g < gHi; g++ {
+		if and && set.Word(g) == 0 {
+			continue
+		}
+		off := int(blk.Off) + (g-g0)*w
+		m := rangesGroupWord(v.words[off:off+w], tact)
+		if and {
+			if v.emitAnd(set, g, m) {
+				any = true
+			}
+		} else {
+			v.emitOr(set, g, m)
+		}
+	}
+	return any
+}
+
+// rangesGroupWord evaluates the range disjunction over one group's slices.
+func rangesGroupWord(sl []uint64, active []Range) uint64 {
+	var m uint64
+	for _, r := range active {
+		m |= scanRangeGroup(sl, r.Lo, r.Hi)
+		if m == ^uint64(0) {
+			break
+		}
+	}
+	return m
+}
+
+// scanRangeGroup is the SWAR comparator: one 64-row group against one
+// inclusive range. It walks the bit slices most-significant first, tracking
+// per-row "still equal to the bound so far" masks for both bounds; a row
+// leaves the undecided set the moment its code diverges from a bound, and
+// the loop exits early once no row is undecided — for random codes that
+// resolves after a handful of slices regardless of width.
+func scanRangeGroup(sl []uint64, lo, hi uint32) uint64 {
+	eqLo, eqHi := ^uint64(0), ^uint64(0)
+	var ltLo, gtHi uint64
+	for j := len(sl) - 1; j >= 0; j-- {
+		s := sl[j]
+		if (lo>>uint(j))&1 == 1 {
+			ltLo |= eqLo &^ s
+			eqLo &= s
+		} else {
+			eqLo &^= s
+		}
+		if (hi>>uint(j))&1 == 1 {
+			eqHi &= s
+		} else {
+			gtHi |= eqHi & s
+			eqHi &^= s
+		}
+		if eqLo|eqHi == 0 {
+			break
+		}
+	}
+	// code >= lo is "not below lo", code <= hi is "not above hi"; rows
+	// still equal to a bound after all slices are inside the range.
+	return ^(ltLo | gtHi)
+}
+
+// ScanBitset evaluates ValueID-set membership over the row groups
+// [gLo, gHi) and ORs the per-group match words into out. set is a bitmap
+// over ValueIDs (bit u = ValueID u matches) as built from an unsorted
+// dictionary search's ID list. The group's 64 codes are reassembled with
+// one in-register 64x64 bit-matrix transpose of the slice words — a cost
+// independent of the code width — then probed against the bitmap.
+func (v *Vector) ScanBitset(out *ridset.Set, gLo, gHi int, set []uint64) {
+	v.scanBitset(out, gLo, gHi, set, false)
+}
+
+// ScanBitsetInto fuses the membership test into acc: each group's match word
+// is ANDed into the accumulator word, with zero-word early-out (which also
+// skips that group's transpose entirely). It reports whether any word of
+// [gLo, gHi) remains non-zero.
+func (v *Vector) ScanBitsetInto(acc *ridset.Set, gLo, gHi int, set []uint64) bool {
+	return v.scanBitset(acc, gLo, gHi, set, true)
+}
+
+func (v *Vector) scanBitset(set *ridset.Set, gLo, gHi int, bset []uint64, and bool) bool {
+	if len(bset) == 0 {
+		if and {
+			return zeroWindow(set, gLo, gHi)
+		}
+		return false
+	}
+	if v.w == 0 {
+		return v.scanConst(set, gLo, gHi, bset[0]&1 != 0, and)
+	}
+	limit := uint64(len(bset) * 64)
+	if v.blocks == nil {
+		any := false
+		for g := gLo; g < gHi; g++ {
+			if and && set.Word(g) == 0 {
+				continue
+			}
+			m := bitsetGroupWord(v.words[g*v.w:g*v.w+v.w], 0, bset, limit)
+			if and {
+				if v.emitAnd(set, g, m) {
+					any = true
+				}
+			} else {
+				v.emitOr(set, g, m)
+			}
+		}
+		return any
+	}
+	any := false
+	for b := gLo / BlockGroups; b*BlockGroups < gHi; b++ {
+		blk := v.blocks[b]
+		bgLo, bgHi := v.blockWindow(b, gLo, gHi)
+		if blk.Enc == EncRLE {
+			if v.scanRuns(set, b, blk, bgLo, bgHi, func(vid uint32) bool {
+				return uint64(vid) < limit && bset[vid/64]&(1<<(vid%64)) != 0
+			}, and) {
+				any = true
+			}
+			continue
+		}
+		if blk.W == 0 {
+			c := uint64(blk.Base)
+			hit := c < limit && bset[c/64]&(1<<(c%64)) != 0
+			if v.scanConst(set, bgLo, bgHi, hit, and) {
+				any = true
+			}
+			continue
+		}
+		w, g0 := int(blk.W), (bgLo/BlockGroups)*BlockGroups
+		for g := bgLo; g < bgHi; g++ {
+			if and && set.Word(g) == 0 {
+				continue
+			}
+			off := int(blk.Off) + (g-g0)*w
+			m := bitsetGroupWord(v.words[off:off+w], blk.Base, bset, limit)
+			if and {
+				if v.emitAnd(set, g, m) {
+					any = true
+				}
+			} else {
+				v.emitOr(set, g, m)
+			}
+		}
+	}
+	return any
+}
+
+// bitsetGroupWord reassembles one group's 64 codes from w slice words via
+// transpose, offsets them by the block base, and probes each against the
+// membership bitmap.
+func bitsetGroupWord(sl []uint64, base uint32, bset []uint64, limit uint64) uint64 {
+	// transpose64 mirrors about the anti-diagonal — (row, bit) maps
+	// to (63-bit, 63-row) — so loading slice j at row 63-j makes
+	// row 63-r come out as exactly code r, unmirrored.
+	var a [GroupRows]uint64
+	for j, s := range sl {
+		a[GroupRows-1-j] = s
+	}
+	transpose64(&a)
+	var m uint64
+	for r := 0; r < GroupRows; r++ {
+		c := uint64(base) + a[GroupRows-1-r]
+		// c can reach past |D|-1 when |D| is not a power of two; such
+		// codes never appear in validated vectors but the bounds check
+		// keeps corrupt input safe.
+		if c < limit && bset[c/64]&(1<<(c%64)) != 0 {
+			m |= 1 << uint(r)
+		}
+	}
+	return m
+}
+
+// transpose64 transposes the 64x64 bit matrix held row-major in a, using
+// the classic recursive block-swap (Hacker's Delight §7-3). Feeding it a
+// group's slice words (row j = bit-slice j) yields the group's codes (row r
+// = code of row r), which is how the bitset kernels unpack 64 codes in ~6
+// passes of register operations regardless of width.
+func transpose64(a *[GroupRows]uint64) {
+	j := uint(32)
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < GroupRows; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k+int(j)] >> j)) & m
+			a[k] ^= t
+			a[k+int(j)] ^= t << j
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}
+
+// scanRuns evaluates a predicate over one RLE block: each run's ValueID is
+// tested once, making the block O(runs + touched words) instead of O(rows).
+// Or mode fills whole row spans per matching run; Into mode walks the window
+// group by group with a monotone run cursor so the zero-word early-out still
+// skips dead groups.
+func (v *Vector) scanRuns(set *ridset.Set, b int, blk Block, gLo, gHi int, match func(uint32) bool, and bool) bool {
+	runs := v.runs[blk.Off : blk.Off+blk.N]
+	rowBase := b * BlockRows
+	if !and {
+		winLo, winHi := gLo*GroupRows, gHi*GroupRows
+		start := rowBase
+		for _, r := range runs {
+			end := rowBase + int(r.End)
+			if end > winLo && match(r.VID) {
+				lo, hi := start, end
+				if lo < winLo {
+					lo = winLo
+				}
+				if hi > winHi {
+					hi = winHi
+				}
+				orSpan(set, lo, hi)
+			}
+			if end >= winHi {
+				break
+			}
+			start = end
+		}
+		return false
+	}
+	cur := 0
+	any := false
+	for g := gLo; g < gHi; g++ {
+		if set.Word(g) == 0 {
+			continue
+		}
+		lo := g*GroupRows - rowBase // block-local row window of group g
+		hi := lo + GroupRows
+		if rows := min(v.n-rowBase, BlockRows); hi > rows {
+			hi = rows
+		}
+		for cur < len(runs) && int(runs[cur].End) <= lo {
+			cur++
+		}
+		var m uint64
+		start := lo
+		for i := cur; i < len(runs) && start < hi; i++ {
+			end := int(runs[i].End)
+			if end > hi {
+				end = hi
+			}
+			if match(runs[i].VID) {
+				m |= spanWordMask(start-lo, end-lo)
+			}
+			start = end
+		}
+		if v.emitAnd(set, g, m) {
+			any = true
+		}
+	}
+	return any
+}
+
+// scanConst combines an all-rows-match (or no-rows-match) verdict over the
+// window — the w==0 and constant-block paths.
+func (v *Vector) scanConst(set *ridset.Set, gLo, gHi int, matchAll, and bool) bool {
+	if !and {
+		if matchAll {
+			for g := gLo; g < gHi; g++ {
+				set.OrWord(g, v.groupMask(g))
+			}
+		}
+		return false
+	}
+	if !matchAll {
+		return zeroWindow(set, gLo, gHi)
+	}
+	any := false
+	for g := gLo; g < gHi; g++ {
+		if v.emitAnd(set, g, ^uint64(0)) {
+			any = true
+		}
+	}
+	return any
+}
+
+// blockWindow intersects the scan window [gLo, gHi) with block b's groups.
+func (v *Vector) blockWindow(b, gLo, gHi int) (int, int) {
+	lo, hi := b*BlockGroups, (b+1)*BlockGroups
+	if g := v.groups(); hi > g {
+		hi = g
+	}
+	if lo < gLo {
+		lo = gLo
+	}
+	if hi > gHi {
+		hi = gHi
+	}
+	return lo, hi
+}
+
+// rangesContain reports whether vid falls in any of the ranges.
+func rangesContain(ranges []Range, vid uint32) bool {
+	for _, r := range ranges {
+		if vid >= r.Lo && vid <= r.Hi {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroWindow clears every accumulator word of [gLo, gHi) — the Into-mode
+// result of a predicate that cannot match.
+func zeroWindow(set *ridset.Set, gLo, gHi int) bool {
+	for g := gLo; g < gHi; g++ {
+		set.AndWord(g, 0)
+	}
+	return false
+}
+
+// spanWordMask returns the word mask with bits [a, b) set, 0 <= a < b <= 64.
+func spanWordMask(a, b int) uint64 {
+	return (^uint64(0) >> uint(GroupRows-(b-a))) << uint(a)
+}
+
+// orSpan ORs the row span [lo, hi) into the set word-parallel. Spans come
+// from RLE runs clamped to the scan window, so they never reach past the
+// vector's rows and stay within the window's words.
+func orSpan(set *ridset.Set, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	wl, wh := lo/GroupRows, (hi-1)/GroupRows
+	if wl == wh {
+		set.OrWord(wl, spanWordMask(lo%GroupRows, (hi-1)%GroupRows+1))
+		return
+	}
+	set.OrWord(wl, ^uint64(0)<<uint(lo%GroupRows))
+	for w := wl + 1; w < wh; w++ {
+		set.OrWord(w, ^uint64(0))
+	}
+	set.OrWord(wh, spanWordMask(0, (hi-1)%GroupRows+1))
+}

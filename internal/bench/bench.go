@@ -49,6 +49,9 @@ type Config struct {
 	// PreparedJSONPath, when non-empty, is where the prepared-statement
 	// experiment writes its machine-readable results.
 	PreparedJSONPath string
+	// ScanJSONPath, when non-empty, is where the fused-scan experiment
+	// writes its machine-readable results.
+	ScanJSONPath string
 }
 
 // DefaultConfig returns a configuration that completes every experiment in
@@ -64,6 +67,7 @@ func DefaultConfig(out io.Writer) Config {
 		JSONPath:         "BENCH_compression.json",
 		MergeJSONPath:    "BENCH_merge.json",
 		PreparedJSONPath: "BENCH_prepared.json",
+		ScanJSONPath:     "BENCH_scan.json",
 	}
 }
 

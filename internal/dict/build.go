@@ -77,10 +77,13 @@ func Build(col [][]byte, p Params) (*Split, error) {
 	}
 
 	// Assign ValueIDs into a scratch vector, then bit-pack it; the scratch
-	// is discarded so a resident split costs ceil(log2 |D|) bits per row.
+	// is discarded so a resident split costs at most ceil(log2 |D|) bits
+	// per row — less where PackEncoded's block statistics pick a
+	// frame-of-reference or run-length representation (sorted and
+	// clustered columns).
 	codes := make([]uint32, len(col))
 	assignAttributeVector(codes, groups, buckets, phys, p.Rand)
-	split.packed = av.Pack(codes, len(buckets))
+	split.packed = av.PackEncoded(codes, len(buckets))
 	if err := split.layOutEntries(groups, buckets, phys, p); err != nil {
 		return nil, err
 	}

@@ -224,7 +224,7 @@ func FromData(d SplitData) (*Split, error) {
 		MaxLen:       d.MaxLen,
 		BSMax:        d.BSMax,
 		EncRndOffset: d.EncRndOffset,
-		packed:       av.Pack(d.AV, len(d.Head)),
+		packed:       av.PackEncoded(d.AV, len(d.Head)),
 		head:         d.Head,
 		tail:         d.Tail,
 	}, nil

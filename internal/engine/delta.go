@@ -64,14 +64,16 @@ type deltaRun struct {
 }
 
 // sealRun freezes a tail into an immutable run. The identity codes are
-// materialized once, only to feed av.Pack; the packed vector is the run's
-// lasting representation.
+// materialized once, only to feed the packer; the packed vector is the run's
+// lasting representation. Identity codes ascend strictly, so PackEncoded's
+// per-block frame-of-reference narrows every full block to 10 bits
+// regardless of the run's total width.
 func sealRun(d *deltaStore) *deltaRun {
 	n := len(d.entries)
 	return &deltaRun{
 		entries: d.entries[:n:n],
 		bytes:   d.bytes,
-		packed:  av.Pack(identCodes(n), n),
+		packed:  av.PackEncoded(identCodes(n), n),
 	}
 }
 
@@ -342,13 +344,7 @@ func (db *DB) Update(ctx context.Context, tableName string, filters []Filter, se
 // matchValidLocked evaluates filters and applies validity; the caller holds
 // at least the table's read lock.
 func (db *DB) matchValidLocked(ctx context.Context, t *table, filters []Filter) (*ridset.Set, error) {
-	v := t.versionLocked()
-	match, err := db.matchRows(ctx, v, filters)
-	if err != nil {
-		return nil, err
-	}
-	match.IntersectWith(v.valid)
-	return match, nil
+	return db.matchValid(ctx, t.versionLocked(), filters)
 }
 
 // newBuildRand seeds a math/rand generator from crypto randomness for the

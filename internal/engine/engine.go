@@ -40,6 +40,7 @@ type options struct {
 	workers        int
 	reorder        bool
 	packedScan     bool
+	fusedScan      bool
 	sealRows       int
 	autoMergeRows  int
 	autoMergeBytes int
@@ -85,6 +86,19 @@ func (o packedScanOption) apply(opts *options) { opts.packedScan = bool(o) }
 // AV[i] = i by construction, so the matching rows are the ValueIDs
 // themselves.
 func WithPackedScan(on bool) Option { return packedScanOption(on) }
+
+type fusedScanOption bool
+
+func (o fusedScanOption) apply(opts *options) { opts.fusedScan = bool(o) }
+
+// WithFusedScan toggles the fused single-pass conjunction pipeline (default
+// on): predicates and row validity are ANDed into one accumulator during the
+// first scan, with morsel-driven parallelism across the main store, instead
+// of materializing one set per filter and intersecting afterwards. Disabled
+// — or whenever the packed kernels are disabled via WithPackedScan(false) —
+// queries evaluate on the two-pass baseline path, which the scan benchmark
+// and the fused property tests compare against.
+func WithFusedScan(on bool) Option { return fusedScanOption(on) }
 
 type sealRowsOption int
 
@@ -220,6 +234,7 @@ func New(encl *enclave.Enclave, opts ...Option) *DB {
 		avMode:      search.AVSortedProbe,
 		reorder:     true,
 		packedScan:  true,
+		fusedScan:   true,
 		sealRows:    defaultSealRows,
 		streamChunk: defaultStreamChunk,
 	}

@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/encdbdb/encdbdb/internal/av"
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/ridset"
+	"github.com/encdbdb/encdbdb/internal/search"
+)
+
+// morselGroups is the work unit of the fused main-store scan: 128 groups =
+// 8192 rows per morsel. Small enough that skewed predicate selectivity
+// cannot idle workers for long, large enough that the atomic claim and the
+// per-morsel context check are noise.
+const morselGroups = 128
+
+// matchValid evaluates the conjunction of all filters AND row validity over
+// a pinned version. It dispatches between the fused single-pass pipeline
+// (default) and the two-pass baseline of matchRows + IntersectWith, which
+// remains live for WithFusedScan(false), for the unpacked-scan ablation, and
+// as the reference the fused property tests compare against.
+func (db *DB) matchValid(ctx context.Context, v *version, filters []Filter) (*ridset.Set, error) {
+	if db.opts.fusedScan && db.opts.packedScan {
+		return db.matchRowsFused(ctx, v, filters)
+	}
+	match, err := db.matchRows(ctx, v, filters)
+	if err != nil {
+		return nil, err
+	}
+	match.IntersectWith(v.valid)
+	return match, nil
+}
+
+// fusedFilter is one filter compiled by the dictionary phase: the per-store
+// results of every dictionary search, ready for the scan phase. The main
+// store's ranges or ValueIDs are compiled into a PackedPred; each delta
+// region keeps its matching ValueID list (delta searches always use ED9
+// semantics, so the result is a list).
+type fusedFilter struct {
+	cv       *colVersion
+	mainPred search.PackedPred
+	runIDs   [][]uint32
+	tailIDs  []uint32
+}
+
+// matchRowsFused is the fused conjunction pipeline: one dictionary phase
+// compiling every filter, then a single morsel-driven pass over the main
+// store evaluating all predicates per 64-row group directly against a
+// validity-seeded accumulator, then the delta regions the same way. Compared
+// to the two-pass matchRows + validity intersection it never materializes a
+// per-filter set, never rescans for the intersection, and skips every group
+// an earlier predicate (or a deletion) already emptied.
+//
+// Parallelism is morsel-driven: workers claim 128-group chunks of the main
+// store from an atomic counter, so all cores cooperate on one scan and a
+// filter with skewed selectivity cannot idle them the way the per-filter
+// fan-out could.
+//
+// Semantics match matchRows + IntersectWith(valid) with one caveat: the
+// dictionary phase runs for every planned filter up front (bailing only when
+// a filter is dictionary-level empty), so a dictionary error on a later
+// filter surfaces even when the conjunction would have emptied mid-scan —
+// the two-pass parallel path has the same property for its fan-out searches.
+func (db *DB) matchRowsFused(ctx context.Context, v *version, filters []Filter) (*ridset.Set, error) {
+	n := v.rows()
+	if len(filters) == 0 {
+		return v.valid.Clone(), nil
+	}
+
+	// Dictionary phase, sequential in planned order: preserves the planner's
+	// error order, and a dictionary-level empty filter (no ValueID can
+	// match anywhere in the chain) short-circuits the remaining searches
+	// exactly like the two-pass path's empty-set bail.
+	planned := db.planFilters(v, filters)
+	preds := make([]*fusedFilter, 0, len(planned))
+	for _, f := range planned {
+		ff, err := db.compileFilter(ctx, v, f)
+		if err != nil {
+			return nil, err
+		}
+		if ff == nil {
+			return ridset.New(n), nil
+		}
+		preds = append(preds, ff)
+	}
+
+	// The accumulator starts as the validity bitmap over the main store, so
+	// deleted rows are dead from the first predicate on; the delta portion
+	// stays zero until the delta phase splices each region in.
+	acc := v.valid.Clone()
+	acc.ClearFrom(v.mainRows)
+	if v.mainRows > 0 {
+		if err := db.fusedMainScan(ctx, v, preds, acc); err != nil {
+			return nil, err
+		}
+	}
+	if v.deltaRows > 0 {
+		if err := db.fusedDeltaScan(ctx, v, preds, acc); err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// compileFilter runs the dictionary phase of one filter against the main
+// store and every delta region, returning the compiled predicate — or nil if
+// the filter is dictionary-level empty, which empties the whole conjunction.
+func (db *DB) compileFilter(ctx context.Context, v *version, f Filter) (*fusedFilter, error) {
+	cv, ok := v.cols[f.Column]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchColumn, f.Column)
+	}
+	ff := &fusedFilter{cv: cv, runIDs: make([][]uint32, len(cv.sealed))}
+	var (
+		mainRanges []search.VidRange
+		mainIDs    []uint32
+	)
+	unsorted := cv.main.Kind.Order() == dict.OrderUnsorted
+	for _, rng := range f.Ranges {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		if cv.main.Rows() > 0 {
+			res, err := db.mainDictSearch(cv, rng)
+			if err != nil {
+				return nil, err
+			}
+			mainRanges = append(mainRanges, res.Ranges...)
+			mainIDs = append(mainIDs, res.IDs...)
+		}
+		for i, run := range cv.sealed {
+			ids, err := db.deltaDictSearch(cv, run, rng)
+			if err != nil {
+				return nil, err
+			}
+			ff.runIDs[i] = append(ff.runIDs[i], ids...)
+		}
+		if cv.tail.Len() > 0 {
+			ids, err := db.deltaDictSearch(cv, cv.tail, rng)
+			if err != nil {
+				return nil, err
+			}
+			ff.tailIDs = append(ff.tailIDs, ids...)
+		}
+	}
+	if unsorted {
+		ff.mainPred = search.CompileListPred(cv.main.Packed(), mainIDs)
+	} else {
+		ff.mainPred = search.CompileRangesPred(cv.main.Packed(), mainRanges)
+	}
+	empty := len(mainRanges) == 0 && len(mainIDs) == 0 && len(ff.tailIDs) == 0
+	for _, ids := range ff.runIDs {
+		empty = empty && len(ids) == 0
+	}
+	if empty {
+		return nil, nil
+	}
+	return ff, nil
+}
+
+// fusedMainScan runs the morsel-driven fused pass over the main store:
+// workers claim group morsels from a shared counter and evaluate the whole
+// conjunction on each before claiming the next. Morsels are disjoint group
+// ranges, hence disjoint accumulator words, so the workers share acc without
+// synchronization; a predicate that empties the morsel stops the remaining
+// predicates for that morsel.
+func (db *DB) fusedMainScan(ctx context.Context, v *version, preds []*fusedFilter, acc *ridset.Set) error {
+	groups := (v.mainRows + av.GroupRows - 1) / av.GroupRows
+	morsels := (groups + morselGroups - 1) / morselGroups
+	workers := db.opts.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > morsels {
+		workers = morsels
+	}
+	scan := func(gLo, gHi int) {
+		for _, ff := range preds {
+			if !ff.mainPred.ScanInto(acc, gLo, gHi) {
+				return
+			}
+		}
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			scan(m*morselGroups, min(groups, (m+1)*morselGroups))
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels || ctxErr(ctx) != nil {
+					return
+				}
+				scan(m*morselGroups, min(groups, (m+1)*morselGroups))
+			}
+		}()
+	}
+	wg.Wait()
+	return ctxErr(ctx)
+}
+
+// fusedDeltaScan evaluates the conjunction over each delta region with a
+// region-local accumulator — a conjunction distributes over the disjoint row
+// regions of the store chain, and region offsets are not 64-aligned, so each
+// region is evaluated in its own coordinate space and spliced into the
+// table-wide accumulator once. Sealed runs evaluate through the same fused
+// membership kernel as the main store (over the run's bit-packed identity
+// vector); the active tail exploits AV[i] = i directly.
+func (db *DB) fusedDeltaScan(ctx context.Context, v *version, preds []*fusedFilter, acc *ridset.Set) error {
+	cv0 := preds[0].cv
+	off := v.mainRows
+	for ri := range cv0.sealed {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		rows := cv0.sealed[ri].rows()
+		reg := ridset.Full(rows)
+		reg.AndShifted(v.valid, off)
+		for _, ff := range preds {
+			if reg.Empty() {
+				break
+			}
+			if !search.AttrVectListPackedInto(ff.cv.sealed[ri].packed, ff.runIDs[ri], reg, 1) {
+				break
+			}
+		}
+		acc.OrShifted(reg, off)
+		off += rows
+	}
+	rows := cv0.tail.Len()
+	if rows == 0 {
+		return nil
+	}
+	reg := ridset.Full(rows)
+	reg.AndShifted(v.valid, off)
+	for _, ff := range preds {
+		if reg.Empty() {
+			break
+		}
+		// The tail's attribute vector is the identity, so the matching
+		// ValueIDs are the matching rows.
+		fs := ridset.New(rows)
+		for _, id := range ff.tailIDs {
+			if int(id) < rows {
+				fs.Add(id)
+			}
+		}
+		reg.IntersectWith(fs)
+	}
+	acc.OrShifted(reg, off)
+	return nil
+}
+
+// mainDictSearch runs the dictionary-search phase on the main store — inside
+// the enclave for encrypted columns, locally for plain ones.
+func (db *DB) mainDictSearch(cv *colVersion, q enclave.EncRange) (enclave.SearchResult, error) {
+	if cv.def.Plain {
+		return db.plainDictSearch(cv.def, cv.main, cv.main.EncRndOffset, q)
+	}
+	return db.encl.DictSearch(db.columnMetaVersion(cv), cv.main, cv.main.EncRndOffset, q)
+}

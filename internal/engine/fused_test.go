@@ -1,0 +1,172 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/dict"
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/search"
+)
+
+// TestFusedScanMatchesTwoPass runs an identical workload — bulk-loaded main
+// stores, delta inserts past the seal threshold, deletes and updates — against
+// databases sharing one enclave but differing only in scan strategy, and
+// requires every query to return identical RecordID sets:
+//
+//   - the fused accumulator path at the default, single and odd worker counts,
+//   - the two-pass path (per-filter sets + IntersectWith + validity AND),
+//   - the unpacked []uint32 baseline.
+//
+// The column data is shaped so the engine-built splits cover all three block
+// encodings (clustered values → RLE on sorted dictionaries, random values →
+// packed/FoR), and the kind matrix covers sorted, rotated and unsorted
+// dictionaries so both the range and membership kernels run under fusion.
+func TestFusedScanMatchesTwoPass(t *testing.T) {
+	const sealRows = 64
+	base := newEnvWith(t, engine.WithSealThreshold(sealRows))
+	envs := map[string]*env{
+		"fused": base,
+		"fused-1worker": {
+			db:     engine.New(base.db.Enclave(), engine.WithSealThreshold(sealRows), engine.WithWorkers(1)),
+			master: base.master,
+		},
+		"fused-3workers": {
+			db:     engine.New(base.db.Enclave(), engine.WithSealThreshold(sealRows), engine.WithWorkers(3)),
+			master: base.master,
+		},
+		"two-pass": {
+			db:     engine.New(base.db.Enclave(), engine.WithSealThreshold(sealRows), engine.WithFusedScan(false)),
+			master: base.master,
+		},
+		"unpacked": {
+			db: engine.New(base.db.Enclave(), engine.WithSealThreshold(sealRows),
+				engine.WithPackedScan(false), engine.WithAVMode(search.AVBitset)),
+			master: base.master,
+		},
+	}
+	order := []string{"fused", "fused-1worker", "fused-3workers", "two-pass", "unpacked"}
+
+	rng := rand.New(rand.NewSource(41))
+	kindPairs := [][2]dict.Kind{
+		{dict.ED1, dict.ED9},
+		{dict.ED5, dict.ED2},
+		{dict.ED3, dict.ED7},
+	}
+	for pi, kinds := range kindPairs {
+		table := fmt.Sprintf("fz%d", pi)
+		defA := engine.ColumnDef{Name: "a", Kind: kinds[0], MaxLen: 8, BSMax: 3}
+		defB := engine.ColumnDef{Name: "b", Kind: kinds[1], MaxLen: 8, BSMax: 3}
+		schema := engine.Schema{Table: table, Columns: []engine.ColumnDef{defA, defB}}
+
+		// Column a: random draws (packed/FoR blocks); column b: clustered
+		// runs (RLE blocks on sorted dictionaries).
+		var colA, colB [][]byte
+		for i := 0; i < 400; i++ {
+			colA = append(colA, []byte(fmt.Sprintf("v%03d", rng.Intn(30))))
+			colB = append(colB, []byte(fmt.Sprintf("c%02d", i/16)))
+		}
+		for _, name := range order {
+			v := envs[name]
+			if err := v.db.CreateTable(schema); err != nil {
+				t.Fatal(err)
+			}
+			// loadColumn's fixed build seed makes the splits identical
+			// across variants.
+			v.loadColumn(t, table, defA, colA)
+			v.loadColumn(t, table, defB, colB)
+		}
+
+		// Same mutation stream everywhere: enough inserts to seal multiple
+		// delta runs and leave a tail, plus deletes and updates touching
+		// main and delta rows alike.
+		for i := 0; i < 150; i++ {
+			a, b := fmt.Sprintf("v%03d", rng.Intn(30)), fmt.Sprintf("c%02d", rng.Intn(32))
+			for _, name := range order {
+				v := envs[name]
+				row := engine.Row{
+					"a": v.encryptValue(t, table, "a", a),
+					"b": v.encryptValue(t, table, "b", b),
+				}
+				if err := v.db.Insert(context.Background(), table, row); err != nil {
+					t.Fatalf("%s insert: %v", name, err)
+				}
+			}
+		}
+		for i := 0; i < 6; i++ {
+			victim := search.Eq([]byte(fmt.Sprintf("v%03d", rng.Intn(30))))
+			var want int
+			for vi, name := range order {
+				v := envs[name]
+				n, err := v.db.Delete(context.Background(), table, []engine.Filter{base.filter(t, table, defA, victim)})
+				if err != nil {
+					t.Fatalf("%s delete: %v", name, err)
+				}
+				if vi == 0 {
+					want = n
+				} else if n != want {
+					t.Fatalf("%s deleted %d rows, %s deleted %d", name, n, order[0], want)
+				}
+			}
+		}
+		for i := 0; i < 3; i++ {
+			target := search.Eq([]byte(fmt.Sprintf("c%02d", rng.Intn(25))))
+			upd := fmt.Sprintf("v%03d", 200+i)
+			for _, name := range order {
+				v := envs[name]
+				set := engine.Row{"a": v.encryptValue(t, table, "a", upd)}
+				if _, err := v.db.Update(context.Background(), table, []engine.Filter{base.filter(t, table, defB, target)}, set); err != nil {
+					t.Fatalf("%s update: %v", name, err)
+				}
+			}
+		}
+
+		queries := make([][]engine.Filter, 0, 24)
+		randRange := func(def engine.ColumnDef, prefix string, span int) engine.Filter {
+			lo := fmt.Sprintf("%s%03d", prefix, rng.Intn(span))
+			hi := fmt.Sprintf("%s%03d", prefix, rng.Intn(span))
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return base.filter(t, table, def, search.Range{
+				Start: []byte(lo), End: []byte(hi),
+				StartIncl: rng.Intn(2) == 0, EndIncl: rng.Intn(2) == 0,
+			})
+		}
+		for trial := 0; trial < 8; trial++ {
+			fa, fb := randRange(defA, "v", 35), randRange(defB, "c", 35)
+			queries = append(queries,
+				[]engine.Filter{fa},
+				[]engine.Filter{fb},
+				[]engine.Filter{fa, fb},
+			)
+		}
+		// Conjunctions guaranteed empty at the dictionary level, and a
+		// three-filter conjunction.
+		queries = append(queries,
+			[]engine.Filter{base.filter(t, table, defA, search.Eq([]byte("zzz")))},
+			[]engine.Filter{randRange(defA, "v", 35), base.filter(t, table, defB, search.Eq([]byte("zzz")))},
+			[]engine.Filter{randRange(defA, "v", 35), randRange(defB, "c", 35), randRange(defA, "v", 35)},
+		)
+
+		for qi, filters := range queries {
+			want, err := base.db.Select(context.Background(), engine.Query{Table: table, Filters: filters})
+			if err != nil {
+				t.Fatalf("table %s query %d fused select: %v", table, qi, err)
+			}
+			for _, name := range order[1:] {
+				got, err := envs[name].db.Select(context.Background(), engine.Query{Table: table, Filters: filters})
+				if err != nil {
+					t.Fatalf("table %s query %d %s select: %v", table, qi, name, err)
+				}
+				if !reflect.DeepEqual(want.RecordIDs, got.RecordIDs) {
+					t.Fatalf("table %s (kinds %v/%v) query %d: fused %v != %s %v",
+						table, kinds[0], kinds[1], qi, want.RecordIDs, name, got.RecordIDs)
+				}
+			}
+		}
+	}
+}

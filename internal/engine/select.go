@@ -113,11 +113,10 @@ func (db *DB) selectMatch(ctx context.Context, q Query) (*version, []uint32, err
 	if err != nil {
 		return nil, nil, err
 	}
-	match, err := db.matchRows(ctx, v, q.Filters)
+	match, err := db.matchValid(ctx, v, q.Filters)
 	if err != nil {
 		return nil, nil, err
 	}
-	match.IntersectWith(v.valid)
 	return v, match.Slice(), nil
 }
 
@@ -321,15 +320,7 @@ func (db *DB) searchMain(cv *colVersion, q enclave.EncRange, scanWorkers int) (*
 	if s.Rows() == 0 {
 		return nil, nil
 	}
-	var (
-		res enclave.SearchResult
-		err error
-	)
-	if cv.def.Plain {
-		res, err = db.plainDictSearch(cv.def, s, s.EncRndOffset, q)
-	} else {
-		res, err = db.encl.DictSearch(db.columnMetaVersion(cv), s, s.EncRndOffset, q)
-	}
+	res, err := db.mainDictSearch(cv, q)
 	if err != nil {
 		return nil, err
 	}

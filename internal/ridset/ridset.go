@@ -96,6 +96,32 @@ func (s *Set) OrWord(i int, w uint64) {
 	}
 }
 
+// Word returns word i of the bitmap: the membership bits of RecordIDs
+// [64i, 64i+64). The fused scan kernels read it to skip groups whose
+// accumulator word is already empty.
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
+// Words returns the number of 64-bit words covering the universe.
+func (s *Set) Words() int { return len(s.words) }
+
+// AndWord ANDs a 64-bit match word into word i of the bitmap — the
+// accumulator path of the fused scan kernels, which conjoin each predicate's
+// match word in-register instead of materializing a set per predicate and
+// intersecting afterwards. Like OrWord, writers owning disjoint word indexes
+// may call it concurrently. ANDing only clears bits, so the tail invariant
+// holds without re-masking.
+func (s *Set) AndWord(i int, w uint64) {
+	s.words[i] &= w
+}
+
+// AndNotWord clears the bits of a 64-bit match word from word i of the
+// bitmap — the fused complement of AndWord for kernels that compute the
+// NON-matching rows of a group (e.g. folding a deletion word into an
+// accumulator). Clearing preserves the tail invariant.
+func (s *Set) AndNotWord(i int, w uint64) {
+	s.words[i] &^= w
+}
+
 // Remove deletes RecordID r if present. RecordIDs outside the universe are
 // ignored.
 func (s *Set) Remove(r uint32) {
@@ -166,6 +192,49 @@ func (s *Set) AndNot(o *Set) {
 	}
 	for i := 0; i < common; i++ {
 		s.words[i] &^= o.words[i]
+	}
+}
+
+// AndShifted keeps only the RecordIDs whose counterpart off positions higher
+// is present in o: s &= (o >> off). It is OrShifted's read-side mirror: where
+// OrShifted splices a store-local result upward into a table-wide set, this
+// projects a table-wide bitmap (typically row validity) downward onto a
+// store-local accumulator — RecordID r of the receiver survives iff o holds
+// off+r. Bits beyond o's universe read as zero.
+func (s *Set) AndShifted(o *Set, off int) {
+	if off < 0 {
+		panic("ridset: negative shift")
+	}
+	wordOff, bitOff := off/wordBits, uint(off%wordBits)
+	for i := range s.words {
+		var w uint64
+		if j := i + wordOff; j < len(o.words) {
+			w = o.words[j] >> bitOff
+			if bitOff != 0 && j+1 < len(o.words) {
+				w |= o.words[j+1] << (wordBits - bitOff)
+			}
+		}
+		s.words[i] &= w
+	}
+}
+
+// ClearFrom removes every RecordID >= r, leaving [0, r) untouched. The fused
+// scan uses it to seed its accumulator with the main store's validity words
+// while keeping the delta region zero until the delta phase fills it.
+func (s *Set) ClearFrom(r int) {
+	if r < 0 {
+		r = 0
+	}
+	b := r / wordBits
+	if b >= len(s.words) {
+		return
+	}
+	if rem := r % wordBits; rem != 0 {
+		s.words[b] &= (1 << rem) - 1
+		b++
+	}
+	for i := b; i < len(s.words); i++ {
+		s.words[i] = 0
 	}
 }
 

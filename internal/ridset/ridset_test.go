@@ -223,3 +223,82 @@ func TestForEachMatchesSlice(t *testing.T) {
 		t.Fatalf("ForEach = %v, Slice = %v", got, s.Slice())
 	}
 }
+
+// TestWordOps covers the word-level accessors the fused scan kernels build
+// on: Word/Words read the bitmap, AndWord/AndNotWord combine match words in
+// place, and both clearing ops preserve the tail invariant by construction.
+func TestWordOps(t *testing.T) {
+	s := ridset.New(130)
+	if s.Words() != 3 {
+		t.Fatalf("Words() = %d over 130 rows, want 3", s.Words())
+	}
+	s.OrWord(0, 0xFF)
+	s.OrWord(1, 0xF0F0)
+	if s.Word(0) != 0xFF || s.Word(1) != 0xF0F0 || s.Word(2) != 0 {
+		t.Fatalf("Word readback = %x/%x/%x", s.Word(0), s.Word(1), s.Word(2))
+	}
+	s.AndWord(0, 0x0F)
+	if s.Word(0) != 0x0F {
+		t.Fatalf("AndWord: word 0 = %x, want 0x0F", s.Word(0))
+	}
+	s.AndNotWord(1, 0xF000)
+	if s.Word(1) != 0x00F0 {
+		t.Fatalf("AndNotWord: word 1 = %x, want 0x00F0", s.Word(1))
+	}
+}
+
+// TestAndShiftedProperty: s.AndShifted(o, off) keeps RecordID r iff o holds
+// off+r — the read-side mirror of OrShifted, checked against a per-element
+// reference over random offsets including non-64-aligned ones.
+func TestAndShiftedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		on := 1 + rng.Intn(400)
+		off := rng.Intn(200)
+		s := ridset.FromSorted(randomSorted(rng, n, 0.5), n)
+		o := ridset.FromSorted(randomSorted(rng, on, 0.5), on)
+		want := make(map[uint32]bool)
+		s.ForEach(func(r uint32) {
+			if o.Contains(r + uint32(off)) {
+				want[r] = true
+			}
+		})
+		s.AndShifted(o, off)
+		if s.Len() != len(want) {
+			t.Fatalf("n=%d on=%d off=%d: %d rows, want %d", n, on, off, s.Len(), len(want))
+		}
+		s.ForEach(func(r uint32) {
+			if !want[r] {
+				t.Fatalf("n=%d on=%d off=%d: unexpected row %d", n, on, off, r)
+			}
+		})
+	}
+}
+
+// TestClearFrom: every RecordID >= r is removed, [0, r) is untouched, and
+// out-of-range cut points are no-ops.
+func TestClearFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(300)
+		s := ridset.FromSorted(randomSorted(rng, n, 0.5), n)
+		before := s.Slice()
+		cut := rng.Intn(n + 100)
+		s.ClearFrom(cut)
+		var want []uint32
+		for _, r := range before {
+			if int(r) < cut {
+				want = append(want, r)
+			}
+		}
+		if !reflect.DeepEqual(s.Slice(), want) {
+			t.Fatalf("n=%d cut=%d: got %v, want %v", n, cut, s.Slice(), want)
+		}
+	}
+	s := ridset.Full(100)
+	s.ClearFrom(-5)
+	if s.Len() != 0 {
+		t.Error("negative cut did not clear everything")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/ridset"
@@ -143,6 +144,107 @@ func AttrVectListPackedSet(v *av.Vector, vids []uint32, workers int) *ridset.Set
 		v.ScanBitset(out, gLo, gHi, set)
 	})
 	return out
+}
+
+// PackedPred is a predicate compiled against one packed attribute vector:
+// either a range disjunction (sorted/rotated dictionaries) or a ValueID
+// membership bitmap (unsorted dictionaries). Compiling once separates the
+// per-query setup (range conversion, bitmap build) from the per-morsel scan
+// calls of the fused conjunction pipeline, which evaluates every compiled
+// predicate over one group range before moving to the next morsel.
+type PackedPred struct {
+	v      *av.Vector
+	ranges []av.Range
+	bitset []uint64
+	list   bool
+}
+
+// CompileRangesPred compiles a range-disjunction predicate over v. An empty
+// range list compiles to a predicate matching no rows.
+func CompileRangesPred(v *av.Vector, ranges []VidRange) PackedPred {
+	rs := make([]av.Range, len(ranges))
+	for i, r := range ranges {
+		rs[i] = av.Range{Lo: r.Lo, Hi: r.Hi}
+	}
+	return PackedPred{v: v, ranges: rs}
+}
+
+// CompileListPred compiles a ValueID-membership predicate over v. An empty
+// ValueID list compiles to a predicate matching no rows.
+func CompileListPred(v *av.Vector, vids []uint32) PackedPred {
+	var set []uint64
+	if len(vids) > 0 {
+		set = make([]uint64, (v.DictLen()+63)/64)
+		for _, u := range vids {
+			if int(u) < v.DictLen() {
+				set[u/64] |= 1 << (u % 64)
+			}
+		}
+	}
+	return PackedPred{v: v, bitset: set, list: true}
+}
+
+// Groups returns the number of 64-row groups of the compiled vector — the
+// morsel domain of a fused scan.
+func (p PackedPred) Groups() int {
+	return (p.v.Len() + av.GroupRows - 1) / av.GroupRows
+}
+
+// ScanInto fuses the predicate into acc over the row groups [gLo, gHi):
+// match words are ANDed in word-by-word with zero-word early-out. It reports
+// whether any accumulator word of the window remains non-zero, so a caller
+// evaluating a conjunction can stop at the first predicate that empties the
+// morsel. Distinct group windows touch disjoint accumulator words, so morsel
+// workers may call it concurrently against the same accumulator.
+func (p PackedPred) ScanInto(acc *ridset.Set, gLo, gHi int) bool {
+	if p.list {
+		return p.v.ScanBitsetInto(acc, gLo, gHi, p.bitset)
+	}
+	return p.v.ScanRangesInto(acc, gLo, gHi, p.ranges)
+}
+
+// Scan ORs the predicate's matches over [gLo, gHi) into out — the two-pass
+// baseline counterpart of ScanInto.
+func (p PackedPred) Scan(out *ridset.Set, gLo, gHi int) {
+	if p.list {
+		p.v.ScanBitset(out, gLo, gHi, p.bitset)
+		return
+	}
+	p.v.ScanRanges(out, gLo, gHi, p.ranges)
+}
+
+// AttrVectRangesPackedInto fuses the bit-packed range scan of AttrVectSearch
+// 1/2/4/5/7/8 into an existing accumulator (typically already carrying row
+// validity and the preceding conjuncts) instead of materializing a set and
+// intersecting afterwards. It reports whether the scanned window kept any
+// rows. workers <= 0 uses GOMAXPROCS.
+func AttrVectRangesPackedInto(v *av.Vector, ranges []VidRange, acc *ridset.Set, workers int) bool {
+	return packedInto(CompileRangesPred(v, ranges), acc, workers)
+}
+
+// AttrVectListPackedInto fuses the bit-packed membership scan of
+// AttrVectSearch 3/6/9 into an existing accumulator — the delta path's
+// sealed-run kernels AND directly into the region accumulator through here.
+// It reports whether the scanned window kept any rows. workers <= 0 uses
+// GOMAXPROCS.
+func AttrVectListPackedInto(v *av.Vector, vids []uint32, acc *ridset.Set, workers int) bool {
+	return packedInto(CompileListPred(v, vids), acc, workers)
+}
+
+// packedInto runs a compiled predicate's fused scan across all groups,
+// sharded like the Or-mode scans: shards own whole groups, hence disjoint
+// accumulator words.
+func packedInto(p PackedPred, acc *ridset.Set, workers int) bool {
+	if p.v.Len() == 0 {
+		return false
+	}
+	var any atomic.Bool
+	packedShards(p.v.Len(), workers, func(gLo, gHi int) {
+		if p.ScanInto(acc, gLo, gHi) {
+			any.Store(true)
+		}
+	})
+	return any.Load()
 }
 
 // packedShards distributes the packed vector's 64-row groups across workers.

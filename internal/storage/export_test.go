@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"io"
 
+	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/engine"
 )
@@ -47,6 +48,71 @@ func WriteTableV1(w io.Writer, snap *engine.TableSnapshot) error {
 	binary.LittleEndian.PutUint32(buf[:], sum)
 	_, err := w.Write(buf[:])
 	return err
+}
+
+// WriteTableV2 serializes a snapshot in the version-2 layout (bit-packed
+// attribute vectors at the uniform width, no per-block encoding metadata).
+// Like WriteTableV1 it exists only for tests: the format-matrix test proves
+// v2 databases persisted before the block encodings load and answer
+// identically under the v3 reader.
+func WriteTableV2(w io.Writer, snap *engine.TableSnapshot) error {
+	cw := &crcWriter{w: w, crc: crc32.NewIEEE()}
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return err
+	}
+	e := &encoder{w: cw}
+	e.u16(versionV2)
+	e.str(snap.Schema.Table)
+	e.u32(uint32(len(snap.Schema.Columns)))
+	for _, def := range snap.Schema.Columns {
+		e.str(def.Name)
+		e.u8(uint8(def.Kind))
+		e.u32(uint32(def.MaxLen))
+		e.u32(uint32(def.BSMax))
+		e.boolean(def.Plain)
+	}
+	e.bools(snap.MainValid)
+	e.bools(snap.DeltaValid)
+	for _, cs := range snap.Columns {
+		e.str(cs.Name)
+		e.splitV2(cs.Main)
+		e.u32(uint32(len(cs.Delta)))
+		for _, d := range cs.Delta {
+			e.bytes(d)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	sum := cw.crc.Sum32()
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], sum)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// splitV2 writes the version-2 split layout: the uniform bit-packed slice
+// words without block metadata.
+func (e *encoder) splitV2(d dict.SplitData) {
+	e.u8(uint8(d.Kind))
+	e.boolean(d.Plain)
+	e.u32(uint32(d.MaxLen))
+	e.u32(uint32(d.BSMax))
+	e.bytes(d.EncRndOffset)
+	vec := av.Pack(d.AV, len(d.Head))
+	e.u64(uint64(vec.Len()))
+	e.u8(uint8(vec.Bits()))
+	words := vec.Words()
+	e.u64(uint64(len(words)))
+	for _, w := range words {
+		e.u64(w)
+	}
+	e.u64(uint64(len(d.Head)))
+	for _, ref := range d.Head {
+		e.u32(ref.Off)
+		e.u32(ref.Len)
+	}
+	e.bytes(d.Tail)
 }
 
 // splitV1 writes the legacy split layout: the attribute vector as plain

@@ -13,8 +13,12 @@
 //
 // Format versions: version 1 stored the attribute vector as 4-byte-per-row
 // uint32s; version 2 stores it bit-packed at ceil(log2 |D|) bits per code
-// (the internal/av slice words verbatim), mirroring the in-memory layout.
-// WriteTable always writes version 2; ReadTable loads both.
+// (the internal/av slice words verbatim), mirroring the in-memory layout;
+// version 3 additionally persists the per-block encoding metadata of
+// internal/av's lightweight encodings (packed / frame-of-reference /
+// run-length, chosen per 1024-row block), so an encoded vector round-trips
+// without re-deriving block statistics at load. WriteTable always writes
+// version 3; ReadTable loads all three.
 package storage
 
 import (
@@ -34,9 +38,11 @@ import (
 const (
 	magic = "ENCDBDB\x01"
 	// versionV1 is the legacy unpacked-AV format; versionV2 packs the
-	// attribute vector. ReadTable accepts both, WriteTable emits V2.
+	// attribute vector; versionV3 adds per-block encoding metadata.
+	// ReadTable accepts all three, WriteTable emits V3.
 	versionV1 = uint16(1)
 	versionV2 = uint16(2)
+	versionV3 = uint16(3)
 	// maxSliceLen guards length-prefixed reads against corrupted or
 	// malicious files claiming absurd sizes.
 	maxSliceLen = 1 << 33
@@ -57,7 +63,7 @@ func WriteTable(w io.Writer, snap *engine.TableSnapshot) error {
 		return err
 	}
 	e := &encoder{w: cw}
-	e.u16(versionV2)
+	e.u16(versionV3)
 	e.str(snap.Schema.Table)
 	e.u32(uint32(len(snap.Schema.Columns)))
 	for _, def := range snap.Schema.Columns {
@@ -100,7 +106,7 @@ func ReadTable(r io.Reader) (*engine.TableSnapshot, error) {
 	}
 	d := &decoder{r: cr}
 	d.ver = d.u16()
-	if d.err == nil && d.ver != versionV1 && d.ver != versionV2 {
+	if d.err == nil && d.ver != versionV1 && d.ver != versionV2 && d.ver != versionV3 {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, d.ver)
 	}
 	snap := &engine.TableSnapshot{}
@@ -290,16 +296,33 @@ func (e *encoder) split(d dict.SplitData) {
 	e.u32(uint32(d.MaxLen))
 	e.u32(uint32(d.BSMax))
 	e.bytes(d.EncRndOffset)
-	// V2 attribute vector: row count, code width, then the bit-slice
-	// words of the packed vector — ceil(log2 |D|) bits per row on disk,
-	// the same layout the engine scans in memory.
-	vec := av.Pack(d.AV, len(d.Head))
+	// V3 attribute vector: row count, code width, the bit-slice words,
+	// then the per-block encoding metadata and RLE runs — the same
+	// representation the engine scans in memory, re-derived from the
+	// interchange codes so the selection heuristic needs to run only here
+	// and in dict.FromData.
+	vec := av.PackEncoded(d.AV, len(d.Head))
 	e.u64(uint64(vec.Len()))
 	e.u8(uint8(vec.Bits()))
 	words := vec.Words()
 	e.u64(uint64(len(words)))
 	for _, w := range words {
 		e.u64(w)
+	}
+	blocks := vec.Blocks()
+	e.u64(uint64(len(blocks)))
+	for _, b := range blocks {
+		e.u8(uint8(b.Enc))
+		e.u8(b.W)
+		e.u32(b.Base)
+		e.u32(b.Off)
+		e.u32(b.N)
+	}
+	runs := vec.Runs()
+	e.u64(uint64(len(runs)))
+	for _, r := range runs {
+		e.u32(r.VID)
+		e.u32(r.End)
 	}
 	e.u64(uint64(len(d.Head)))
 	for _, ref := range d.Head {
@@ -394,9 +417,11 @@ func (d *decoder) split() dict.SplitData {
 	s.BSMax = int(d.u32())
 	s.EncRndOffset = d.bytes()
 	var (
-		rows  int
-		width int
-		words []uint64
+		rows   int
+		width  int
+		words  []uint64
+		blocks []av.Block
+		runs   []av.Run
 	)
 	if d.ver >= versionV2 {
 		rows = d.sliceLen()
@@ -406,6 +431,28 @@ func (d *decoder) split() dict.SplitData {
 			words = make([]uint64, nwords)
 			for i := range words {
 				words[i] = d.u64()
+			}
+		}
+		if d.ver >= versionV3 {
+			nblocks := d.sliceLen()
+			if d.err == nil && nblocks > 0 {
+				blocks = make([]av.Block, nblocks)
+				for i := range blocks {
+					blocks[i] = av.Block{
+						Enc:  av.Encoding(d.u8()),
+						W:    d.u8(),
+						Base: d.u32(),
+						Off:  d.u32(),
+						N:    d.u32(),
+					}
+				}
+			}
+			nruns := d.sliceLen()
+			if d.err == nil && nruns > 0 {
+				runs = make([]av.Run, nruns)
+				for i := range runs {
+					runs[i] = av.Run{VID: d.u32(), End: d.u32()}
+				}
 			}
 		}
 	} else {
@@ -428,9 +475,10 @@ func (d *decoder) split() dict.SplitData {
 	s.Tail = d.bytes()
 	if d.err == nil && d.ver >= versionV2 {
 		// The packed width is bound to |D|, known only after the head;
+		// av.FromEncoded validates the block/run structure, and
 		// dict.FromData re-validates every code against |D| once the
 		// vector is unpacked into the interchange shape.
-		vec, err := av.FromWords(words, rows, width, nhead)
+		vec, err := av.FromEncoded(words, blocks, runs, rows, width, nhead)
 		if err != nil {
 			d.err = err
 			return s

@@ -228,11 +228,15 @@ func TestRestoreRejectsTamperedSplitRefs(t *testing.T) {
 	}
 }
 
-// TestLoadsLegacyV1Format proves a database serialized before the packed
-// attribute vector existed (format version 1, unpacked uint32 AVs) loads
-// into the packed representation unchanged: the restored database answers
-// queries identically and every split's codes survive bit-for-bit.
-func TestLoadsLegacyV1Format(t *testing.T) {
+// TestFormatMatrix proves every storage format generation loads into the
+// current in-memory representation unchanged: version 1 (unpacked uint32
+// AVs), version 2 (uniform bit-packed words) and the current version 3
+// (bit-packed words plus per-block FoR/RLE encoding metadata) all restore
+// databases that answer queries identically to the live original, with every
+// split's codes surviving bit-for-bit. This is the v1/v2 → v3 upgrade path:
+// a server that persisted under an older format and restarts on the current
+// binary must see no behavioral difference.
+func TestFormatMatrix(t *testing.T) {
 	p, db, master := newStack(t)
 	seed(t, p)
 	// Enough rows that the bit-packed layout's fixed per-column header is
@@ -251,56 +255,73 @@ func TestLoadsLegacyV1Format(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var v1 bytes.Buffer
-	if err := storage.WriteTableV1(&v1, snap); err != nil {
-		t.Fatalf("WriteTableV1: %v", err)
+	files := []struct {
+		name  string
+		write func(w *bytes.Buffer) error
+	}{
+		{"v1", func(w *bytes.Buffer) error { return storage.WriteTableV1(w, snap) }},
+		{"v2", func(w *bytes.Buffer) error { return storage.WriteTableV2(w, snap) }},
+		{"v3", func(w *bytes.Buffer) error { return storage.WriteTable(w, snap) }},
 	}
-	var v2 bytes.Buffer
-	if err := storage.WriteTable(&v2, snap); err != nil {
-		t.Fatalf("WriteTable: %v", err)
-	}
-	if v2.Len() >= v1.Len() {
-		t.Errorf("packed file (%d bytes) not smaller than legacy file (%d bytes)", v2.Len(), v1.Len())
-	}
-
-	got, err := storage.ReadTable(bytes.NewReader(v1.Bytes()))
-	if err != nil {
-		t.Fatalf("ReadTable(v1): %v", err)
-	}
-	for i, cs := range got.Columns {
-		want := snap.Columns[i].Main.AV
-		if len(cs.Main.AV) != len(want) {
-			t.Fatalf("column %q: %d AV codes, want %d", cs.Name, len(cs.Main.AV), len(want))
+	bufs := make(map[string]*bytes.Buffer, len(files))
+	for _, f := range files {
+		var buf bytes.Buffer
+		if err := f.write(&buf); err != nil {
+			t.Fatalf("write %s: %v", f.name, err)
 		}
-		for j, vid := range cs.Main.AV {
-			if vid != want[j] {
-				t.Fatalf("column %q: AV[%d] = %d, want %d", cs.Name, j, vid, want[j])
-			}
+		bufs[f.name] = &buf
+	}
+	// The packed formats must beat the unpacked one on this data set.
+	for _, packed := range []string{"v2", "v3"} {
+		if bufs[packed].Len() >= bufs["v1"].Len() {
+			t.Errorf("%s file (%d bytes) not smaller than v1 file (%d bytes)",
+				packed, bufs[packed].Len(), bufs["v1"].Len())
 		}
 	}
 
-	p2, db2 := cloneStack(t, master)
-	if err := db2.Restore(got); err != nil {
-		t.Fatalf("Restore: %v", err)
-	}
-	for _, q := range []string{
+	queries := []string{
 		"SELECT fname, city, note FROM t1 WHERE fname >= 'A'",
 		"SELECT city FROM t1 WHERE city = 'Waterloo'",
 		"SELECT COUNT(*) FROM t1 WHERE note = 'b2b'",
-	} {
-		want := mustExec(t, p, q)
-		got := mustExec(t, p2, q)
-		if want.Count != got.Count || len(want.Rows) != len(got.Rows) {
-			t.Fatalf("%q: restored answered %d rows/count %d, original %d/%d",
-				q, len(got.Rows), got.Count, len(want.Rows), want.Count)
-		}
-		for i := range want.Rows {
-			for j := range want.Rows[i] {
-				if want.Rows[i][j] != got.Rows[i][j] {
-					t.Errorf("%q: row %d col %d = %q, want %q", q, i, j, got.Rows[i][j], want.Rows[i][j])
+	}
+	for _, f := range files {
+		t.Run(f.name, func(t *testing.T) {
+			got, err := storage.ReadTable(bytes.NewReader(bufs[f.name].Bytes()))
+			if err != nil {
+				t.Fatalf("ReadTable(%s): %v", f.name, err)
+			}
+			for i, cs := range got.Columns {
+				want := snap.Columns[i].Main.AV
+				if len(cs.Main.AV) != len(want) {
+					t.Fatalf("column %q: %d AV codes, want %d", cs.Name, len(cs.Main.AV), len(want))
+				}
+				for j, vid := range cs.Main.AV {
+					if vid != want[j] {
+						t.Fatalf("column %q: AV[%d] = %d, want %d", cs.Name, j, vid, want[j])
+					}
 				}
 			}
-		}
+
+			p2, db2 := cloneStack(t, master)
+			if err := db2.Restore(got); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			for _, q := range queries {
+				want := mustExec(t, p, q)
+				got := mustExec(t, p2, q)
+				if want.Count != got.Count || len(want.Rows) != len(got.Rows) {
+					t.Fatalf("%q: restored answered %d rows/count %d, original %d/%d",
+						q, len(got.Rows), got.Count, len(want.Rows), want.Count)
+				}
+				for i := range want.Rows {
+					for j := range want.Rows[i] {
+						if want.Rows[i][j] != got.Rows[i][j] {
+							t.Errorf("%q: row %d col %d = %q, want %q", q, i, j, got.Rows[i][j], want.Rows[i][j])
+						}
+					}
+				}
+			}
+		})
 	}
 }
 
