@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	encdbdb-server -addr :7687 [-load table.encdb ...]
+//	encdbdb-server -addr :7687 [-metrics-addr 127.0.0.1:9187] [-load table.encdb ...]
+//
+// See docs/operations.md for production flag guidance.
 package main
 
 import (
@@ -13,8 +15,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"github.com/encdbdb/encdbdb"
 )
@@ -29,9 +33,17 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:7687", "listen address")
 	connWorkers := flag.Int("conn-workers", 0, "concurrent requests per multiplexed connection (0 = default)")
+	queueDepth := flag.Int("queue-depth", 0, "outstanding requests per connection before shedding with a busy error (0 = conn-workers x 64)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, measured from decode (0 = none)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty = metrics off)")
 	flag.Parse()
 
-	db, err := encdbdb.Open(encdbdb.Options{ConnWorkers: *connWorkers})
+	db, err := encdbdb.Open(encdbdb.Options{
+		ConnWorkers:    *connWorkers,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		EnableMetrics:  *metricsAddr != "",
+	})
 	if err != nil {
 		return err
 	}
@@ -49,6 +61,23 @@ func run() error {
 	log.Printf("EncDBDB provider listening on %s (enclave measurement for identity %q awaits provisioning)",
 		ln.Addr(), encdbdb.DefaultEnclaveIdentity)
 
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", db.MetricsHandler())
+		metricsSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := metricsSrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		log.Printf("metrics on http://%s/metrics", mln.Addr())
+	}
+
 	done := make(chan error, 1)
 	go func() { done <- db.Serve(ln, log.Printf) }()
 
@@ -59,9 +88,15 @@ func run() error {
 		return err
 	case <-sig:
 		log.Printf("shutting down")
+		// Shutdown drains: accepted requests finish and their responses are
+		// delivered before connections close (see docs/operations.md).
 		if err := db.Shutdown(); err != nil {
 			return err
 		}
-		return <-done
+		err := <-done
+		if metricsSrv != nil {
+			metricsSrv.Close() //nolint:errcheck // scrape endpoint; nothing to drain
+		}
+		return err
 	}
 }

@@ -3,9 +3,12 @@ package encdbdb
 import (
 	"fmt"
 	"net"
+	"net/http"
+	"time"
 
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/metrics"
 	"github.com/encdbdb/encdbdb/internal/search"
 	"github.com/encdbdb/encdbdb/internal/storage"
 	"github.com/encdbdb/encdbdb/internal/wire"
@@ -20,6 +23,9 @@ type Database struct {
 	db          *engine.DB
 	server      *wire.Server
 	connWorkers int
+	queueDepth  int
+	reqTimeout  time.Duration
+	metrics     *metrics.Registry
 }
 
 // Options configure Open.
@@ -46,6 +52,18 @@ type Options struct {
 	// ConnWorkers bounds how many requests of one multiplexed remote
 	// connection Serve executes concurrently (0 = wire default).
 	ConnWorkers int
+	// QueueDepth bounds how many admitted requests may be outstanding per
+	// remote connection before further requests are shed with
+	// wire.ErrServerBusy (0 = wire default of ConnWorkers x 64).
+	QueueDepth int
+	// RequestTimeout attaches a deadline to every remote request, measured
+	// from decode — queue wait counts. 0 means no deadline.
+	RequestTimeout time.Duration
+	// EnableMetrics creates a metrics registry and instruments the engine,
+	// enclave, and (once Serve runs) the wire server with it. Scrape it via
+	// MetricsHandler. Off by default: an uninstrumented provider pays zero
+	// metrics overhead.
+	EnableMetrics bool
 }
 
 // DefaultEnclaveIdentity is the code identity of this repository's enclave.
@@ -82,12 +100,38 @@ func Open(opts ...Options) (*Database, error) {
 	if o.Workers != 0 {
 		engOpts = append(engOpts, engine.WithWorkers(o.Workers))
 	}
+	var reg *metrics.Registry
+	if o.EnableMetrics {
+		reg = metrics.NewRegistry()
+		engOpts = append(engOpts, engine.WithMetrics(reg))
+		registerEnclaveMetrics(reg, encl)
+	}
 	return &Database{
 		platform:    platform,
 		encl:        encl,
 		db:          engine.New(encl, engOpts...),
 		connWorkers: o.ConnWorkers,
+		queueDepth:  o.QueueDepth,
+		reqTimeout:  o.RequestTimeout,
+		metrics:     reg,
 	}, nil
+}
+
+// registerEnclaveMetrics exposes the enclave's boundary counters as sampled
+// gauges. They are gauges, not counters, because ResetEnclaveStats may zero
+// them between scrapes — a counter contract would make every reset look like
+// a counter rollover to the scraper.
+func registerEnclaveMetrics(reg *metrics.Registry, encl *enclave.Enclave) {
+	reg.NewGaugeFunc("encdbdb_enclave_ecalls", "Enclave entries since the last stats reset (one per dictionary search).",
+		func() float64 { return float64(encl.Stats().ECalls) })
+	reg.NewGaugeFunc("encdbdb_enclave_dictionary_loads", "Dictionary entries pulled into the enclave from untrusted memory since the last stats reset.",
+		func() float64 { return float64(encl.Stats().Loads) })
+	reg.NewGaugeFunc("encdbdb_enclave_loaded_bytes", "Bytes of dictionary data loaded into the enclave since the last stats reset.",
+		func() float64 { return float64(encl.Stats().BytesLoaded) })
+	reg.NewGaugeFunc("encdbdb_enclave_decryptions", "PAE decryptions inside the enclave since the last stats reset.",
+		func() float64 { return float64(encl.Stats().Decryptions) })
+	reg.NewGaugeFunc("encdbdb_enclave_encryptions", "PAE encryptions inside the enclave since the last stats reset.",
+		func() float64 { return float64(encl.Stats().Encryptions) })
 }
 
 // Tables lists the registered tables.
@@ -149,8 +193,28 @@ func (d *Database) Serve(ln net.Listener, logf func(format string, args ...any))
 	if d.connWorkers > 0 {
 		opts = append(opts, wire.WithConnWorkers(d.connWorkers))
 	}
+	if d.queueDepth > 0 {
+		opts = append(opts, wire.WithQueueDepth(d.queueDepth))
+	}
+	if d.reqTimeout > 0 {
+		opts = append(opts, wire.WithRequestTimeout(d.reqTimeout))
+	}
+	if d.metrics != nil {
+		opts = append(opts, wire.WithMetrics(d.metrics))
+	}
 	d.server = wire.NewServer(d.db, logf, opts...)
 	return d.server.Serve(ln)
+}
+
+// MetricsHandler returns an HTTP handler serving the provider's metrics in
+// the Prometheus text exposition format, or nil when Options.EnableMetrics
+// was off. Mount it at /metrics on an operator-facing listener (see
+// docs/operations.md); the wire families appear once Serve has started.
+func (d *Database) MetricsHandler() http.Handler {
+	if d.metrics == nil {
+		return nil
+	}
+	return d.metrics.Handler()
 }
 
 // Shutdown stops a running Serve.

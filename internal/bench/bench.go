@@ -52,6 +52,12 @@ type Config struct {
 	// ScanJSONPath, when non-empty, is where the fused-scan experiment
 	// writes its machine-readable results.
 	ScanJSONPath string
+	// LoadJSONPath, when non-empty, is where the sustained-load experiment
+	// writes its machine-readable results.
+	LoadJSONPath string
+	// LoadWindow is the per-point measurement window of the sustained-load
+	// experiment (0 = 500ms). Warmup rides on top of it.
+	LoadWindow time.Duration
 }
 
 // DefaultConfig returns a configuration that completes every experiment in
@@ -68,6 +74,7 @@ func DefaultConfig(out io.Writer) Config {
 		MergeJSONPath:    "BENCH_merge.json",
 		PreparedJSONPath: "BENCH_prepared.json",
 		ScanJSONPath:     "BENCH_scan.json",
+		LoadJSONPath:     "BENCH_load.json",
 	}
 }
 

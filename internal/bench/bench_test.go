@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // tinyConfig keeps experiment self-tests fast.
@@ -122,6 +123,44 @@ func TestMergeWritesJSON(t *testing.T) {
 	for _, want := range []string{"quiet", "background", "blocking"} {
 		if !scenarios[want] {
 			t.Errorf("missing scenario %q in %+v", want, out.Points)
+		}
+	}
+}
+
+func TestLoadWritesJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	cfg.LoadWindow = 120 * time.Millisecond
+	cfg.LoadJSONPath = filepath.Join(t.TempDir(), "BENCH_load.json")
+	if err := Load(cfg); err != nil {
+		t.Fatalf("Load: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, w := range []string{"offered load", "goodput", "shed rate", "p99", "capacity"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("load output lacks %q:\n%s", w, out)
+		}
+	}
+	blob, err := os.ReadFile(cfg.LoadJSONPath)
+	if err != nil {
+		t.Fatalf("JSON file: %v", err)
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("JSON parse: %v", err)
+	}
+	if rep.CapacityQPS <= 0 || len(rep.Points) != len(loadFractions) {
+		t.Fatalf("JSON shape: %+v", rep)
+	}
+	for _, p := range rep.Points {
+		if p.Errors > 0 {
+			t.Errorf("point %.0f qps: %d non-busy errors", p.TargetQPS, p.Errors)
+		}
+		if p.ShedRate < 0 || p.ShedRate > 1 {
+			t.Errorf("point %.0f qps: shed rate %v out of range", p.TargetQPS, p.ShedRate)
+		}
+		if p.GoodputQPS > 0 && p.P99Ms <= 0 {
+			t.Errorf("point %.0f qps: goodput without latency: %+v", p.TargetQPS, p)
 		}
 	}
 }

@@ -1,3 +1,22 @@
+// Package engine is the untrusted provider-side column store of the paper's
+// architecture: versioned copy-on-write tables whose encrypted dictionaries
+// are searched inside the enclave while the attribute-vector phase scans
+// bit-packed vectors (internal/av) in plain Go.
+//
+// A table is a chain of immutable pieces plus one mutable tip: a
+// generation-stamped main store, sealed delta runs, an append-only active
+// tail, and a copy-on-write validity bitmap. Select pins that version under
+// a brief read lock and scans lock-free; writers extend the tail; Merge is
+// a three-stage pipeline (seal, enclave rebuild off-lock, swap with replay)
+// that is semantically invisible to concurrent queries. Locking is sharded
+// per table, so cross-table work never serializes.
+//
+// Conjunctive filters are evaluated fused by default: one accumulator
+// bitmap seeded from the validity bitmap, every compiled predicate ANDing
+// its match words into it, the main store scanned morsel-at-a-time by a
+// bounded worker pool (WithWorkers). WithMetrics instruments the query and
+// merge paths on a metrics.Registry; without it the engine pays zero
+// instrumentation overhead.
 package engine
 
 import (
@@ -9,6 +28,7 @@ import (
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/metrics"
 	"github.com/encdbdb/encdbdb/internal/ridset"
 	"github.com/encdbdb/encdbdb/internal/search"
 )
@@ -46,6 +66,7 @@ type options struct {
 	autoMergeBytes int
 	blockingMerge  bool
 	streamChunk    int
+	metricsReg     *metrics.Registry
 }
 
 type avModeOption search.AVMode
@@ -143,6 +164,16 @@ func (o blockingMergeOption) apply(opts *options) { opts.blockingMerge = bool(o)
 // should keep the default (false).
 func WithBlockingMerge(on bool) Option { return blockingMergeOption(on) }
 
+type metricsOption struct{ reg *metrics.Registry }
+
+func (o metricsOption) apply(opts *options) { opts.metricsReg = o.reg }
+
+// WithMetrics registers the engine's metric families (select/scan counters,
+// merge durations and backlog gauges — see docs/metrics.md) on reg and
+// records into them. Without it the engine runs with zero instrumentation
+// overhead.
+func WithMetrics(reg *metrics.Registry) Option { return metricsOption{reg: reg} }
+
 // DB is an EncDBDB database instance at the DBaaS provider: a set of tables
 // plus the enclave used for protected dictionary searches.
 //
@@ -155,8 +186,9 @@ func WithBlockingMerge(on bool) Option { return blockingMergeOption(on) }
 // never blocks either. The enclave itself is internally synchronized and
 // safe for concurrent ECALLs.
 type DB struct {
-	encl *enclave.Enclave
-	opts options
+	encl    *enclave.Enclave
+	opts    options
+	metrics *engineMetrics
 
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -241,7 +273,11 @@ func New(encl *enclave.Enclave, opts ...Option) *DB {
 	for _, opt := range opts {
 		opt.apply(&o)
 	}
-	return &DB{encl: encl, opts: o, tables: make(map[string]*table)}
+	db := &DB{encl: encl, opts: o, tables: make(map[string]*table)}
+	if o.metricsReg != nil {
+		db.metrics = newEngineMetrics(o.metricsReg, db)
+	}
+	return db
 }
 
 // Enclave returns the enclave backing this database (nil for plaintext-only

@@ -145,6 +145,8 @@ func (db *DB) maybeAutoMerge(tableName string, t *table) {
 func (db *DB) mergePass(tableName string, t *table) error {
 	t.merging.Store(true)
 	defer t.merging.Store(false)
+	start := db.metrics.mergeStarted()
+	defer db.metrics.mergeFinished(start)
 	err := db.runMerge(tableName, t)
 	if err != nil {
 		t.mu.Lock()

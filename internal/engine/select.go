@@ -113,6 +113,7 @@ func (db *DB) selectMatch(ctx context.Context, q Query) (*version, []uint32, err
 	if err != nil {
 		return nil, nil, err
 	}
+	db.metrics.selectPinned(v.rows())
 	match, err := db.matchValid(ctx, v, q.Filters)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency bounds in seconds: 100µs to 10s in
+// roughly 2.5x steps, matching the spread between a point query answered
+// from the multiplexed hot path (~tens of µs) and a full-table scan or
+// merge-delayed tail under saturation.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations in fixed cumulative buckets. Observe is
+// lock-free: a binary search over the bound slice plus atomic adds, so the
+// wire server can time every request without contention.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, per-bucket (non-cumulative)
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (for latency histograms, in seconds).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts by
+// linear interpolation within the target bucket — the same estimate
+// Prometheus's histogram_quantile computes. With no observations it returns
+// NaN; quantiles landing in the +Inf bucket return the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (h.bounds[i]-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// write renders the cumulative bucket lines plus _sum and _count.
+func (h *Histogram) write(w io.Writer, name string) error {
+	return h.writeLabeled(w, name, "")
+}
+
+// writeLabeled renders the histogram with extra (already-rendered) labels
+// prepended to each bucket's le label — shared by Histogram and
+// HistogramVec children.
+func (h *Histogram) writeLabeled(w io.Writer, name, labels string) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
+		return err
+	}
+	var suffix string
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+	return err
+}
+
+// HistogramVec is a histogram family partitioned by label values, all
+// children sharing one bound layout.
+type HistogramVec struct {
+	name   string
+	bounds []float64
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelKey(v.labels, values)
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[key]; h == nil {
+		h = newHistogram(v.name, v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) write(w io.Writer, name string) error {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	kids := make(map[string]*Histogram, len(v.children))
+	for k, h := range v.children {
+		kids[k] = h
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := kids[k].writeLabeled(w, name, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}

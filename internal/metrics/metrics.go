@@ -1,0 +1,347 @@
+// Package metrics is a dependency-free metrics registry for the EncDBDB
+// provider: atomic counters, gauges, and fixed-bucket histograms, exposed in
+// the Prometheus text exposition format (version 0.0.4) over an opt-in HTTP
+// endpoint.
+//
+// The package exists so the hot layers — the wire server's request loop, the
+// engine's scan and merge pipelines, the enclave's boundary counters — can
+// record per-operation throughput and latency without taking any lock or
+// allocating on the request path: a Counter increment is one atomic add, a
+// Histogram observation is one binary search over a small fixed bound slice
+// plus two atomic adds. All coordination costs are paid at registration time
+// (startup) and at scrape time (WriteText), never per request.
+//
+// A Registry owns a set of metric families. Families are identified by name
+// and rendered in registration order; labeled families (CounterVec,
+// HistogramVec) render their series sorted by label value, so the exposition
+// output is deterministic and can be golden-tested. Registering the same
+// name twice panics — registration happens once at startup, and a duplicate
+// is a programming error that would silently corrupt the exposition
+// otherwise.
+//
+// The exposition endpoint is deliberately read-only and side-effect free:
+// scraping never resets a counter, so rates are computed by the scraper
+// (rate(), increase()) as Prometheus expects. Gauge families registered via
+// GaugeFunc are sampled at scrape time under whatever locks the callback
+// takes, which keeps cross-subsystem totals (merge backlog across tables,
+// live enclave stats) consistent without the subsystems pushing updates.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metric is one registered family, rendered by WriteText.
+type metric interface {
+	write(w io.Writer, name string) error
+}
+
+// family pairs a registered metric with its exposition metadata.
+type family struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+	m    metric
+}
+
+// Registry is an ordered collection of metric families. All methods are safe
+// for concurrent use; the per-metric operations (Inc, Observe, ...) never
+// touch the registry lock.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []family
+	byName map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]struct{})}
+}
+
+// register validates and stores a family; duplicate names panic.
+func (r *Registry) register(name, help, typ string, m metric) {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.byName[name] = struct{}{}
+	r.fams = append(r.fams, family{name: name, help: help, typ: typ, m: m})
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", (*counterMetric)(c))
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", (*gaugeMetric)(g))
+	return g
+}
+
+// NewGaugeFunc registers a gauge whose value is sampled by calling fn at
+// scrape time — the shape for values that already live elsewhere (enclave
+// stats, per-table backlog sums) and would be wasteful to push on every
+// update.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", gaugeFuncMetric(fn))
+}
+
+// NewCounterVec registers a counter family partitioned by the given label
+// names.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{labels: checkLabels(name, labels), children: make(map[string]*Counter)}
+	r.register(name, help, "counter", v)
+	return v
+}
+
+// NewHistogram registers a histogram with the given ascending upper bounds
+// (a final +Inf bucket is implicit). Passing no bounds uses DefBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds ...float64) *Histogram {
+	h := newHistogram(name, bounds)
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// NewHistogramVec registers a histogram family partitioned by the given
+// label names, all children sharing one bound layout.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{
+		name:     name,
+		bounds:   bounds,
+		labels:   checkLabels(name, labels),
+		children: make(map[string]*Histogram),
+	}
+	r.register(name, help, "histogram", v)
+	return v
+}
+
+// WriteText renders every family in the Prometheus text exposition format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if err := f.m.write(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an HTTP handler serving the exposition — mount it at
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w) //nolint:errcheck // a broken scrape connection is the scraper's problem
+	})
+}
+
+// counterMetric renders a *Counter.
+type counterMetric Counter
+
+func (c *counterMetric) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, (*Counter)(c).Value())
+	return err
+}
+
+// gaugeMetric renders a *Gauge.
+type gaugeMetric Gauge
+
+func (g *gaugeMetric) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, (*Gauge)(g).Value())
+	return err
+}
+
+// gaugeFuncMetric renders a sampled gauge.
+type gaugeFuncMetric func() float64
+
+func (f gaugeFuncMetric) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(f()))
+	return err
+}
+
+// CounterVec is a counter family partitioned by label values. With returns
+// the child for a label-value tuple, creating it on first use; callers on
+// hot paths should resolve children once and keep them.
+type CounterVec struct {
+	labels []string
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the counter for the given label values (one per label name,
+// in registration order).
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelKey(v.labels, values)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) write(w io.Writer, name string) error {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	kids := make(map[string]*Counter, len(v.children))
+	for k, c := range v.children {
+		kids[k] = c
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, k, kids[k].Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLabels validates label names at registration time.
+func checkLabels(metric string, labels []string) []string {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("metrics: vec %q needs at least one label", metric))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", l, metric))
+		}
+	}
+	return labels
+}
+
+// labelKey renders a label-value tuple as the exposition's label body —
+// usable both as the map key and verbatim in the output line.
+func labelKey(labels, values []string) string {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("metrics: got %d label values for %d labels", len(values), len(labels)))
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// validName reports whether s is a legal metric or label name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatFloat renders a float the way the exposition format expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text exposition output: family order
+// follows registration, vec series sort by label value, histograms render
+// cumulative buckets plus _sum and _count. Scrapers parse this byte format;
+// a silent change here breaks every dashboard.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_requests_total", "Total requests.")
+	c.Add(3)
+	g := r.NewGauge("test_inflight", "In-flight requests.")
+	g.Set(2)
+	g.Dec()
+	r.NewGaugeFunc("test_backlog_rows", "Sampled backlog.", func() float64 { return 7.5 })
+	v := r.NewCounterVec("test_ops_total", "Per-op requests.", "op")
+	v.With("select").Add(2)
+	v.With("insert").Inc()
+	h := r.NewHistogram("test_latency_seconds", "Request latency.", 0.001, 0.01, 0.1)
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_inflight In-flight requests.
+# TYPE test_inflight gauge
+test_inflight 1
+# HELP test_backlog_rows Sampled backlog.
+# TYPE test_backlog_rows gauge
+test_backlog_rows 7.5
+# HELP test_ops_total Per-op requests.
+# TYPE test_ops_total counter
+test_ops_total{op="insert"} 1
+test_ops_total{op="select"} 2
+# HELP test_latency_seconds Request latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.001"} 1
+test_latency_seconds_bucket{le="0.01"} 1
+test_latency_seconds_bucket{le="0.1"} 2
+test_latency_seconds_bucket{le="+Inf"} 3
+test_latency_seconds_sum 5.0205
+test_latency_seconds_count 3
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHandlerContentType checks the HTTP endpoint serves the exposition
+// format with the content type Prometheus scrapers negotiate on.
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("test_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "test_total 1") {
+		t.Errorf("body missing counter line:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentUpdates is the concurrency property test: G goroutines each
+// perform N increments/observations; the final exposition must account for
+// every single one (no lost updates in the atomic paths), under -race.
+func TestConcurrentUpdates(t *testing.T) {
+	const workers = 8
+	const perWorker = 10_000
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "")
+	g := r.NewGauge("g", "")
+	v := r.NewCounterVec("v_total", "", "op")
+	h := r.NewHistogram("h_seconds", "", 0.001, 0.01, 0.1, 1)
+	hv := r.NewHistogramVec("hv_seconds", "", []float64{0.01, 1}, "op")
+
+	ops := []string{"select", "insert", "delete"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				v.With(ops[i%len(ops)]).Inc()
+				h.Observe(float64(i%200) / 100)
+				hv.With(ops[(w+i)%len(ops)]).Observe(0.5)
+			}
+		}(w)
+	}
+	// Concurrent scrapes must not race with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const total = workers * perWorker
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	var vecSum uint64
+	for _, op := range ops {
+		vecSum += v.With(op).Value()
+	}
+	if vecSum != total {
+		t.Errorf("vec sum = %d, want %d", vecSum, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	// Per-worker observation sum: sum_{i<perWorker} (i%200)/100, times workers.
+	var per float64
+	for i := 0; i < perWorker; i++ {
+		per += float64(i%200) / 100
+	}
+	if got, want := h.Sum(), per*workers; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+	var hvSum uint64
+	for _, op := range ops {
+		hvSum += hv.With(op).Count()
+	}
+	if hvSum != total {
+		t.Errorf("histogram vec count = %d, want %d", hvSum, total)
+	}
+}
+
+// TestQuantile checks the bucket-interpolation estimate on a known
+// distribution.
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("q_seconds", "", 0.1, 0.2, 0.4, 0.8)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 100 observations uniform in (0, 0.1]: everything lands in bucket 0.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if q := h.Quantile(0.5); q < 0.04 || q > 0.06 {
+		t.Errorf("p50 = %v, want ~0.05", q)
+	}
+	h.Observe(100) // one outlier in +Inf; p99.9 must clamp to largest bound
+	if q := h.Quantile(0.9999); q != 0.8 {
+		t.Errorf("clamped quantile = %v, want 0.8", q)
+	}
+}
+
+// TestDuplicatePanics pins the registration contract.
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "")
+}
+
+// TestLabelEscaping checks quote/backslash/newline escapes in label values.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("esc_total", "", "q")
+	v.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped series missing; got:\n%s", b.String())
+	}
+}

@@ -323,13 +323,17 @@ func (c *Client) call(ctx context.Context, req *request) (*response, error) {
 }
 
 // wireError rehydrates provider-side error text, restoring the context
-// sentinel errors so errors.Is(err, context.Canceled) works across the wire.
+// sentinel errors and the admission-control sentinel so
+// errors.Is(err, context.Canceled) and errors.Is(err, ErrServerBusy) work
+// across the wire.
 func wireError(msg string) error {
 	switch msg {
 	case context.Canceled.Error():
 		return context.Canceled
 	case context.DeadlineExceeded.Error():
 		return context.DeadlineExceeded
+	case ErrServerBusy.Error():
+		return ErrServerBusy
 	}
 	return errors.New(msg)
 }

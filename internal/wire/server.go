@@ -9,21 +9,37 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/metrics"
 )
 
 // defaultConnWorkers is the default per-connection dispatch concurrency for
 // multiplexed connections.
 const defaultConnWorkers = 16
 
-// queuedPerWorker scales the per-connection bound on decoded-but-not-yet-
-// finished requests: connWorkers*queuedPerWorker outstanding requests are
-// admitted before the read loop stops draining frames. Large enough that
-// opCancel frames reach a saturated connection, small enough to bound the
-// memory a peer that never reads responses can pin.
+// queuedPerWorker scales the default per-connection bound on decoded-but-
+// not-yet-finished requests: connWorkers*queuedPerWorker outstanding
+// requests are admitted before further requests are shed with
+// ErrServerBusy. Large enough to absorb bursts, small enough to bound the
+// memory a peer that never reads responses can pin; WithQueueDepth
+// overrides it.
 const queuedPerWorker = 64
+
+// defaultDrainTimeout bounds Close's graceful drain: in-flight requests get
+// this long to finish and write their responses before connections are
+// force-closed.
+const defaultDrainTimeout = 10 * time.Second
+
+// ErrServerBusy is the admission-control rejection: the connection's
+// dispatch queue is full (every WithConnWorkers worker is executing and
+// WithQueueDepth requests are already waiting), so the server sheds the
+// request immediately instead of queueing it unboundedly. It crosses the
+// wire as a typed sentinel — clients get errors.Is(err, ErrServerBusy) ==
+// true and should back off and retry; no server-side work was started.
+var ErrServerBusy = errors.New("wire: server busy")
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -40,6 +56,53 @@ func WithConnWorkers(n int) ServerOption {
 	}
 }
 
+// WithQueueDepth bounds how many admitted requests may be outstanding
+// (queued + executing) per multiplexed connection before new requests are
+// shed with ErrServerBusy (default connWorkers x 64). The bound is what
+// turns saturation into fast, typed rejections instead of unbounded
+// queueing: clients see ErrServerBusy in microseconds rather than timing
+// out behind a queue that can only grow.
+func WithQueueDepth(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.queueDepth = n
+	}
+}
+
+// WithRequestTimeout attaches a deadline to every dispatched request,
+// measured from the moment the request is decoded — queue wait counts, so a
+// request stuck behind a saturated worker pool fails fast once its budget
+// is spent. Exceeding the deadline surfaces as context.DeadlineExceeded at
+// the client (the sentinel is rehydrated across the wire). Zero (the
+// default) means no deadline.
+func WithRequestTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		s.reqTimeout = d
+	}
+}
+
+// WithDrainTimeout bounds how long Close waits for in-flight requests to
+// finish before force-closing connections (default 10s).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.drainTimeout = d
+		}
+	}
+}
+
+// WithMetrics registers the wire server's metric families (request counts,
+// per-op latency histograms, admission-control outcomes, connection and
+// byte totals — see docs/metrics.md) on reg and records into them. Without
+// it the server runs with zero instrumentation overhead.
+func WithMetrics(reg *metrics.Registry) ServerOption {
+	return func(s *Server) {
+		s.metrics = newServerMetrics(reg)
+	}
+}
+
 // Server hosts an engine.DB behind the wire protocol — the untrusted DBaaS
 // provider process of paper Fig. 2, including the enclave ECALL endpoints
 // (quote, provision) the data owner needs for setup.
@@ -48,16 +111,31 @@ func WithConnWorkers(n int) ServerOption {
 // get multiplexed service where every decoded request runs on its own
 // goroutine (bounded by WithConnWorkers) and responses are written under a
 // per-connection write lock, out of order; v1 clients get the original
-// lock-step loop. Close drains all dispatched requests before returning.
+// lock-step loop.
+//
+// The server applies admission control per connection: at most
+// WithQueueDepth requests may be outstanding (shed beyond that with
+// ErrServerBusy), and WithRequestTimeout attaches a deadline to each
+// dispatched request. Close drains gracefully — accepted requests finish
+// and their responses are delivered before connections close.
 type Server struct {
-	db          *engine.DB
-	logf        func(format string, args ...any)
-	connWorkers int
+	db           *engine.DB
+	logf         func(format string, args ...any)
+	connWorkers  int
+	queueDepth   int
+	reqTimeout   time.Duration
+	drainTimeout time.Duration
+	metrics      *serverMetrics
 
 	// legacyOps makes the server answer the post-PR ops (opSelectStream,
 	// opCancel) with unknown-op errors, emulating a v2 peer built before
 	// they existed. Tests use it to pin the compatibility fallbacks.
 	legacyOps bool
+
+	// dispatchHook, when non-nil, runs at the start of every multiplexed
+	// request's execution (after admission, before dispatch). Tests use it
+	// to park workers and saturate the dispatch queue deterministically.
+	dispatchHook func(req *request)
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -72,9 +150,18 @@ func NewServer(db *engine.DB, logf func(format string, args ...any), opts ...Ser
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	s := &Server{db: db, logf: logf, connWorkers: defaultConnWorkers, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		db:           db,
+		logf:         logf,
+		connWorkers:  defaultConnWorkers,
+		drainTimeout: defaultDrainTimeout,
+		conns:        make(map[net.Conn]struct{}),
+	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.queueDepth == 0 {
+		s.queueDepth = s.connWorkers * queuedPerWorker
 	}
 	return s
 }
@@ -118,40 +205,76 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close stops accepting, closes all connections, and waits for handlers —
-// including every request already dispatched on a multiplexed connection —
-// to drain.
+// Close stops accepting and drains gracefully: every connection's read loop
+// is interrupted (so no further requests are admitted), but requests
+// already accepted keep executing and their responses are written before
+// the connections close — a client whose request was admitted gets its
+// answer, not a reset. Requests still running after WithDrainTimeout are
+// abandoned by force-closing their connections.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
 	for c := range s.conns {
-		c.Close()
+		// A read deadline in the past unblocks the connection's read loop
+		// without disturbing response writes in flight.
+		c.SetReadDeadline(time.Now()) //nolint:errcheck // best-effort wakeup; drain timeout backstops
 	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.drainTimeout):
+		// Drain overran its budget (a wedged scan, a peer not reading its
+		// responses): force-close so the stuck writers fail fast.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
 // serveConn sniffs the first four bytes for the negotiation magic and hands
-// the connection to the multiplexed or lock-step loop.
+// the connection to the multiplexed or lock-step loop. With metrics enabled
+// the connection is wrapped so both loops' reads and writes feed the byte
+// counters.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	s.metrics.connOpened()
+	defer s.metrics.connClosed()
+	counted := s.metrics.wrap(conn)
+	br := bufio.NewReader(counted)
 	var first [4]byte
 	if _, err := io.ReadFull(br, first[:]); err != nil {
 		return
 	}
 	if first == helloMagic {
-		s.serveMux(conn, br)
+		s.serveMux(counted, br)
 		return
 	}
 	// No magic: a v1 peer already sent its first frame's length prefix.
-	s.serveLockstep(conn, br, binary.BigEndian.Uint32(first[:]))
+	s.serveLockstep(counted, br, binary.BigEndian.Uint32(first[:]))
+}
+
+// requestContext derives one dispatched request's context: the per-request
+// deadline (WithRequestTimeout) starts counting when the request is
+// decoded, so time spent waiting for a free worker is charged against it.
+func (s *Server) requestContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(parent, s.reqTimeout)
+	}
+	return context.WithCancel(parent)
 }
 
 // serveLockstep is the v1 loop: strict request/response alternation.
@@ -168,7 +291,11 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 			s.logf("wire: bad request from %s: %v", conn.RemoteAddr(), err)
 			return
 		}
-		resp := s.dispatch(context.Background(), &req)
+		arrived := s.metrics.now()
+		ctx, cancel := s.requestContext(context.Background())
+		resp := s.dispatch(ctx, &req)
+		cancel()
+		s.recordResponse(req.Op, arrived, resp)
 		out, err2 := encodeMsg(resp)
 		if err2 != nil {
 			s.logf("wire: encode response: %v", err2)
@@ -179,6 +306,19 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 		}
 		payload, err = fr.read()
 	}
+}
+
+// recordResponse feeds one finished request into the metric families,
+// counting deadline expiries separately so operators can tell shed load
+// (busy) from slow load (timeouts).
+func (s *Server) recordResponse(o op, arrived time.Time, resp *response) {
+	if s.metrics == nil {
+		return
+	}
+	if resp.Err == context.DeadlineExceeded.Error() {
+		s.metrics.timeoutInc()
+	}
+	s.metrics.request(o, arrived, resp.Err != "")
 }
 
 // inflightSet tracks the cancel functions of a connection's dispatched
@@ -255,7 +395,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	// saturated connection instead of queuing behind the requests it is
 	// trying to interrupt.
 	sem := make(chan struct{}, s.connWorkers)
-	queueSem := make(chan struct{}, s.connWorkers*queuedPerWorker)
+	queueSem := make(chan struct{}, s.queueDepth)
 	var wg sync.WaitGroup
 	defer wg.Wait()
 	mr := newMuxReader(br)
@@ -273,9 +413,26 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 		}
 		if req.Op == opCancel && !s.legacyOps {
 			// Handled inline, before any queue admission: cancellation must
-			// not queue behind the very requests it is trying to interrupt.
+			// not queue behind the very requests it is trying to interrupt,
+			// and must work even when the queue is full.
 			inflight.cancel(req.Cancel)
 			if err := mw.send(id, &response{}); err != nil {
+				s.logf("wire: send response: %v", err)
+				conn.Close()
+				return
+			}
+			continue
+		}
+		arrived := s.metrics.now()
+		// Admission: a full queue sheds the request immediately with a typed
+		// busy error rather than blocking the read loop. Rejection happens
+		// before any context or inflight registration, so a shed request
+		// costs one frame decode and one response frame — nothing else.
+		select {
+		case queueSem <- struct{}{}:
+		default:
+			s.metrics.rejectedInc()
+			if err := mw.send(id, &response{Err: ErrServerBusy.Error()}); err != nil {
 				s.logf("wire: send response: %v", err)
 				conn.Close()
 				return
@@ -286,9 +443,9 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 		// an opCancel that races ahead of the worker's execution still
 		// cancels it (the engine surfaces context.Canceled when the worker
 		// eventually runs it).
-		ctx, cancel := context.WithCancel(connCtx)
+		ctx, cancel := s.requestContext(connCtx)
 		inflight.add(id, cancel)
-		queueSem <- struct{}{}
+		s.metrics.inflightAdd(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -298,8 +455,12 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 			defer func() {
 				inflight.remove(id)
 				cancel()
+				s.metrics.inflightAdd(-1)
 			}()
-			if err := s.serveRequest(ctx, mw, id, req); err != nil {
+			if s.dispatchHook != nil {
+				s.dispatchHook(req)
+			}
+			if err := s.serveRequest(ctx, mw, id, req, arrived); err != nil {
 				// Whether the connection died or the response stream broke
 				// (encode failure, oversized response), no further response
 				// can be delivered on it. Close so the peer's read loop
@@ -312,13 +473,16 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	}
 }
 
-// serveRequest executes one multiplexed request and writes its response(s):
-// a single frame for ordinary ops, a chunk sequence for opSelectStream.
-func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req *request) error {
+// serveRequest executes one multiplexed request, records it against the
+// metric families, and writes its response(s): a single frame for ordinary
+// ops, a chunk sequence for opSelectStream.
+func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req *request, arrived time.Time) error {
 	if req.Op == opSelectStream && !s.legacyOps {
-		return s.serveSelectStream(ctx, mw, id, req)
+		return s.serveSelectStream(ctx, mw, id, req, arrived)
 	}
-	return mw.send(id, s.dispatch(ctx, req))
+	resp := s.dispatch(ctx, req)
+	s.recordResponse(req.Op, arrived, resp)
+	return mw.send(id, resp)
 }
 
 // serveSelectStream renders a Select chunk by chunk, writing each as its own
@@ -328,11 +492,12 @@ func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req
 // with Err set. Only send failures are returned; query failures travel to
 // the peer. Like dispatch, panics in the engine's lazy render path are
 // converted to an error terminator instead of taking down the provider.
-func (s *Server) serveSelectStream(ctx context.Context, mw *muxWriter, id uint64, req *request) error {
+func (s *Server) serveSelectStream(ctx context.Context, mw *muxWriter, id uint64, req *request, arrived time.Time) error {
 	final, sendErr := s.streamChunks(ctx, mw, id, req)
 	if sendErr != nil {
 		return sendErr
 	}
+	s.recordResponse(req.Op, arrived, final)
 	return mw.send(id, final)
 }
 

@@ -13,6 +13,16 @@
 // per call). The version is negotiated on the first bytes of a connection
 // (see helloMagic); v1 peers on either side keep working against v2 peers.
 //
+// The multiplexed server applies admission control per connection: a
+// bounded dispatch queue (WithQueueDepth) sheds excess requests
+// immediately with ErrServerBusy instead of queueing them, an optional
+// per-request deadline (WithRequestTimeout) bounds how long an admitted
+// request may run — queue wait included — and Close drains: accepted
+// requests finish and their responses are delivered before connections
+// close. With WithMetrics the server additionally exports per-op
+// request/error/latency families plus connection, byte, and
+// admission-outcome counters on a metrics.Registry.
+//
 // The protocol carries only what the paper's attacker may see anyway:
 // attestation quotes, sealed keys, schemas, PAE-encrypted query ranges,
 // ciphertext cells and plaintext ValueID structures. EncDBDB's protocol

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# check-docs.sh verifies the documentation suite:
+#   1. every relative markdown link in README.md and docs/*.md resolves to
+#      an existing file;
+#   2. every ```go snippet in those files is syntactically valid Go and
+#      gofmt-clean (statement-only snippets are parsed inside a wrapper
+#      function at snippet indentation, so docs keep reading naturally).
+# Run from anywhere; it operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md docs/*.md)
+status=0
+
+# --- 1. relative links -------------------------------------------------------
+broken=$(
+  for f in "${docs[@]}"; do
+    dir=$(dirname "$f")
+    grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' |
+      while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -z "$path" ] && continue # same-file anchor
+        if [ ! -e "$dir/$path" ]; then
+          echo "$f: broken link: $target"
+        fi
+      done
+  done
+)
+if [ -n "$broken" ]; then
+  echo "$broken"
+  status=1
+fi
+
+# --- 2. Go snippets ----------------------------------------------------------
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for f in "${docs[@]}"; do
+  base=$(basename "$f" .md)
+  awk -v out="$tmp/${base}_" '
+    /^```go$/ { n++; snip = sprintf("%s%d.go", out, n); live = 1; next }
+    /^```/    { live = 0; next }
+    live      { print > snip }
+  ' "$f"
+done
+
+shopt -s nullglob
+for snip in "$tmp"/*.go; do
+  if grep -q '^package ' "$snip"; then
+    src=$snip
+  else
+    # Statement-only snippet: parse it inside a function body.
+    src=$tmp/wrapped_$(basename "$snip")
+    {
+      echo "package snippet"
+      echo
+      echo "func _() {"
+      cat "$snip"
+      echo "}"
+    } >"$src"
+  fi
+  if ! gofmt -l "$src" >"$tmp/fmt.out" 2>"$tmp/fmt.err"; then
+    echo "$(basename "$snip"): snippet does not parse:"
+    cat "$tmp/fmt.err"
+    status=1
+  elif [ "$src" = "$snip" ] && [ -s "$tmp/fmt.out" ]; then
+    echo "$(basename "$snip"): snippet is not gofmt-clean"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs OK: links resolve, Go snippets parse"
+fi
+exit "$status"
