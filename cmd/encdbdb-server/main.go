@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	encdbdb-server -addr :7687 [-metrics-addr 127.0.0.1:9187] [-load table.encdb ...]
+//	encdbdb-server -addr :7687 [-data-dir /var/lib/encdbdb] [-sync always|interval|none]
+//	               [-metrics-addr 127.0.0.1:9187] [table.encdb ...]
 //
 // See docs/operations.md for production flag guidance.
 package main
@@ -36,6 +37,9 @@ func run() error {
 	queueDepth := flag.Int("queue-depth", 0, "outstanding requests per connection before shedding with a busy error (0 = conn-workers x 64)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, measured from decode (0 = none)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty = metrics off)")
+	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and checkpoint images; recovered on startup (empty = in-memory only)")
+	syncPolicy := flag.String("sync", "always", "WAL fsync policy with -data-dir: always, interval, or none")
+	syncEvery := flag.Duration("sync-interval", 0, "fsync cadence with -sync interval (0 = 10ms)")
 	flag.Parse()
 
 	db, err := encdbdb.Open(encdbdb.Options{
@@ -43,9 +47,17 @@ func run() error {
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *reqTimeout,
 		EnableMetrics:  *metricsAddr != "",
+		DataDir:        *dataDir,
+		SyncPolicy:     *syncPolicy,
+		SyncEvery:      *syncEvery,
 	})
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		st := db.RecoveryStats()
+		log.Printf("recovered %s: %d tables restored, %d records replayed in %s (truncated tail: %v)",
+			*dataDir, st.RestoredTables, st.ReplayedRecords, st.ReplayDuration.Round(time.Millisecond), st.TruncatedTail)
 	}
 	for _, path := range flag.Args() {
 		if err := db.LoadTable(path); err != nil {
@@ -88,9 +100,11 @@ func run() error {
 		return err
 	case <-sig:
 		log.Printf("shutting down")
-		// Shutdown drains: accepted requests finish and their responses are
-		// delivered before connections close (see docs/operations.md).
-		if err := db.Shutdown(); err != nil {
+		// Close drains the server — accepted requests finish and their
+		// responses are delivered before connections close (see
+		// docs/operations.md) — then flushes and fsyncs the WAL tail so the
+		// next start needs no replay.
+		if err := db.Close(); err != nil {
 			return err
 		}
 		err := <-done

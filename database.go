@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"github.com/encdbdb/encdbdb/internal/enclave"
@@ -11,6 +12,7 @@ import (
 	"github.com/encdbdb/encdbdb/internal/metrics"
 	"github.com/encdbdb/encdbdb/internal/search"
 	"github.com/encdbdb/encdbdb/internal/storage"
+	"github.com/encdbdb/encdbdb/internal/wal"
 	"github.com/encdbdb/encdbdb/internal/wire"
 )
 
@@ -21,11 +23,13 @@ type Database struct {
 	platform    *enclave.Platform
 	encl        *enclave.Enclave
 	db          *engine.DB
+	srvMu       sync.Mutex // guards server: Serve runs in a goroutine, Shutdown elsewhere
 	server      *wire.Server
 	connWorkers int
 	queueDepth  int
 	reqTimeout  time.Duration
 	metrics     *metrics.Registry
+	log         *wal.Log
 }
 
 // Options configure Open.
@@ -64,6 +68,19 @@ type Options struct {
 	// MetricsHandler. Off by default: an uninstrumented provider pays zero
 	// metrics overhead.
 	EnableMetrics bool
+	// DataDir enables durability: a write-ahead log plus checkpoint images
+	// live in this directory, every write is logged before it is applied,
+	// and Open recovers the store from the directory's contents (surviving
+	// kill -9 and power loss). Empty means in-memory only, as before.
+	DataDir string
+	// SyncPolicy controls when the log is fsynced: "always" (default —
+	// every commit waits for durability, amortized by group commit),
+	// "interval" (a background fsync every SyncEvery), or "none" (fsync
+	// only at checkpoints). Ignored without DataDir.
+	SyncPolicy string
+	// SyncEvery is the fsync cadence under SyncPolicy "interval"
+	// (0 = the wal default of 10ms).
+	SyncEvery time.Duration
 }
 
 // DefaultEnclaveIdentity is the code identity of this repository's enclave.
@@ -106,14 +123,38 @@ func Open(opts ...Options) (*Database, error) {
 		engOpts = append(engOpts, engine.WithMetrics(reg))
 		registerEnclaveMetrics(reg, encl)
 	}
+	db := engine.New(encl, engOpts...)
+	var log *wal.Log
+	if o.DataDir != "" {
+		var walOpts []wal.Option
+		if o.SyncPolicy != "" {
+			p, err := wal.ParseSyncPolicy(o.SyncPolicy)
+			if err != nil {
+				return nil, fmt.Errorf("encdbdb: %w", err)
+			}
+			walOpts = append(walOpts, wal.WithSyncPolicy(p))
+		}
+		if o.SyncEvery > 0 {
+			walOpts = append(walOpts, wal.WithSyncEvery(o.SyncEvery))
+		}
+		if reg != nil {
+			walOpts = append(walOpts, wal.WithMetrics(reg))
+		}
+		log, err = wal.Open(o.DataDir, db, walOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("encdbdb: %w", err)
+		}
+		db.SetCommitLog(log)
+	}
 	return &Database{
 		platform:    platform,
 		encl:        encl,
-		db:          engine.New(encl, engOpts...),
+		db:          db,
 		connWorkers: o.ConnWorkers,
 		queueDepth:  o.QueueDepth,
 		reqTimeout:  o.RequestTimeout,
 		metrics:     reg,
+		log:         log,
 	}, nil
 }
 
@@ -202,8 +243,11 @@ func (d *Database) Serve(ln net.Listener, logf func(format string, args ...any))
 	if d.metrics != nil {
 		opts = append(opts, wire.WithMetrics(d.metrics))
 	}
-	d.server = wire.NewServer(d.db, logf, opts...)
-	return d.server.Serve(ln)
+	srv := wire.NewServer(d.db, logf, opts...)
+	d.srvMu.Lock()
+	d.server = srv
+	d.srvMu.Unlock()
+	return srv.Serve(ln)
 }
 
 // MetricsHandler returns an HTTP handler serving the provider's metrics in
@@ -219,8 +263,34 @@ func (d *Database) MetricsHandler() http.Handler {
 
 // Shutdown stops a running Serve.
 func (d *Database) Shutdown() error {
-	if d.server == nil {
+	d.srvMu.Lock()
+	srv := d.server
+	d.srvMu.Unlock()
+	if srv == nil {
 		return nil
 	}
-	return d.server.Close()
+	return srv.Close()
+}
+
+// RecoveryStats reports what the last Open replayed from the write-ahead
+// log (zero value when DataDir was not set).
+func (d *Database) RecoveryStats() wal.Stats {
+	if d.log == nil {
+		return wal.Stats{}
+	}
+	return d.log.Stats()
+}
+
+// Close stops a running Serve and closes the write-ahead log, flushing and
+// fsyncing its tail. A provider that is Closed cleanly restarts without
+// replay work; one that is killed restarts through recovery instead — both
+// end in the same state.
+func (d *Database) Close() error {
+	err := d.Shutdown()
+	if d.log != nil {
+		if cerr := d.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -46,6 +46,8 @@
 package encdbdb
 
 import (
+	"time"
+
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
@@ -125,12 +127,22 @@ type Pool = wire.Pool
 // engine, *Client, and *Pool all implement it.
 type Executor = proxy.Executor
 
+// ClientOption configures Dial and DialPool.
+type ClientOption = wire.ClientOption
+
+// WithBusyRetry retries calls rejected with a server-busy error up to n
+// more times with exponential backoff starting at base (safe for all
+// operations: the server sheds load before executing anything).
+func WithBusyRetry(n int, base time.Duration) ClientOption { return wire.WithBusyRetry(n, base) }
+
 // Dial connects to a remote provider started with Database.Serve or the
 // encdbdb-server command.
-func Dial(addr string) (*Client, error) { return wire.Dial(addr) }
+func Dial(addr string, opts ...ClientOption) (*Client, error) { return wire.Dial(addr, opts...) }
 
 // DialPool opens size connections to a remote provider.
-func DialPool(addr string, size int) (*Pool, error) { return wire.DialPool(addr, size) }
+func DialPool(addr string, size int, opts ...ClientOption) (*Pool, error) {
+	return wire.DialPool(addr, size, opts...)
+}
 
 // AccessObserver receives every untrusted-memory access the enclave
 // performs — the view of an honest-but-curious provider (paper §3.2). Pass

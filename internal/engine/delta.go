@@ -202,13 +202,35 @@ func (db *DB) Insert(ctx context.Context, tableName string, row Row) error {
 	if err != nil {
 		return err
 	}
+	return db.commitInsert(tableName, t, []map[string][]byte{payloads})
+}
+
+// commitInsert is the shared tail of Insert and InsertBatch: under the
+// commit log's append gate and the table write lock, it logs one write
+// record carrying the prepared payloads, applies it in memory, and — after
+// releasing both — awaits log durability before acknowledging.
+func (db *DB) commitInsert(tableName string, t *table, payloads []map[string][]byte) error {
+	end := db.gateWrite(tableName)
 	t.mu.Lock()
 	if err := t.ready(); err != nil {
 		t.mu.Unlock()
+		end()
 		return err
 	}
-	db.commitRowsLocked(t, []map[string][]byte{payloads})
+	commit, err := db.logWriteLocked(t, tableName, nil, payloads)
+	if err != nil {
+		t.mu.Unlock()
+		end()
+		return err
+	}
+	db.commitRowsLocked(t, payloads)
 	t.mu.Unlock()
+	end()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
+	}
 	db.maybeAutoMerge(tableName, t)
 	return nil
 }
@@ -237,15 +259,7 @@ func (db *DB) InsertBatch(ctx context.Context, tableName string, rows []Row) err
 			return fmt.Errorf("engine: batch row %d: %w", i, err)
 		}
 	}
-	t.mu.Lock()
-	if err := t.ready(); err != nil {
-		t.mu.Unlock()
-		return err
-	}
-	db.commitRowsLocked(t, payloads)
-	t.mu.Unlock()
-	db.maybeAutoMerge(tableName, t)
-	return nil
+	return db.commitInsert(tableName, t, payloads)
 }
 
 // Delete invalidates all rows matching the filters and returns how many rows
@@ -261,19 +275,40 @@ func (db *DB) Delete(ctx context.Context, tableName string, filters []Filter) (i
 	if err != nil {
 		return 0, err
 	}
+	end := db.gateWrite(tableName)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if err := t.ready(); err != nil {
+		t.mu.Unlock()
+		end()
 		return 0, err
 	}
 	match, err := db.matchValidLocked(ctx, t, filters)
 	if err != nil {
+		t.mu.Unlock()
+		end()
 		return 0, err
 	}
 	removed := match.Len()
+	var rids []uint32
+	if db.cl != nil {
+		rids = match.Slice()
+	}
+	commit, err := db.logWriteLocked(t, tableName, rids, nil)
+	if err != nil {
+		t.mu.Unlock()
+		end()
+		return 0, err
+	}
 	valid := t.valid.Clone()
 	valid.AndNot(match)
 	t.valid = valid
+	t.mu.Unlock()
+	end()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return 0, err
+		}
+	}
 	return removed, nil
 }
 
@@ -291,19 +326,23 @@ func (db *DB) Update(ctx context.Context, tableName string, filters []Filter, se
 	if err != nil {
 		return 0, err
 	}
+	end := db.gateWrite(tableName)
 	t.mu.Lock()
 	if err := t.ready(); err != nil {
 		t.mu.Unlock()
+		end()
 		return 0, err
 	}
 	match, err := db.matchValidLocked(ctx, t, filters)
 	if err != nil {
 		t.mu.Unlock()
+		end()
 		return 0, err
 	}
 	rids := match.Slice()
 	if len(rids) == 0 {
 		t.mu.Unlock()
+		end()
 		return 0, nil
 	}
 	// Render the full matching rows (all columns) before invalidating.
@@ -329,14 +368,29 @@ func (db *DB) Update(ctx context.Context, tableName string, filters []Filter, se
 	for i, row := range rows {
 		if payloads[i], err = db.prepareRow(t, row); err != nil {
 			t.mu.Unlock()
+			end()
 			return 0, err
 		}
+	}
+	// One record carries both halves of the statement, so replay applies
+	// the invalidations and the replacement rows atomically.
+	commit, err := db.logWriteLocked(t, tableName, rids, payloads)
+	if err != nil {
+		t.mu.Unlock()
+		end()
+		return 0, err
 	}
 	valid := t.valid.Clone()
 	valid.AndNot(match)
 	t.valid = valid
 	db.commitRowsLocked(t, payloads)
 	t.mu.Unlock()
+	end()
+	if commit != nil {
+		if err := commit(); err != nil {
+			return 0, err
+		}
+	}
 	db.maybeAutoMerge(tableName, t)
 	return len(rids), nil
 }

@@ -190,6 +190,11 @@ type DB struct {
 	opts    options
 	metrics *engineMetrics
 
+	// cl is the durability hook (nil for a volatile database). Installed
+	// via SetCommitLog before traffic starts; every write path appends to
+	// it before applying, under the per-table append gate.
+	cl CommitLog
+
 	mu     sync.RWMutex
 	tables map[string]*table
 
@@ -309,7 +314,13 @@ func (db *DB) lookup(name string) (*table, error) {
 }
 
 // CreateTable registers a table schema with empty column stores.
-func (db *DB) CreateTable(s Schema) error {
+func (db *DB) CreateTable(s Schema) error { return db.createTable(s, true) }
+
+// createTable is CreateTable with logging control: recovery replay and
+// snapshot Restore install tables without emitting commit-log records (the
+// former because the record already exists, the latter because the restore
+// is made durable by a checkpoint instead).
+func (db *DB) createTable(s Schema, logged bool) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
@@ -325,24 +336,67 @@ func (db *DB) CreateTable(s Schema) error {
 			tail:  newDeltaStore(),
 		}
 	}
+	var end func()
+	if logged && db.cl != nil {
+		end = db.cl.BeginWrite(s.Table)
+		defer end()
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.tables[s.Table]; ok {
+		db.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrTableExists, s.Table)
 	}
+	var commit func() error
+	if logged && db.cl != nil {
+		// Log inside the registry critical section, after the existence
+		// check: two racing creates cannot both emit a create record.
+		sc := s
+		c, err := db.cl.Append(&LogRecord{Type: RecordCreate, Table: s.Table, Schema: &sc})
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		commit = c
+	}
 	db.tables[s.Table] = t
+	db.mu.Unlock()
+	if commit != nil {
+		return commit()
+	}
 	return nil
 }
 
 // DropTable removes a table from the registry. In-flight operations holding
 // the table finish against the orphaned store.
-func (db *DB) DropTable(name string) error {
+func (db *DB) DropTable(name string) error { return db.dropTable(name, true) }
+
+// dropTable is DropTable with logging control (unlogged for replay and for
+// rolling back a failed Restore).
+func (db *DB) dropTable(name string, logged bool) error {
+	var end func()
+	if logged && db.cl != nil {
+		end = db.cl.BeginWrite(name)
+		defer end()
+	}
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; !ok {
+		db.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
+	var commit func() error
+	if logged && db.cl != nil {
+		c, err := db.cl.Append(&LogRecord{Type: RecordDrop, Table: name})
+		if err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		commit = c
+	}
 	delete(db.tables, name)
+	db.mu.Unlock()
+	if commit != nil {
+		return commit()
+	}
 	return nil
 }
 
@@ -378,29 +432,57 @@ func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
 	if !ok {
 		return fmt.Errorf("%w: %q.%q", ErrNoSuchColumn, tableName, columnName)
 	}
+	end := db.gateWrite(tableName)
+	defer end()
+	commit, err := db.importColumnLocked(t, c, tableName, columnName, s)
+	if err != nil {
+		return err
+	}
+	if commit != nil {
+		return commit()
+	}
+	return nil
+}
+
+// importColumnLocked validates and installs the split under the table write
+// lock, logging an import record (the serialized split, so replay needs no
+// enclave) before the install.
+func (db *DB) importColumnLocked(t *table, c *column, tableName, columnName string, s *dict.Split) (func() error, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if c.imported {
-		return fmt.Errorf("%w: %q.%q", ErrAlreadyLoaded, tableName, columnName)
+		return nil, fmt.Errorf("%w: %q.%q", ErrAlreadyLoaded, tableName, columnName)
 	}
 	if t.deltaRows > 0 {
-		return fmt.Errorf("engine: cannot bulk import %q.%q after inserts", tableName, columnName)
+		return nil, fmt.Errorf("engine: cannot bulk import %q.%q after inserts", tableName, columnName)
 	}
 	// A merge pipeline sets merging before it seals, and sealing takes
 	// this lock — so any import that passes this check completes strictly
 	// before the base version is pinned, and the swap's replay bookkeeping
 	// never sees imported rows it mistakes for mid-rebuild appends.
 	if t.merging.Load() {
-		return fmt.Errorf("engine: cannot bulk import %q.%q during an in-flight merge", tableName, columnName)
+		return nil, fmt.Errorf("engine: cannot bulk import %q.%q during an in-flight merge", tableName, columnName)
 	}
 	if s.Kind != c.def.Kind || s.Plain != c.def.Plain {
-		return fmt.Errorf("engine: split kind %v/plain=%v does not match column %q (%v/plain=%v)",
+		return nil, fmt.Errorf("engine: split kind %v/plain=%v does not match column %q (%v/plain=%v)",
 			s.Kind, s.Plain, columnName, c.def.Kind, c.def.Plain)
 	}
 	loaded := t.importedRows()
 	if loaded >= 0 && s.Rows() != loaded {
-		return fmt.Errorf("%w: %q.%q has %d rows, table has %d",
+		return nil, fmt.Errorf("%w: %q.%q has %d rows, table has %d",
 			ErrRowMismatch, tableName, columnName, s.Rows(), loaded)
+	}
+	var commit func() error
+	if db.cl != nil {
+		data := s.Data()
+		c2, err := db.cl.Append(&LogRecord{
+			Type: RecordImport, Table: tableName, Gen: t.gen,
+			Column: columnName, Split: &data,
+		})
+		if err != nil {
+			return nil, err
+		}
+		commit = c2
 	}
 	c.main = s
 	c.imported = true
@@ -408,7 +490,7 @@ func (db *DB) ImportColumn(tableName, columnName string, s *dict.Split) error {
 		t.mainRows = s.Rows()
 		t.valid = ridset.Full(s.Rows())
 	}
-	return nil
+	return commit, nil
 }
 
 // ImportPlaintextColumn is the trusted-setup bulk load variant of paper

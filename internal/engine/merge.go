@@ -159,20 +159,26 @@ func (db *DB) mergePass(tableName string, t *table) error {
 // runMerge is the merge pipeline body; the caller holds mergeMu.
 func (db *DB) runMerge(tableName string, t *table) error {
 	if db.opts.blockingMerge {
-		// Legacy baseline: the whole pipeline under one write lock.
+		// Legacy baseline: the whole pipeline under one write lock. The
+		// checkpoint gate wraps it entirely — lock order is gate first.
+		endGate := db.gateCheckpoint(tableName)
+		defer endGate()
 		t.mu.Lock()
-		defer t.mu.Unlock()
 		if err := t.ready(); err != nil {
+			t.mu.Unlock()
 			return err
 		}
 		t.sealTailLocked(0)
 		base := t.versionLocked()
 		merged, newRows, err := db.rebuild(tableName, base)
 		if err != nil {
+			t.mu.Unlock()
 			return err
 		}
 		db.swapLocked(t, base, merged, newRows)
-		return nil
+		gen := t.gen
+		t.mu.Unlock()
+		return db.checkpointMerged(tableName, gen)
 	}
 
 	// 1. Seal: freeze the current tail into a run and pin the version the
@@ -200,11 +206,19 @@ func (db *DB) runMerge(tableName string, t *table) error {
 	}
 
 	// 3. Swap: install the new main store and replay what accrued during
-	// the rebuild. Brief critical section.
+	// the rebuild. Brief critical section — except when a commit log is
+	// installed: the swap compacts the RecordID space, making every earlier
+	// log record unreplayable onto the new store, so the exclusive append
+	// gate is held from just before the swap until the checkpoint has
+	// durably cut the post-swap image. Writers on this table stall for the
+	// image write; queries proceed throughout.
+	endGate := db.gateCheckpoint(tableName)
+	defer endGate()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	db.swapLocked(t, base, merged, newRows)
-	return nil
+	gen := t.gen
+	t.mu.Unlock()
+	return db.checkpointMerged(tableName, gen)
 }
 
 // rebuild produces the new main store of every column from the pinned base

@@ -59,6 +59,10 @@ func (db *DB) Snapshot(tableName string) (*TableSnapshot, error) {
 }
 
 // Restore installs a snapshot as a new table. The table must not exist.
+// With a commit log installed, the restore is made durable by cutting a
+// checkpoint image of the snapshot (no per-row records are logged); the
+// restore is acknowledged only once the image is on disk, and a failed
+// checkpoint rolls the in-memory table back out.
 func (db *DB) Restore(snap *TableSnapshot) error {
 	if err := snap.Schema.Validate(); err != nil {
 		return err
@@ -67,7 +71,9 @@ func (db *DB) Restore(snap *TableSnapshot) error {
 		return fmt.Errorf("engine: snapshot has %d column stores for %d schema columns",
 			len(snap.Columns), len(snap.Schema.Columns))
 	}
-	if err := db.CreateTable(snap.Schema); err != nil {
+	endGate := db.gateCheckpoint(snap.Schema.Table)
+	defer endGate()
+	if err := db.createTable(snap.Schema, false); err != nil {
 		return err
 	}
 	restore := func() error {
@@ -129,8 +135,14 @@ func (db *DB) Restore(snap *TableSnapshot) error {
 	}
 	if err := restore(); err != nil {
 		// Leave no half-restored table behind.
-		_ = db.DropTable(snap.Schema.Table)
+		_ = db.dropTable(snap.Schema.Table, false)
 		return err
+	}
+	if db.cl != nil {
+		if err := db.cl.Checkpoint(snap.Schema.Table, 0, snap); err != nil {
+			_ = db.dropTable(snap.Schema.Table, false)
+			return fmt.Errorf("engine: restore %q: checkpoint: %w", snap.Schema.Table, err)
+		}
 	}
 	return nil
 }

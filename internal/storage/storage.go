@@ -29,6 +29,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"github.com/encdbdb/encdbdb/internal/av"
 	"github.com/encdbdb/encdbdb/internal/dict"
@@ -95,7 +96,18 @@ func WriteTable(w io.Writer, snap *engine.TableSnapshot) error {
 }
 
 // ReadTable deserializes a table snapshot from r.
-func ReadTable(r io.Reader) (*engine.TableSnapshot, error) {
+//
+// The input is untrusted: a truncated, bit-flipped, or adversarially
+// crafted file must come back as an error, never a panic (FuzzReadTable
+// holds the line). Structural checks catch what they can; the deferred
+// recover converts anything that slips through deeper decoding layers
+// into ErrCorrupt.
+func ReadTable(r io.Reader) (snap *engine.TableSnapshot, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			snap, err = nil, fmt.Errorf("%w: decoder panic: %v", ErrCorrupt, p)
+		}
+	}()
 	cr := &crcReader{r: r, crc: crc32.NewIEEE()}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(cr, head); err != nil {
@@ -109,7 +121,7 @@ func ReadTable(r io.Reader) (*engine.TableSnapshot, error) {
 	if d.err == nil && d.ver != versionV1 && d.ver != versionV2 && d.ver != versionV3 {
 		return nil, fmt.Errorf("%w: %d", ErrBadVersion, d.ver)
 	}
-	snap := &engine.TableSnapshot{}
+	snap = &engine.TableSnapshot{}
 	snap.Schema.Table = d.str()
 	ncols := int(d.u32())
 	if d.err == nil && ncols > 1<<20 {
@@ -151,7 +163,14 @@ func ReadTable(r io.Reader) (*engine.TableSnapshot, error) {
 }
 
 // SaveTable writes one table of the database to path atomically (write to a
-// temp file, then rename).
+// temp file, fsync it, rename it into place, fsync the parent directory).
+//
+// Both fsyncs are load-bearing; an earlier version skipped them and a
+// crash shortly after SaveTable returned could surface an empty or partial
+// file under the final name (the rename survived the crash, the data it
+// pointed at did not) or no file at all (the rename itself was lost). The
+// temp-file fsync orders the data before the rename; the directory fsync
+// makes the rename durable.
 func SaveTable(db *engine.DB, tableName, path string) error {
 	snap, err := db.Snapshot(tableName)
 	if err != nil {
@@ -173,11 +192,35 @@ func SaveTable(db *engine.DB, tableName, path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: sync %s: %w", tmp, err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a rename within it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // LoadTable reads a table file and restores it into the database.
@@ -381,13 +424,27 @@ func (d *decoder) sliceLen() int {
 	return int(n)
 }
 
+// decodeChunk caps the initial allocation of length-prefixed slices: a
+// corrupted length field may pass the maxSliceLen sanity bound, so slices
+// grow incrementally as the stream actually delivers data instead of
+// trusting the prefix with a multi-gigabyte up-front allocation
+// (FuzzReadTable found the difference the hard way).
+const decodeChunk = 1 << 20
+
 func (d *decoder) bytes() []byte {
 	n := d.sliceLen()
 	if d.err != nil || n == 0 {
 		return nil
 	}
-	p := make([]byte, n)
-	d.read(p)
+	p := make([]byte, 0, min(n, decodeChunk))
+	for len(p) < n && d.err == nil {
+		m := min(n-len(p), decodeChunk)
+		p = p[:len(p)+m]
+		d.read(p[len(p)-m:])
+	}
+	if d.err != nil {
+		return nil
+	}
 	return p
 }
 
@@ -398,13 +455,13 @@ func (d *decoder) bools() []bool {
 	if d.err != nil {
 		return nil
 	}
-	out := make([]bool, n)
+	out := make([]bool, 0, min(n, decodeChunk))
 	var cur uint8
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && d.err == nil; i++ {
 		if i%8 == 0 {
 			cur = d.u8()
 		}
-		out[i] = cur&(1<<(i%8)) != 0
+		out = append(out, cur&(1<<(i%8)) != 0)
 	}
 	return out
 }
@@ -428,30 +485,30 @@ func (d *decoder) split() dict.SplitData {
 		width = int(d.u8())
 		nwords := d.sliceLen()
 		if d.err == nil && nwords > 0 {
-			words = make([]uint64, nwords)
-			for i := range words {
-				words[i] = d.u64()
+			words = make([]uint64, 0, min(nwords, decodeChunk))
+			for i := 0; i < nwords && d.err == nil; i++ {
+				words = append(words, d.u64())
 			}
 		}
 		if d.ver >= versionV3 {
 			nblocks := d.sliceLen()
 			if d.err == nil && nblocks > 0 {
-				blocks = make([]av.Block, nblocks)
-				for i := range blocks {
-					blocks[i] = av.Block{
+				blocks = make([]av.Block, 0, min(nblocks, decodeChunk))
+				for i := 0; i < nblocks && d.err == nil; i++ {
+					blocks = append(blocks, av.Block{
 						Enc:  av.Encoding(d.u8()),
 						W:    d.u8(),
 						Base: d.u32(),
 						Off:  d.u32(),
 						N:    d.u32(),
-					}
+					})
 				}
 			}
 			nruns := d.sliceLen()
 			if d.err == nil && nruns > 0 {
-				runs = make([]av.Run, nruns)
-				for i := range runs {
-					runs[i] = av.Run{VID: d.u32(), End: d.u32()}
+				runs = make([]av.Run, 0, min(nruns, decodeChunk))
+				for i := 0; i < nruns && d.err == nil; i++ {
+					runs = append(runs, av.Run{VID: d.u32(), End: d.u32()})
 				}
 			}
 		}
@@ -459,17 +516,17 @@ func (d *decoder) split() dict.SplitData {
 		// V1: 4-byte-per-row unpacked attribute vector.
 		nav := d.sliceLen()
 		if d.err == nil && nav > 0 {
-			s.AV = make([]uint32, nav)
-			for i := range s.AV {
-				s.AV[i] = d.u32()
+			s.AV = make([]uint32, 0, min(nav, decodeChunk))
+			for i := 0; i < nav && d.err == nil; i++ {
+				s.AV = append(s.AV, d.u32())
 			}
 		}
 	}
 	nhead := d.sliceLen()
 	if d.err == nil && nhead > 0 {
-		s.Head = make([]dict.EntryRef, nhead)
-		for i := range s.Head {
-			s.Head[i] = dict.EntryRef{Off: d.u32(), Len: d.u32()}
+		s.Head = make([]dict.EntryRef, 0, min(nhead, decodeChunk))
+		for i := 0; i < nhead && d.err == nil; i++ {
+			s.Head = append(s.Head, dict.EntryRef{Off: d.u32(), Len: d.u32()})
 		}
 	}
 	s.Tail = d.bytes()

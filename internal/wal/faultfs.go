@@ -1,0 +1,308 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultFS operation once the simulated
+// crash point has been reached. From the log's point of view the machine
+// lost power: nothing else reaches disk, and only data that was flushed
+// and fsynced before the crash survives for the next Open.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// ErrInjected is the error returned by an operation selected for fault
+// injection (a failing fsync or a short write) without crashing the
+// filesystem.
+var ErrInjected = errors.New("wal: injected I/O fault")
+
+// FaultFS wraps an FS and injects faults at precise points. It models a
+// power failure, which is strictly harsher than kill -9: writes are staged
+// in memory and only reach the wrapped FS on Sync (or Close), so at the
+// crash point every unsynced byte is lost — optionally except a torn
+// prefix, simulating a partial sector writeback.
+//
+// Every mutating operation (create, write, sync, rename, remove, mkdir,
+// dir-sync) increments an operation counter; CrashAt(n) makes the nth
+// operation fail with ErrCrashed and all later ones too. Running a
+// workload once without a crash point yields the full operation schedule
+// (Ops), and re-running it with CrashAt set to each index in turn gives an
+// exhaustive crash matrix over every append/sync/checkpoint boundary.
+type FaultFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	ops        []string
+	crashAt    int // 1-based op index to crash on; 0 = never
+	torn       bool
+	crashed    bool
+	syncSeen   int
+	failSyncAt int // 1-based Sync call to fail with ErrInjected; 0 = never
+	writeSeen  int
+	shortAt    int // 1-based Write call to cut short; 0 = never
+}
+
+// NewFaultFS wraps inner.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// CrashAt schedules a crash on the nth mutating operation (1-based);
+// 0 disables.
+func (f *FaultFS) CrashAt(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+}
+
+// SetTorn controls whether the crash leaves a torn prefix of the unsynced
+// data on disk (a partial sector writeback) instead of losing it entirely.
+func (f *FaultFS) SetTorn(torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.torn = torn
+}
+
+// FailSync makes the nth Sync call (1-based, counted from now) return
+// ErrInjected without flushing; 0 disables.
+func (f *FaultFS) FailSync(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncSeen = 0
+	f.failSyncAt = n
+}
+
+// ShortWrite makes the nth Write call (1-based, counted from now) accept
+// only half its input and return io.ErrShortWrite; 0 disables.
+func (f *FaultFS) ShortWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeSeen = 0
+	f.shortAt = n
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Ops returns the mutating operations observed so far, in order.
+func (f *FaultFS) Ops() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.ops...)
+}
+
+// op records one mutating operation and applies the crash schedule.
+// crashNow is true only on the exact operation that triggered the crash,
+// so the caller can leave a torn prefix behind.
+func (f *FaultFS) op(desc string) (crashNow bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops = append(f.ops, desc)
+	if f.crashAt > 0 && len(f.ops) >= f.crashAt {
+		f.crashed = true
+		return true, ErrCrashed
+	}
+	return false, nil
+}
+
+func (f *FaultFS) isCrashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultFS) tornEnabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.torn
+}
+
+func (f *FaultFS) takeFailSync() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncSeen++
+	return f.failSyncAt > 0 && f.syncSeen == f.failSyncAt
+}
+
+func (f *FaultFS) takeShortWrite() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeSeen++
+	return f.shortAt > 0 && f.writeSeen == f.shortAt
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if _, err := f.op("mkdir " + filepath.Base(dir)); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.op("create " + filepath.Base(name)); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: filepath.Base(name), inner: inner, writable: true}, nil
+}
+
+// Open implements FS. Reads do not count as operations, but a crashed
+// filesystem refuses them: the process is gone.
+func (f *FaultFS) Open(name string) (File, error) {
+	if f.isCrashed() {
+		return nil, ErrCrashed
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: filepath.Base(name), inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if _, err := f.op("rename " + filepath.Base(oldname) + " -> " + filepath.Base(newname)); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.op("remove " + filepath.Base(name)); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if f.isCrashed() {
+		return nil, ErrCrashed
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	if _, err := f.op("syncdir " + filepath.Base(dir)); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile stages writes in memory and only forwards them to the wrapped
+// file on Sync or Close — so a crash loses exactly the unsynced tail, the
+// way a power failure does.
+type faultFile struct {
+	fs       *FaultFS
+	name     string
+	inner    File
+	writable bool
+
+	fmu  sync.Mutex
+	wbuf []byte
+}
+
+// Write implements File.
+func (f *faultFile) Write(p []byte) (int, error) {
+	crashNow, err := f.fs.op("write " + f.name)
+	if err != nil {
+		if crashNow && f.fs.tornEnabled() {
+			f.tearTail(p)
+		}
+		return 0, err
+	}
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	if f.fs.takeShortWrite() {
+		n := len(p) / 2
+		f.wbuf = append(f.wbuf, p[:n]...)
+		return n, io.ErrShortWrite
+	}
+	f.wbuf = append(f.wbuf, p...)
+	return len(p), nil
+}
+
+// Sync implements File.
+func (f *faultFile) Sync() error {
+	crashNow, err := f.fs.op("sync " + f.name)
+	if err != nil {
+		if crashNow && f.fs.tornEnabled() {
+			f.tearTail(nil)
+		}
+		return err
+	}
+	if f.fs.takeFailSync() {
+		return ErrInjected
+	}
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	if err := f.flushLocked(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// tearTail writes half of the staged-but-unsynced bytes (plus any bytes
+// from the in-flight write) to the wrapped file without syncing it: the
+// torn record a power failure leaves mid-writeback.
+func (f *faultFile) tearTail(inflight []byte) {
+	f.fmu.Lock()
+	defer f.fmu.Unlock()
+	all := append(append([]byte(nil), f.wbuf...), inflight...)
+	f.wbuf = f.wbuf[:0]
+	if cut := len(all) / 2; cut > 0 {
+		f.inner.Write(all[:cut]) //nolint:errcheck // best effort at crash
+	}
+}
+
+func (f *faultFile) flushLocked() error {
+	if len(f.wbuf) == 0 {
+		return nil
+	}
+	_, err := f.inner.Write(f.wbuf)
+	f.wbuf = f.wbuf[:0]
+	return err
+}
+
+// Read implements File.
+func (f *faultFile) Read(p []byte) (int, error) {
+	if f.fs.isCrashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Read(p)
+}
+
+// Close implements File. Closing is not a durability boundary: staged
+// bytes are forwarded to the wrapped file (they would survive a process
+// kill) but not fsynced, so a later simulated power failure cannot be
+// dodged by closing early.
+func (f *faultFile) Close() error {
+	if f.fs.isCrashed() {
+		f.inner.Close() //nolint:errcheck // already torn down
+		return ErrCrashed
+	}
+	if f.writable {
+		f.fmu.Lock()
+		err := f.flushLocked()
+		f.fmu.Unlock()
+		if err != nil {
+			f.inner.Close() //nolint:errcheck // surfacing flush error
+			return err
+		}
+	}
+	return f.inner.Close()
+}

@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the log uses. Production runs on OSFS; the
+// fault-injection harness (FaultFS) wraps it to inject torn writes, short
+// writes, fsync errors, and crashes at every append/sync/checkpoint
+// boundary — so the recovery path is exercised against exactly the failure
+// modes a real disk exhibits.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens a new file for writing, truncating any existing one.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the file names in a directory, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs a directory, making renames and creates within it
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is one open log, image, or manifest file.
+type File interface {
+	io.Reader
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the production FS backed by the operating system.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -9,7 +9,7 @@ import (
 
 // benchClient dials addr, creates a small plain table, and returns the
 // client.
-func benchClient(b *testing.B, dial func(string) (*Client, error)) *Client {
+func benchClient(b *testing.B, dial func(string, ...ClientOption) (*Client, error)) *Client {
 	b.Helper()
 	_, addr := startPlainServer(b)
 	c, err := dial(addr)

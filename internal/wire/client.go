@@ -70,6 +70,61 @@ type Client struct {
 	// unknown-op error: it predates streaming, so SelectStream falls back to
 	// a materialized Select for the rest of the connection.
 	noStream atomic.Bool
+
+	// Busy-retry policy (see WithBusyRetry): up to busyRetries extra
+	// attempts after an ErrServerBusy, with exponential backoff starting at
+	// busyBase. Zero retries (the default) surfaces ErrServerBusy directly.
+	busyRetries int
+	busyBase    time.Duration
+}
+
+// ClientOption configures Dial, DialLockstep, and DialPool.
+type ClientOption func(*Client)
+
+// defaultBusyBase is the first backoff step when WithBusyRetry is given a
+// non-positive base.
+const defaultBusyBase = 5 * time.Millisecond
+
+// WithBusyRetry makes the client absorb transient admission-control
+// rejections: a call that fails with ErrServerBusy is retried up to n more
+// times, sleeping base, 2*base, 4*base, ... between attempts (honoring the
+// call's context while sleeping). Retrying is safe for every operation,
+// including inserts: the server sheds load at admission, before the request
+// executes, so a busy rejection means nothing happened. base <= 0 uses a
+// 5ms default.
+func WithBusyRetry(n int, base time.Duration) ClientOption {
+	return func(c *Client) {
+		if n < 0 {
+			n = 0
+		}
+		if base <= 0 {
+			base = defaultBusyBase
+		}
+		c.busyRetries = n
+		c.busyBase = base
+	}
+}
+
+// busyBackoff returns the sleep before retry attempt (1-based), capping the
+// exponent so absurd retry counts cannot overflow the duration.
+func (c *Client) busyBackoff(attempt int) time.Duration {
+	shift := attempt - 1
+	if shift > 16 {
+		shift = 16
+	}
+	return c.busyBase << shift
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // pendingCall is one in-flight request's delivery state. Simple calls
@@ -89,29 +144,36 @@ type callResult struct {
 // protocol. If the peer is a v1 lock-step server (it drops the connection
 // on the negotiation magic), the client redials and falls back
 // transparently.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	c, err := negotiate(conn)
 	if err == nil {
+		for _, o := range opts {
+			o(c)
+		}
 		return c, nil
 	}
 	conn.Close()
-	return DialLockstep(addr)
+	return DialLockstep(addr, opts...)
 }
 
 // DialLockstep connects with the original v1 lock-step protocol: one
 // request/response round trip at a time, no negotiation bytes on the wire.
 // Dial falls back to it automatically; calling it directly is mainly useful
 // for benchmarking against the multiplexed path and for very old servers.
-func DialLockstep(addr string) (*Client, error) {
+func DialLockstep(addr string, opts ...ClientOption) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, lockstep: true}, nil
+	c := &Client{conn: conn, lockstep: true}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 // negotiate performs the v2 hello exchange and starts the reader.
@@ -278,11 +340,24 @@ func (c *Client) sendCancel(id uint64) {
 	}()
 }
 
-// call performs one request/response round trip. Multiplexed connections
-// allow any number of concurrent calls. A cancelled context returns
-// immediately with ctx.Err(); the request keeps its ID registered so the
-// server's (possibly already-sent) response is discarded cleanly.
+// call performs one request/response round trip, absorbing ErrServerBusy
+// rejections per the WithBusyRetry policy.
 func (c *Client) call(ctx context.Context, req *request) (*response, error) {
+	resp, err := c.callOnce(ctx, req)
+	for attempt := 1; attempt <= c.busyRetries && errors.Is(err, ErrServerBusy); attempt++ {
+		if werr := sleepCtx(ctx, c.busyBackoff(attempt)); werr != nil {
+			return nil, werr
+		}
+		resp, err = c.callOnce(ctx, req)
+	}
+	return resp, err
+}
+
+// callOnce performs one request/response round trip. Multiplexed
+// connections allow any number of concurrent calls. A cancelled context
+// returns immediately with ctx.Err(); the request keeps its ID registered
+// so the server's (possibly already-sent) response is discarded cleanly.
+func (c *Client) callOnce(ctx context.Context, req *request) (*response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -451,6 +526,26 @@ func (c *Client) Select(ctx context.Context, q engine.Query) (*engine.Result, er
 // fallback) it degrades transparently to a materialized Select delivered as
 // one chunk. The returned stream must be closed.
 func (c *Client) SelectStream(ctx context.Context, q engine.Query) (engine.ResultStream, error) {
+	if c.lockstep || c.noStream.Load() {
+		// The materialized fallback goes through call, which already
+		// applies the busy-retry policy.
+		return c.materializedStream(ctx, q)
+	}
+	s, err := c.selectStreamOnce(ctx, q)
+	for attempt := 1; attempt <= c.busyRetries && errors.Is(err, ErrServerBusy); attempt++ {
+		if werr := sleepCtx(ctx, c.busyBackoff(attempt)); werr != nil {
+			return nil, werr
+		}
+		s, err = c.selectStreamOnce(ctx, q)
+	}
+	return s, err
+}
+
+// selectStreamOnce makes one attempt at setting up a streamed Select. A
+// busy rejection always arrives on the first frame — admission happens
+// before any chunk is rendered — so retrying the whole setup never
+// re-reads partial results.
+func (c *Client) selectStreamOnce(ctx context.Context, q engine.Query) (engine.ResultStream, error) {
 	if c.lockstep || c.noStream.Load() {
 		return c.materializedStream(ctx, q)
 	}

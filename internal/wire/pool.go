@@ -21,6 +21,7 @@ import (
 // and the owner's setup operations) and is safe for concurrent use.
 type Pool struct {
 	addr string
+	opts []ClientOption
 
 	mu      sync.Mutex
 	clients []*Client
@@ -29,14 +30,15 @@ type Pool struct {
 }
 
 // DialPool opens size connections to addr. Each connection negotiates the
-// protocol version independently (see Dial).
-func DialPool(addr string, size int) (*Pool, error) {
+// protocol version independently (see Dial). Options apply to every
+// connection, including replacements redialed after a sticky failure.
+func DialPool(addr string, size int, opts ...ClientOption) (*Pool, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("wire: pool size must be >= 1, got %d", size)
 	}
-	p := &Pool{addr: addr, clients: make([]*Client, 0, size)}
+	p := &Pool{addr: addr, opts: opts, clients: make([]*Client, 0, size)}
 	for i := 0; i < size; i++ {
-		c, err := Dial(addr)
+		c, err := Dial(addr, opts...)
 		if err != nil {
 			p.Close()
 			return nil, err
@@ -82,7 +84,7 @@ func (p *Pool) pick() *Client {
 		if p.closed {
 			continue
 		}
-		if fresh, err := Dial(p.addr); err == nil {
+		if fresh, err := Dial(p.addr, p.opts...); err == nil {
 			p.clients[slot] = fresh
 			return fresh
 		}

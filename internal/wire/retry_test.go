@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBusyRetrySucceeds pins the WithBusyRetry contract: a call shed with
+// ErrServerBusy is retried after backoff, and succeeds once the saturation
+// clears — the caller never sees the transient rejection.
+func TestBusyRetrySucceeds(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, addr := startAdmissionServer(t, func(req *request) {
+		if req.Op == opRows {
+			entered <- struct{}{}
+			<-release
+		}
+	}, WithConnWorkers(1), WithQueueDepth(1), WithDrainTimeout(time.Second))
+	var once sync.Once
+	unpark := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(func() {
+		unpark()
+		srv.Close()
+	})
+	c, err := Dial(addr, WithBusyRetry(8, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("retry")); err != nil {
+		t.Fatal(err)
+	}
+	// Park a request in the only queue slot, saturating admission.
+	parked := make(chan error, 1)
+	go func() {
+		_, err := c.Rows("retry")
+		parked <- err
+	}()
+	<-entered
+	// Clear the saturation while the second call is mid-backoff: one of its
+	// retries must then be admitted.
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		unpark()
+	}()
+	if _, err := c.Rows("retry"); err != nil {
+		t.Fatalf("retried call: %v, want success after saturation cleared", err)
+	}
+	if err := <-parked; err != nil {
+		t.Fatalf("parked request: %v", err)
+	}
+}
+
+// TestBusyRetryExhausted: when the server stays saturated through every
+// retry, the typed sentinel still reaches the caller.
+func TestBusyRetryExhausted(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, addr := startAdmissionServer(t, func(req *request) {
+		if req.Op == opRows {
+			entered <- struct{}{}
+			<-release
+		}
+	}, WithConnWorkers(1), WithQueueDepth(1), WithDrainTimeout(time.Second))
+	var once sync.Once
+	unpark := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(func() {
+		unpark()
+		srv.Close()
+	})
+	c, err := Dial(addr, WithBusyRetry(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("exh")); err != nil {
+		t.Fatal(err)
+	}
+	go c.Rows("exh") //nolint:errcheck // parked saturator, released in cleanup
+	<-entered
+	if _, err := c.Rows("exh"); !errors.Is(err, ErrServerBusy) {
+		t.Fatalf("exhausted retries: err = %v, want ErrServerBusy", err)
+	}
+}
+
+// TestBusyRetryHonorsContext: backoff sleeps end early when the caller's
+// context is cancelled.
+func TestBusyRetryHonorsContext(t *testing.T) {
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, addr := startAdmissionServer(t, func(req *request) {
+		if req.Op == opRows {
+			entered <- struct{}{}
+			<-release
+		}
+	}, WithConnWorkers(1), WithQueueDepth(1), WithDrainTimeout(time.Second))
+	var once sync.Once
+	unpark := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(func() {
+		unpark()
+		srv.Close()
+	})
+	// An hour of backoff: only context cancellation can end the call soon.
+	c, err := Dial(addr, WithBusyRetry(1, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateTable(plainSchema("ctx")); err != nil {
+		t.Fatal(err)
+	}
+	go c.Rows("ctx") //nolint:errcheck // parked saturator, released in cleanup
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.call(ctx, &request{Op: opRows, Table: "ctx"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled mid-backoff: err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt", d)
+	}
+}

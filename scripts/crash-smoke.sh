@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# crash-smoke.sh — kill -9 recovery smoke test over the real binaries.
+#
+# Boots encdbdb-server with a durability directory, provisions it through
+# encdbdb-proxy with a fixed master key, loads encrypted rows, SIGKILLs the
+# server, restarts it on the same directory, re-provisions the fresh enclave
+# with the same key, and asserts the acknowledged rows survived and answer a
+# range probe. Run from the repository root after `go build -o bin/ ./cmd/...`
+# (pass an alternate bin directory as $1).
+set -euo pipefail
+
+BIN="${1:-bin}"
+ADDR=127.0.0.1:7787
+# Any fixed 32-hex-char key: provisioning after restart must reuse it so the
+# recovered ciphertexts decrypt.
+KEY=00112233445566778899aabbccddeeff
+DATA_DIR=$(mktemp -d)
+server_pid=""
+
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$DATA_DIR"
+}
+trap cleanup EXIT
+
+wait_tcp() {
+  for _ in $(seq 1 50); do
+    (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}") 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "server never came up on $ADDR" >&2
+  return 1
+}
+
+echo "==> first boot: provision, create, load 20 rows"
+"$BIN"/encdbdb-server -addr "$ADDR" -data-dir "$DATA_DIR" &
+server_pid=$!
+wait_tcp
+{
+  echo "CREATE TABLE t (c ED1(8))"
+  for i in $(seq -w 1 20); do
+    echo "INSERT INTO t VALUES ('r$i')"
+  done
+  echo "\\q"
+} | "$BIN"/encdbdb-proxy -addr "$ADDR" -provision -key "$KEY" >load-out.txt
+# Every one of the 20 inserts must have been acknowledged before the kill.
+[ "$(grep -c "affected: 1" load-out.txt)" -eq 20 ]
+
+echo "==> kill -9 the server mid-life"
+kill -9 "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+echo "==> restart on the same data dir; recovery must replay the log"
+"$BIN"/encdbdb-server -addr "$ADDR" -data-dir "$DATA_DIR" 2>server2.log &
+server_pid=$!
+wait_tcp
+grep -q "recovered $DATA_DIR" server2.log
+
+echo "==> re-provision the fresh enclave with the same key and verify"
+{
+  echo "SELECT c FROM t WHERE c >= 'r01' AND c <= 'r99'"
+  echo "SELECT c FROM t WHERE c >= 'r05' AND c <= 'r14'"
+  echo "\\q"
+} | "$BIN"/encdbdb-proxy -addr "$ADDR" -provision -key "$KEY" >probe-out.txt
+# All 20 acknowledged rows survived, and a narrower range probe answers
+# exactly as a never-crashed server would.
+grep -q "(20 rows)" probe-out.txt
+grep -q "(10 rows)" probe-out.txt
+
+echo "==> recovered server still accepts writes"
+{
+  echo "INSERT INTO t VALUES ('r21')"
+  echo "SELECT c FROM t WHERE c >= 'r01' AND c <= 'r99'"
+  echo "\\q"
+} | "$BIN"/encdbdb-proxy -addr "$ADDR" -key "$KEY" >post-out.txt
+grep -q "(21 rows)" post-out.txt
+
+echo "crash-smoke: OK (20/20 rows recovered after kill -9, writes resume)"
