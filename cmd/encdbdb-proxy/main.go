@@ -38,6 +38,7 @@ func run() error {
 		provision = flag.Bool("provision", false, "attest the provider's enclave and deploy the master key")
 		identity  = flag.String("identity", encdbdb.DefaultEnclaveIdentity, "expected enclave code identity")
 		conns     = flag.Int("conns", 1, "connections to the provider (>1 uses a pooled client)")
+		proto     = flag.Int("proto", 0, "highest wire protocol version to negotiate: 3 binary codec, 2 gob stream, 1 lock-step (0 = newest)")
 	)
 	flag.Parse()
 
@@ -58,16 +59,20 @@ func run() error {
 		return err
 	}
 
+	var dialOpts []encdbdb.ClientOption
+	if *proto > 0 {
+		dialOpts = append(dialOpts, encdbdb.WithMaxProto(*proto))
+	}
 	var client encdbdb.RemoteClient
 	if *conns > 1 {
-		pool, err := encdbdb.DialPool(*addr, *conns)
+		pool, err := encdbdb.DialPool(*addr, *conns, dialOpts...)
 		if err != nil {
 			return err
 		}
 		defer pool.Close()
 		client = pool
 	} else {
-		c, err := encdbdb.Dial(*addr)
+		c, err := encdbdb.Dial(*addr, dialOpts...)
 		if err != nil {
 			return err
 		}

@@ -28,6 +28,7 @@ type Database struct {
 	connWorkers int
 	queueDepth  int
 	reqTimeout  time.Duration
+	maxProto    int
 	metrics     *metrics.Registry
 	log         *wal.Log
 }
@@ -63,6 +64,11 @@ type Options struct {
 	// RequestTimeout attaches a deadline to every remote request, measured
 	// from decode — queue wait counts. 0 means no deadline.
 	RequestTimeout time.Duration
+	// MaxProto caps the wire protocol version Serve negotiates (0 = the
+	// newest). Set 2 to hold connections on the gob stream codec or 1 to
+	// emulate a lock-step-only provider — the knobs the cross-version
+	// compatibility matrix exercises.
+	MaxProto int
 	// EnableMetrics creates a metrics registry and instruments the engine,
 	// enclave, and (once Serve runs) the wire server with it. Scrape it via
 	// MetricsHandler. Off by default: an uninstrumented provider pays zero
@@ -153,6 +159,7 @@ func Open(opts ...Options) (*Database, error) {
 		connWorkers: o.ConnWorkers,
 		queueDepth:  o.QueueDepth,
 		reqTimeout:  o.RequestTimeout,
+		maxProto:    o.MaxProto,
 		metrics:     reg,
 		log:         log,
 	}, nil
@@ -239,6 +246,9 @@ func (d *Database) Serve(ln net.Listener, logf func(format string, args ...any))
 	}
 	if d.reqTimeout > 0 {
 		opts = append(opts, wire.WithRequestTimeout(d.reqTimeout))
+	}
+	if d.maxProto > 0 {
+		opts = append(opts, wire.WithServerMaxProto(d.maxProto))
 	}
 	if d.metrics != nil {
 		opts = append(opts, wire.WithMetrics(d.metrics))

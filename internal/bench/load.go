@@ -31,6 +31,13 @@ const (
 	loadEstimateWorkers = 8
 	// loadWarmupFraction of each measurement window is discarded.
 	loadWarmupFraction = 0.2
+	// loadGenWorkers is the open-loop generator's launch pool, sized well
+	// past the server's execution + queue bound so that at every swept rate
+	// the server's admission control — not the generator — decides what is
+	// shed. When even this pool is saturated, the arrival is counted as shed
+	// at the generator rather than delayed: delaying it would be coordinated
+	// omission, measuring only the latencies the server was ready for.
+	loadGenWorkers = 4 * loadQueueDepth
 )
 
 // loadFractions are the sweep's offered-load points as fractions of the
@@ -41,14 +48,19 @@ var loadFractions = []float64{0.5, 0.8, 1.0, 1.5, 2.5}
 // LoadPoint is one measured offered-load level of the saturation sweep.
 type LoadPoint struct {
 	// TargetQPS is the open-loop arrival rate the generator aimed for;
-	// OfferedQPS what it actually injected (pacing granularity loses a
-	// little at high rates).
+	// OfferedQPS what it actually offered. The generator keeps arrivals on
+	// an absolute schedule and sheds on the spot when no launcher is idle,
+	// so the two track each other even past saturation — a gap would mean
+	// coordinated omission crept back in.
 	TargetQPS  float64 `json:"target_qps"`
 	OfferedQPS float64 `json:"offered_qps"`
 	// GoodputQPS counts successful responses per second; ShedRate the
-	// fraction of injected requests rejected with the busy error.
+	// fraction of offered requests rejected with the busy error, including
+	// arrivals shed at the generator (GenDropped) because every launcher
+	// was occupied.
 	GoodputQPS float64 `json:"goodput_qps"`
 	ShedRate   float64 `json:"shed_rate"`
+	GenDropped int     `json:"gen_dropped"`
 	// P50Ms/P99Ms are latency percentiles of the successful requests.
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
@@ -62,6 +74,7 @@ type LoadReport struct {
 	CapacityQPS float64     `json:"capacity_qps"`
 	ConnWorkers int         `json:"conn_workers"`
 	QueueDepth  int         `json:"queue_depth"`
+	GenWorkers  int         `json:"gen_workers"`
 	WindowMs    float64     `json:"window_ms"`
 	Points      []LoadPoint `json:"points"`
 }
@@ -137,6 +150,7 @@ func Load(cfg Config) error {
 		CapacityQPS: capacity,
 		ConnWorkers: loadConnWorkers,
 		QueueDepth:  loadQueueDepth,
+		GenWorkers:  loadGenWorkers,
 		WindowMs:    float64(window.Milliseconds()),
 	}
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
@@ -209,25 +223,39 @@ func estimateCapacity(query func(i int) error, window time.Duration) (float64, e
 	return float64(total) / window.Seconds(), nil
 }
 
-// loadOutcome is one injected request's fate, stamped with its scheduled
+// loadOutcome is one offered request's fate, stamped with its scheduled
 // arrival so warmup trimming uses arrival time, not completion time.
 type loadOutcome struct {
 	arrival time.Time
 	latency float64 // seconds, successful requests only
 	busy    bool
 	failed  bool
+	genDrop bool // shed at the generator: no launcher was idle at arrival
 }
 
-// runLoadPoint injects requests open-loop at targetQPS for warmup+window and
+// loadArrival is one scheduled request handed from the pacer to a launcher.
+type loadArrival struct {
+	i     int
+	sched time.Time
+}
+
+// runLoadPoint offers requests open-loop at targetQPS for warmup+window and
 // aggregates the post-warmup outcomes.
+//
+// The arrival process must not be slowed by the system under test, or the
+// sweep commits coordinated omission — it would measure only the latencies
+// the server was ready to serve. Two mechanisms keep it honest: arrival k is
+// due at start + k·interval on an absolute schedule (lag never accumulates
+// into a silently lower offered rate), and a due arrival is handed to an
+// idle launcher via a non-blocking send — if the whole launch pool is busy,
+// the arrival is recorded as shed on the spot instead of waiting. Successful
+// requests are timed from their scheduled arrival, so any launch lag counts
+// against the server exactly as a real on-schedule client would feel it.
 func runLoadPoint(query func(i int) error, targetQPS float64, window time.Duration) (LoadPoint, error) {
 	if targetQPS < 1 {
 		targetQPS = 1
 	}
-	interval := time.Duration(float64(time.Second) / targetQPS)
-	if interval <= 0 {
-		interval = time.Nanosecond
-	}
+	interval := float64(time.Second) / targetQPS
 	warmup := time.Duration(loadWarmupFraction * float64(window))
 	start := time.Now()
 	end := start.Add(warmup + window)
@@ -237,53 +265,56 @@ func runLoadPoint(query func(i int) error, targetQPS float64, window time.Durati
 		mu       sync.Mutex
 		outcomes []loadOutcome
 	)
-	injected := 0
-	// Pacing loop: launch every arrival whose scheduled time has passed,
-	// then sleep briefly. Arrivals never wait for in-flight requests —
-	// that is what makes the loop open-loop.
-	for next := start; ; {
-		now := time.Now()
-		if !now.Before(end) {
-			break
-		}
-		for !next.After(now) {
-			i := injected
-			arrival := next
-			injected++
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				t0 := time.Now()
-				err := query(i)
-				o := loadOutcome{arrival: arrival}
+	// Unbuffered: a handoff succeeds only when a launcher is parked on the
+	// receive, ready to issue the request immediately.
+	arrivals := make(chan loadArrival)
+	for w := 0; w < loadGenWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []loadOutcome
+			for a := range arrivals {
+				err := query(a.i)
+				o := loadOutcome{arrival: a.sched}
 				switch {
 				case err == nil:
-					o.latency = time.Since(t0).Seconds()
+					o.latency = time.Since(a.sched).Seconds()
 				case errors.Is(err, wire.ErrServerBusy):
 					o.busy = true
 				default:
 					o.failed = true
 				}
-				mu.Lock()
-				outcomes = append(outcomes, o)
-				mu.Unlock()
-			}()
-			next = next.Add(interval)
+				local = append(local, o)
+			}
+			mu.Lock()
+			outcomes = append(outcomes, local...)
+			mu.Unlock()
+		}()
+	}
+
+	var dropped []loadOutcome
+	for k := 0; ; k++ {
+		sched := start.Add(time.Duration(float64(k) * interval))
+		if !sched.Before(end) {
+			break
 		}
-		pause := time.Until(next)
-		if pause > time.Millisecond {
-			pause = time.Millisecond
+		if d := time.Until(sched); d > 0 {
+			time.Sleep(d)
 		}
-		if pause > 0 {
-			time.Sleep(pause)
+		select {
+		case arrivals <- loadArrival{i: k, sched: sched}:
+		default:
+			dropped = append(dropped, loadOutcome{arrival: sched, busy: true, genDrop: true})
 		}
 	}
+	close(arrivals)
 	wg.Wait()
+	outcomes = append(outcomes, dropped...)
 
 	measureStart := start.Add(warmup)
 	var (
-		sent, ok, busy, failed int
-		lats                   []float64
+		sent, ok, busy, failed, genDropped int
+		lats                               []float64
 	)
 	for _, o := range outcomes {
 		if o.arrival.Before(measureStart) {
@@ -293,6 +324,9 @@ func runLoadPoint(query func(i int) error, targetQPS float64, window time.Durati
 		switch {
 		case o.busy:
 			busy++
+			if o.genDrop {
+				genDropped++
+			}
 		case o.failed:
 			failed++
 		default:
@@ -300,7 +334,7 @@ func runLoadPoint(query func(i int) error, targetQPS float64, window time.Durati
 			lats = append(lats, o.latency*1e6) // µs for workload.Percentile
 		}
 	}
-	p := LoadPoint{TargetQPS: targetQPS, Errors: failed}
+	p := LoadPoint{TargetQPS: targetQPS, Errors: failed, GenDropped: genDropped}
 	if sent > 0 {
 		p.OfferedQPS = float64(sent) / window.Seconds()
 		p.GoodputQPS = float64(ok) / window.Seconds()

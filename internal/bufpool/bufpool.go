@@ -1,0 +1,143 @@
+// Package bufpool provides a size-class buffer pool for wire frame
+// payloads, modeled on the mbuf pools of userspace network stacks: a fixed
+// ladder of power-of-two size classes, each with its own bounded free list,
+// so steady-state frame traffic recycles a small working set of buffers
+// instead of allocating per frame.
+//
+// Ownership is explicit: Get hands the caller exclusive use of the buffer
+// until Put. The pool never clears payloads — callers must not assume fresh
+// buffers are zeroed — and Put-ting a buffer that is still referenced
+// elsewhere is a use-after-free style bug, just without the crash. The wire
+// layer's rules for when a frame payload may be released are documented in
+// docs/wire-protocol.md.
+//
+// All counters are atomics; Get and Put take no locks and do not allocate
+// once the per-class free lists are warm, so the pool itself stays off the
+// allocation profile it exists to flatten.
+package bufpool
+
+import "sync/atomic"
+
+const (
+	// minClassBits..maxClassBits spans 512 B to 1 MiB in power-of-two
+	// classes — the same window the wire layer's retain cap uses. Larger
+	// requests are served by direct allocation and never pooled.
+	minClassBits = 9
+	maxClassBits = 20
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// perClass bounds each class's free list. Beyond it, Put drops the
+	// buffer for the garbage collector — one connection's burst must not
+	// pin buffers for the life of the process.
+	perClass = 64
+)
+
+// Buf is one pooled buffer. B is the caller's payload window, sized by Get;
+// its capacity is the size class. Callers must not grow B past its capacity
+// or retain it after Put.
+type Buf struct {
+	B     []byte
+	class int32
+}
+
+// Stats is a point-in-time snapshot of the pool's counters.
+type Stats struct {
+	// Gets and Puts count Get and Put calls. Their difference is the
+	// number of buffers currently checked out (or abandoned to the GC).
+	Gets, Puts uint64
+	// Misses counts Gets that had to allocate: an empty free list or a
+	// request larger than the biggest size class.
+	Misses uint64
+	// RetainedBytes is the total capacity currently parked on free lists.
+	RetainedBytes uint64
+}
+
+// Pool is a set of per-size-class free lists. The zero value is not usable;
+// call New.
+type Pool struct {
+	free [numClasses]chan *Buf
+
+	gets, puts, misses atomic.Uint64
+	retained           atomic.Uint64
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	p := &Pool{}
+	for i := range p.free {
+		p.free[i] = make(chan *Buf, perClass)
+	}
+	return p
+}
+
+// Default is the process-wide pool the wire layer uses.
+var Default = New()
+
+// classFor returns the class index for a request of n bytes, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minClassBits+c) {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer with len(B) == n. Small requests share the 512 B
+// class; requests beyond the largest class are allocated directly and
+// reported as misses (Put will drop them).
+func (p *Pool) Get(n int) *Buf {
+	p.gets.Add(1)
+	c := classFor(n)
+	if c < 0 {
+		p.misses.Add(1)
+		return &Buf{B: make([]byte, n), class: -1}
+	}
+	select {
+	case b := <-p.free[c]:
+		p.retained.Add(^uint64(cap(b.B) - 1)) // subtract
+		b.B = b.B[:n]
+		return b
+	default:
+	}
+	p.misses.Add(1)
+	return &Buf{B: make([]byte, n, 1<<(minClassBits+c)), class: int32(c)}
+}
+
+// Put returns a buffer to its class's free list. Oversized buffers and
+// buffers overflowing a full free list are dropped for the garbage
+// collector. Put(nil) is a no-op so cleanup paths need no nil checks.
+func (p *Pool) Put(b *Buf) {
+	if b == nil {
+		return
+	}
+	p.puts.Add(1)
+	if b.class < 0 {
+		return
+	}
+	b.B = b.B[:cap(b.B)]
+	select {
+	case p.free[b.class] <- b:
+		p.retained.Add(uint64(cap(b.B)))
+	default:
+	}
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Gets:          p.gets.Load(),
+		Puts:          p.puts.Load(),
+		Misses:        p.misses.Load(),
+		RetainedBytes: p.retained.Load(),
+	}
+}
+
+// Get draws from the Default pool.
+func Get(n int) *Buf { return Default.Get(n) }
+
+// Put returns a buffer to the Default pool.
+func Put(b *Buf) { Default.Put(b) }

@@ -26,6 +26,11 @@ func WithStreamChunk(rows int) Option { return streamChunkOption(rows) }
 // chunks in RecordID order and io.EOF after the last one; each chunk is a
 // self-contained Result whose Count is the chunk's row count. Streams must be
 // closed, though closing an engine cursor only releases references.
+//
+// A chunk — including every cell slice it carries — is valid only until the
+// next Next or Close call. Implementations may recycle the backing memory
+// (the wire client backs each chunk with a pooled frame buffer); a consumer
+// that needs data past that window must copy it out first.
 type ResultStream interface {
 	// Next returns the next chunk, or io.EOF when the stream is exhausted.
 	Next() (*Result, error)

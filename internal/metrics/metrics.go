@@ -137,6 +137,14 @@ func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, "gauge", gaugeFuncMetric(fn))
 }
 
+// NewCounterFunc registers a counter whose value is sampled by calling fn
+// at scrape time. fn must be monotonically non-decreasing — the shape for
+// cumulative totals maintained elsewhere (pool statistics, library-internal
+// atomics) that would be wasteful to mirror on every update.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, "counter", counterFuncMetric(fn))
+}
+
 // NewCounterVec registers a counter family partitioned by the given label
 // names.
 func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
@@ -218,6 +226,14 @@ type gaugeFuncMetric func() float64
 
 func (f gaugeFuncMetric) write(w io.Writer, name string) error {
 	_, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(f()))
+	return err
+}
+
+// counterFuncMetric renders a sampled counter.
+type counterFuncMetric func() uint64
+
+func (f counterFuncMetric) write(w io.Writer, name string) error {
+	_, err := fmt.Fprintf(w, "%s %d\n", name, f())
 	return err
 }
 

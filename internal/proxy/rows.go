@@ -40,6 +40,10 @@ type Rows struct {
 	stream engine.ResultStream
 
 	// chunk is the current engine chunk being served; row indexes into it.
+	// Per the engine.ResultStream contract its cells are valid only until
+	// the next stream.Next call — over a v3 wire connection they alias a
+	// pooled frame buffer that recycles — so every cell must be decoded to
+	// an owned string before the cursor advances past it.
 	chunk *engine.Result
 	row   int
 
@@ -110,7 +114,10 @@ func (r *Rows) Next() bool {
 	return true
 }
 
-// decodeRow decrypts row i of a chunk into projection order.
+// decodeRow decrypts row i of a chunk into projection order. Every decoder
+// copies its cell (decrypt writes fresh plaintext; the pass-through does a
+// string conversion), so the returned row owns its memory and survives the
+// chunk buffer's recycling when the stream advances.
 func (r *Rows) decodeRow(chunk *engine.Result, i int) ([]string, error) {
 	if len(chunk.Columns) != len(r.cols) {
 		return nil, fmt.Errorf("proxy: chunk has %d columns, want %d", len(chunk.Columns), len(r.cols))

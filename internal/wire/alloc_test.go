@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/encdbdb/encdbdb/internal/bufpool"
+	"github.com/encdbdb/encdbdb/internal/enclave"
+	"github.com/encdbdb/encdbdb/internal/engine"
+)
+
+// measureAllocs asserts a steady-state allocation budget for f. The budgets
+// are regression tripwires for the zero-alloc wire hot path: raising one
+// needs the same scrutiny as a perf regression.
+func measureAllocs(t *testing.T, budget float64, f func()) {
+	t.Helper()
+	if got := testing.AllocsPerRun(200, f); got > budget {
+		t.Errorf("allocs/op = %g, budget %g", got, budget)
+	}
+}
+
+// v3Frame renders one multiplexed frame (header + codec-tagged payload) the
+// way a v3 peer would put it on the wire.
+func v3Frame(t *testing.T, id uint64, req *request) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := newMuxWriter(&buf)
+	mw.version = protoV3
+	if err := mw.sendRequest(id, req); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func allocSelectReq() *request {
+	return &request{
+		Op:    opSelect,
+		Table: "accounts",
+		Query: engine.Query{
+			Table: "accounts",
+			Filters: []engine.Filter{{
+				Column: "balance",
+				Ranges: []enclave.EncRange{{Start: []byte{1, 2, 3, 4}, End: []byte{5, 6, 7, 8}, StartIncl: true, EndIncl: true}},
+			}},
+			Project: []string{"balance"},
+		},
+	}
+}
+
+func allocInsertReq() *request {
+	return &request{Op: opInsert, Table: "accounts", Row: engine.Row{"balance": []byte("12345678")}}
+}
+
+// TestAllocBudgets pins the allocation cost of every layer of the wire hot
+// path. The server-side paths (frame read, v3 decode, v3 encode, pooled
+// envelopes) must be allocation-free in steady state; the client-side
+// response decode gets a small explicit budget because results are handed
+// to the caller and cannot be pooled.
+func TestAllocBudgets(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets do not hold under the race detector")
+	}
+
+	t.Run("bufpool_get_put", func(t *testing.T) {
+		measureAllocs(t, 0, func() {
+			bufpool.Put(bufpool.Get(4096))
+		})
+	})
+
+	payload := make([]byte, 128)
+	t.Run("frame_write_v1", func(t *testing.T) {
+		// The 4-byte header escapes into the conn's Write call; the v1
+		// protocol pays a self-contained gob document per frame anyway, so
+		// the header is noise there. The multiplexed writers use pooled
+		// header scratch (writeFrameLocked, beginBinLocked) and are held to
+		// zero by the encode subtests below.
+		bw := bufio.NewWriterSize(io.Discard, 1<<16)
+		measureAllocs(t, 1, func() {
+			if err := writeFrame(bw, payload); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("frame_read_v1", func(t *testing.T) {
+		var raw bytes.Buffer
+		if err := writeFrame(&raw, payload); err != nil {
+			t.Fatal(err)
+		}
+		r := bytes.NewReader(raw.Bytes())
+		fr := &frameReader{r: r}
+		defer fr.release()
+		measureAllocs(t, 0, func() {
+			r.Reset(raw.Bytes())
+			if _, err := fr.read(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("frame_read_pooled", func(t *testing.T) {
+		frame := v3Frame(t, 42, allocSelectReq())
+		r := bytes.NewReader(frame)
+		fr := &frameReader{r: r}
+		measureAllocs(t, 0, func() {
+			r.Reset(frame)
+			_, fb, err := fr.readPooled()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufpool.Put(fb)
+		})
+	})
+
+	t.Run("encode_request_v3", func(t *testing.T) {
+		mw := newMuxWriter(io.Discard)
+		mw.version = protoV3
+		req := allocSelectReq()
+		measureAllocs(t, 0, func() {
+			if err := mw.sendRequestV3(1, req); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	t.Run("encode_response_v3", func(t *testing.T) {
+		mw := newMuxWriter(io.Discard)
+		mw.version = protoV3
+		resp := &response{
+			N: 1,
+			Result: &engine.Result{
+				Count:     1,
+				RecordIDs: []uint32{7},
+				Columns:   []engine.ResultColumn{{Table: "accounts", Column: "balance", Cells: [][]byte{[]byte("12345678")}}},
+			},
+		}
+		measureAllocs(t, 0, func() {
+			if err := mw.sendResponseV3(1, resp); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+
+	// The acceptance budget: the server's whole frame cycle for the hot
+	// data-plane ops — read the frame, decode into a pooled envelope,
+	// encode the pooled response, release everything — allocates nothing
+	// in steady state.
+	for _, c := range []struct {
+		name string
+		req  *request
+	}{
+		{"serve_frame_select", allocSelectReq()},
+		{"serve_frame_insert", allocInsertReq()},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			frame := v3Frame(t, 42, c.req)
+			r := bytes.NewReader(frame)
+			fr := &frameReader{r: r}
+			mw := newMuxWriter(io.Discard)
+			mw.version = protoV3
+			var in intern
+			measureAllocs(t, 0, func() {
+				r.Reset(frame)
+				id, fb, err := fr.readPooled()
+				if err != nil {
+					t.Fatal(err)
+				}
+				req, pooled, err := decodeV3Request(fb, &in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp := respPool.Get().(*response)
+				resp.N = 1
+				if err := mw.sendResponseV3(id, resp); err != nil {
+					t.Fatal(err)
+				}
+				resetResponse(resp)
+				respPool.Put(resp)
+				releaseRequest(req, fb, pooled)
+			})
+		})
+	}
+
+	t.Run("decode_response_v3", func(t *testing.T) {
+		resp := &response{
+			N: 1,
+			Result: &engine.Result{
+				Count:     1,
+				RecordIDs: []uint32{7},
+				Columns:   []engine.ResultColumn{{Table: "accounts", Column: "balance", Cells: [][]byte{[]byte("12345678")}}},
+			},
+		}
+		raw := binEncode(t, func(s binSink) { encResponse(s, resp) })
+		// The decoded result is handed to the caller, so its backbone
+		// (Result struct, ID/column/cell slices, two name strings) is
+		// allocated fresh; the cells themselves alias the frame.
+		measureAllocs(t, 7, func() {
+			var d binReader
+			d.reset(raw)
+			got := new(response)
+			decResponse(&d, got)
+			if err := d.err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	})
+}

@@ -1,9 +1,12 @@
 package wire
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"testing"
 
+	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
 )
 
@@ -62,6 +65,160 @@ func BenchmarkRoundTripMultiplexedParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// The BenchmarkWire* pairs compare the v2 gob stream against the v3 binary
+// codec on identical workloads over a real connection — the headline
+// numbers for the zero-alloc wire hot path. Allocations counted here span
+// both sides plus the engine, so the interesting figure is the v2→v3 delta.
+
+func benchWireSelect(b *testing.B, opts ...ClientOption) {
+	c := benchClient(b, func(addr string, extra ...ClientOption) (*Client, error) {
+		return Dial(addr, append(opts, extra...)...)
+	})
+	q := engine.Query{Table: "bench"}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Select(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireInsert(b *testing.B, opts ...ClientOption) {
+	c := benchClient(b, func(addr string, extra ...ClientOption) (*Client, error) {
+		return Dial(addr, append(opts, extra...)...)
+	})
+	ctx := context.Background()
+	row := engine.Row{"c": []byte("v")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert(ctx, "bench", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWireRows(b *testing.B, opts ...ClientOption) {
+	c := benchClient(b, func(addr string, extra ...ClientOption) (*Client, error) {
+		return Dial(addr, append(opts, extra...)...)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Rows("bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireSelectV2(b *testing.B) { benchWireSelect(b, WithMaxProto(2)) }
+func BenchmarkWireSelectV3(b *testing.B) { benchWireSelect(b, WithMaxProto(3)) }
+func BenchmarkWireInsertV2(b *testing.B) { benchWireInsert(b, WithMaxProto(2)) }
+func BenchmarkWireInsertV3(b *testing.B) { benchWireInsert(b, WithMaxProto(3)) }
+func BenchmarkWireRowsV2(b *testing.B)   { benchWireRows(b, WithMaxProto(2)) }
+func BenchmarkWireRowsV3(b *testing.B)   { benchWireRows(b, WithMaxProto(3)) }
+
+// The codec-level pairs isolate the wire layer itself — encode one point
+// SELECT request the way each protocol version puts it on the wire. Here
+// the engine plays no part: the delta is purely gob stream vs binary codec.
+func BenchmarkWireEncodeRequestV2(b *testing.B) {
+	mw := newMuxWriter(io.Discard)
+	req := benchPointSelect()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := mw.sendRequest(uint64(i), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeRequestV3(b *testing.B) {
+	mw := newMuxWriter(io.Discard)
+	mw.version = protoV3
+	req := benchPointSelect()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := mw.sendRequest(uint64(i), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The decode pairs measure the server's whole frame-handling cycle — read a
+// frame carrying a point SELECT, decode it, release — on each version's
+// stream format.
+func BenchmarkWireDecodeRequestV2(b *testing.B) {
+	var buf bytes.Buffer
+	mw := newMuxWriter(&buf)
+	req := benchPointSelect()
+	if err := mw.sendRequest(1, req); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if err := mw.sendRequest(uint64(i), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mr := newMuxReader(&buf)
+	// Absorb the gob stream prefix (type descriptors) outside the timer.
+	got := new(request)
+	if _, err := mr.next(got); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		*got = request{}
+		if _, err := mr.next(got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeRequestV3(b *testing.B) {
+	var buf bytes.Buffer
+	mw := newMuxWriter(&buf)
+	mw.version = protoV3
+	if err := mw.sendRequest(1, benchPointSelect()); err != nil {
+		b.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+	r := bytes.NewReader(frame)
+	fr := frameReader{r: r}
+	var in intern
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(frame)
+		_, fb, err := fr.readPooled()
+		if err != nil {
+			b.Fatal(err)
+		}
+		req, pooled, err := decodeV3Request(fb, &in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		releaseRequest(req, fb, pooled)
+	}
+}
+
+func benchPointSelect() *request {
+	return &request{
+		Op:    opSelect,
+		Table: "accounts",
+		Query: engine.Query{
+			Table: "accounts",
+			Filters: []engine.Filter{{
+				Column: "balance",
+				Ranges: []enclave.EncRange{{Start: []byte{1, 2, 3, 4}, End: []byte{5, 6, 7, 8}, StartIncl: true, EndIncl: true}},
+			}},
+			Project: []string{"balance"},
+		},
+	}
 }
 
 // BenchmarkInsertBatch100 measures the batched bulk-load fast path: 100

@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/encdbdb/encdbdb/internal/bufpool"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/enclave"
 	"github.com/encdbdb/encdbdb/internal/engine"
@@ -51,9 +54,15 @@ const streamBuffer = 32
 type Client struct {
 	conn net.Conn
 
-	// lockstep marks a v1 connection; mu then serializes whole round trips.
+	// maxProto caps the version the client proposes (see WithMaxProto);
+	// zero means the newest this build speaks.
+	maxProto byte
+
+	// lockstep marks a v1 connection; mu then serializes whole round trips,
+	// and fr reuses one pooled buffer across response frames.
 	lockstep bool
 	mu       sync.Mutex
+	fr       frameReader
 
 	// Multiplexed state: pending maps in-flight request IDs to their
 	// caller's delivery state; failure is sticky and poisons all future
@@ -105,6 +114,23 @@ func WithBusyRetry(n int, base time.Duration) ClientOption {
 	}
 }
 
+// WithMaxProto caps the protocol version the client proposes during
+// negotiation: 3 (the default) negotiates the binary codec, 2 forces the
+// gob multiplexed protocol, 1 skips negotiation entirely and speaks
+// lock-step. Mainly useful for benchmarking codecs against each other and
+// for pinning compatibility in tests and rollouts.
+func WithMaxProto(v int) ClientOption {
+	return func(c *Client) {
+		if v < protoV1 {
+			v = protoV1
+		}
+		if v > protoV3 {
+			v = protoV3
+		}
+		c.maxProto = byte(v)
+	}
+}
+
 // busyBackoff returns the sleep before retry attempt (1-based), capping the
 // exponent so absurd retry counts cannot overflow the duration.
 func (c *Client) busyBackoff(attempt int) time.Duration {
@@ -137,7 +163,11 @@ type pendingCall struct {
 
 type callResult struct {
 	resp *response
-	err  error
+	// buf is the pooled frame buffer resp's byte fields alias (v3 binary
+	// responses only; nil otherwise). Ownership travels with the result:
+	// whoever consumes resp decides when the buffer returns to the pool.
+	buf *bufpool.Buf
+	err error
 }
 
 // Dial connects to a provider at addr and negotiates the multiplexed
@@ -149,11 +179,15 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	c, err := negotiate(conn)
-	if err == nil {
-		for _, o := range opts {
-			o(c)
-		}
+	c := &Client{conn: conn}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.maxProto == protoV1 {
+		conn.Close()
+		return DialLockstep(addr, opts...)
+	}
+	if err := c.negotiate(); err == nil {
 		return c, nil
 	}
 	conn.Close()
@@ -176,32 +210,36 @@ func DialLockstep(addr string, opts ...ClientOption) (*Client, error) {
 	return c, nil
 }
 
-// negotiate performs the v2 hello exchange and starts the reader.
-func negotiate(conn net.Conn) (*Client, error) {
-	if err := conn.SetDeadline(time.Now().Add(helloTimeout)); err != nil {
-		return nil, err
+// negotiate performs the hello exchange (proposing the newest version this
+// client is allowed to speak) and starts the reader for whichever version
+// the server picked.
+func (c *Client) negotiate() error {
+	propose := byte(protoV3)
+	if c.maxProto != 0 && c.maxProto < propose {
+		propose = c.maxProto
 	}
-	if err := writeHello(conn, protoV2); err != nil {
-		return nil, err
+	if err := c.conn.SetDeadline(time.Now().Add(helloTimeout)); err != nil {
+		return err
 	}
-	ver, err := readHello(conn)
+	if err := writeHello(c.conn, propose); err != nil {
+		return err
+	}
+	ver, err := readHello(c.conn)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if ver < protoV2 {
-		return nil, fmt.Errorf("wire: server negotiated unsupported version %d", ver)
+	if ver < protoV2 || ver > propose {
+		return fmt.Errorf("wire: server negotiated unsupported version %d", ver)
 	}
-	if err := conn.SetDeadline(time.Time{}); err != nil {
-		return nil, err
+	if err := c.conn.SetDeadline(time.Time{}); err != nil {
+		return err
 	}
-	c := &Client{
-		conn:    conn,
-		w:       newMuxWriter(conn),
-		pending: make(map[uint64]*pendingCall),
-		failed:  make(chan struct{}),
-	}
+	c.w = newMuxWriter(c.conn)
+	c.w.version = ver
+	c.pending = make(map[uint64]*pendingCall)
+	c.failed = make(chan struct{})
 	go c.readLoop()
-	return c, nil
+	return nil
 }
 
 // Multiplexed reports whether the connection negotiated the multiplexed
@@ -224,7 +262,11 @@ func (c *Client) healthy() bool {
 // ErrClientClosed; none hang.
 func (c *Client) Close() error {
 	if c.lockstep {
-		return c.conn.Close()
+		err := c.conn.Close()
+		c.mu.Lock()
+		c.fr.release()
+		c.mu.Unlock()
+		return err
 	}
 	c.fail(ErrClientClosed)
 	return nil
@@ -267,7 +309,13 @@ func (c *Client) failErr() error {
 // of a multiplexed connection. Streaming requests stay registered until
 // their final frame (More unset or Err set) arrives.
 func (c *Client) readLoop() {
-	mr := newMuxReader(bufio.NewReader(c.conn))
+	br := bufio.NewReader(c.conn)
+	if c.w.version >= protoV3 {
+		c.readLoopV3(br)
+		return
+	}
+	mr := newMuxReader(br)
+	defer mr.fr.release()
 	for {
 		resp := new(response)
 		id, err := mr.next(resp)
@@ -275,33 +323,85 @@ func (c *Client) readLoop() {
 			c.fail(fmt.Errorf("wire: receive: %w", err))
 			return
 		}
-		c.pmu.Lock()
-		pc, ok := c.pending[id]
-		if ok && (!pc.stream || !resp.More || resp.Err != "") {
-			delete(c.pending, id)
-		}
-		c.pmu.Unlock()
-		if !ok {
-			// A response for an unregistered ID is normal for a call
-			// abandoned by context cancellation — the late answer is simply
-			// discarded. (Duplicate or never-issued IDs are indistinguishable
-			// from that here; stream divergence still surfaces as gob decode
-			// errors.)
-			continue
-		}
-		if pc.stream {
-			// A slow streaming consumer exerts backpressure on the whole
-			// connection; the buffer bounds how far the server can run
-			// ahead. Abandoned streams drain themselves via Close or wake
-			// up through the failed channel if the connection dies.
-			select {
-			case pc.ch <- callResult{resp: resp}:
-			case <-c.failed:
-			}
-			continue
-		}
-		pc.ch <- callResult{resp: resp}
+		c.deliver(id, resp, nil)
 	}
+}
+
+// readLoopV3 is readLoop for the binary protocol: each frame arrives in its
+// own pooled buffer, and binary-coded responses alias it, so the buffer
+// travels with the response instead of being reused in place.
+func (c *Client) readLoopV3(br *bufio.Reader) {
+	fr := frameReader{r: br}
+	for {
+		id, buf, err := fr.readPooled()
+		if err != nil {
+			c.fail(fmt.Errorf("wire: receive: %w", err))
+			return
+		}
+		resp := new(response)
+		aliases := false
+		if len(buf.B) == 0 {
+			err = errCorruptFrame
+		} else {
+			switch tag := buf.B[0]; tag {
+			case codecBin:
+				var d binReader
+				d.reset(buf.B[1:])
+				aliases = decResponse(&d, resp)
+				if derr := d.err(); derr != nil {
+					err = decodeError(tag, derr)
+				}
+			case codecGob:
+				if derr := gob.NewDecoder(bytes.NewReader(buf.B[1:])).Decode(resp); derr != nil {
+					err = decodeError(tag, derr)
+				}
+			default:
+				err = fmt.Errorf("wire: unknown codec 0x%02x", tag)
+			}
+		}
+		if err != nil {
+			bufpool.Put(buf)
+			c.fail(fmt.Errorf("wire: receive: %w", err))
+			return
+		}
+		if !aliases {
+			// Nothing in resp points into the frame; recycle it right away.
+			bufpool.Put(buf)
+			buf = nil
+		}
+		c.deliver(id, resp, buf)
+	}
+}
+
+// deliver routes one response to its in-flight caller, passing along the
+// pooled buffer it aliases (nil when none). Responses for unregistered IDs
+// are normal for calls abandoned by context cancellation — the late answer
+// is simply discarded. (Duplicate or never-issued IDs are indistinguishable
+// from that here; stream divergence still surfaces as decode errors.)
+func (c *Client) deliver(id uint64, resp *response, buf *bufpool.Buf) {
+	c.pmu.Lock()
+	pc, ok := c.pending[id]
+	if ok && (!pc.stream || !resp.More || resp.Err != "") {
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+	if !ok {
+		bufpool.Put(buf)
+		return
+	}
+	if pc.stream {
+		// A slow streaming consumer exerts backpressure on the whole
+		// connection; the buffer bounds how far the server can run
+		// ahead. Abandoned streams drain themselves via Close or wake
+		// up through the failed channel if the connection dies.
+		select {
+		case pc.ch <- callResult{resp: resp, buf: buf}:
+		case <-c.failed:
+			bufpool.Put(buf)
+		}
+		return
+	}
+	pc.ch <- callResult{resp: resp, buf: buf}
 }
 
 // register allocates a request ID and delivery state.
@@ -374,7 +474,7 @@ func (c *Client) callOnce(ctx context.Context, req *request) (*response, error) 
 	if err != nil {
 		return nil, err
 	}
-	if err := c.w.send(id, req); err != nil {
+	if err := c.w.sendRequest(id, req); err != nil {
 		// A partial frame corrupts the stream for everyone; poison the
 		// connection. fail delivers to pc.ch unless the reader already did.
 		c.fail(fmt.Errorf("wire: send: %w", err))
@@ -385,8 +485,12 @@ func (c *Client) callOnce(ctx context.Context, req *request) (*response, error) 
 			return nil, res.err
 		}
 		if res.resp.Err != "" {
+			bufpool.Put(res.buf)
 			return nil, wireError(res.resp.Err)
 		}
+		// Any pooled buffer the response aliases now belongs to the caller's
+		// result and is reclaimed by the garbage collector — results of
+		// simple calls have no close step that could return it earlier.
 		return res.resp, nil
 	case <-ctx.Done():
 		// Advisory cancel; the entry stays registered so the eventual
@@ -424,7 +528,9 @@ func isUnknownOp(err error, o op) bool {
 }
 
 // roundTrip is the v1 lock-step path: a self-contained gob frame each way,
-// holding the connection for the whole round trip.
+// holding the connection for the whole round trip. Response frames land in
+// the client's pooled frameReader buffer, reused round trip to round trip;
+// gob decoding copies out of it, so reuse is safe.
 func (c *Client) roundTrip(req *request) (*response, error) {
 	payload, err := encodeMsg(req)
 	if err != nil {
@@ -435,7 +541,10 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 	if err := writeFrame(c.conn, payload); err != nil {
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
-	raw, err := readFrame(c.conn)
+	if c.fr.r == nil {
+		c.fr.r = c.conn
+	}
+	raw, err := c.fr.read()
 	if err != nil {
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
@@ -553,7 +662,7 @@ func (c *Client) selectStreamOnce(ctx context.Context, q engine.Query) (engine.R
 	if err != nil {
 		return nil, err
 	}
-	if err := c.w.send(id, &request{Op: opSelectStream, Query: q}); err != nil {
+	if err := c.w.sendRequest(id, &request{Op: opSelectStream, Query: q}); err != nil {
 		c.fail(fmt.Errorf("wire: send: %w", err))
 	}
 	// Wait for the first frame before returning: it either proves the
@@ -565,6 +674,7 @@ func (c *Client) selectStreamOnce(ctx context.Context, q engine.Query) (engine.R
 			return nil, res.err
 		}
 		if res.resp.Err != "" {
+			bufpool.Put(res.buf)
 			err := wireError(res.resp.Err)
 			if isUnknownOp(err, opSelectStream) {
 				c.noStream.Store(true)
@@ -572,7 +682,7 @@ func (c *Client) selectStreamOnce(ctx context.Context, q engine.Query) (engine.R
 			}
 			return nil, err
 		}
-		return &clientStream{c: c, ctx: ctx, id: id, pc: pc, head: res.resp, total: res.resp.N}, nil
+		return &clientStream{c: c, ctx: ctx, id: id, pc: pc, head: res.resp, buf: res.buf, total: res.resp.N}, nil
 	case <-ctx.Done():
 		c.sendCancel(id)
 		c.drainAbandoned(id, pc)
@@ -591,12 +701,14 @@ func (c *Client) materializedStream(ctx context.Context, q engine.Query) (engine
 }
 
 // drainAbandoned unregisters a streaming request and discards chunks that
-// already arrived, letting the demux loop drop the rest.
+// already arrived (returning their frame buffers to the pool), letting the
+// demux loop drop the rest.
 func (c *Client) drainAbandoned(id uint64, pc *pendingCall) {
 	c.unregister(id)
 	for {
 		select {
-		case <-pc.ch:
+		case res := <-pc.ch:
+			bufpool.Put(res.buf)
 		default:
 			return
 		}
@@ -606,13 +718,20 @@ func (c *Client) drainAbandoned(id uint64, pc *pendingCall) {
 // clientStream is the client half of a streamed Select: chunks arrive on the
 // pending channel as the demux loop delivers them; the final frame (More
 // unset) ends the stream.
+//
+// Chunk buffers recycle: on a v3 connection each chunk's rows alias a
+// pooled frame buffer, which goes back to the pool when the consumer asks
+// for the next chunk (or closes the stream). A chunk returned by Next is
+// therefore valid only until the next Next or Close call — exactly the
+// contract engine.ResultStream documents, and how proxy.Rows consumes it.
 type clientStream struct {
 	c   *Client
 	ctx context.Context
 	id  uint64
 	pc  *pendingCall
 
-	head      *response // first frame, held back by SelectStream
+	head      *response    // first frame, held back by SelectStream
+	buf       *bufpool.Buf // frame buffer backing the chunk last handed out
 	total     int
 	done      bool
 	cancelled bool
@@ -631,12 +750,16 @@ func (s *clientStream) Next() (*engine.Result, error) {
 		resp := s.head
 		s.head = nil
 		if resp == nil {
+			// The consumer is done with the previous chunk; its frame buffer
+			// can carry the next one.
+			s.putBuf()
 			select {
 			case res := <-s.pc.ch:
 				if res.err != nil {
 					return nil, s.finish(res.err)
 				}
 				resp = res.resp
+				s.buf = res.buf
 			case <-s.c.failed:
 				return nil, s.finish(s.c.failErr())
 			case <-s.ctx.Done():
@@ -654,6 +777,7 @@ func (s *clientStream) Next() (*engine.Result, error) {
 		if !resp.More {
 			s.total = resp.N
 			s.done = true
+			s.putBuf()
 			return nil, io.EOF
 		}
 		s.total = resp.N
@@ -664,9 +788,16 @@ func (s *clientStream) Next() (*engine.Result, error) {
 	}
 }
 
-// finish records a terminal error.
+// putBuf returns the current chunk's frame buffer to the pool.
+func (s *clientStream) putBuf() {
+	bufpool.Put(s.buf)
+	s.buf = nil
+}
+
+// finish records a terminal error and releases the current chunk buffer.
 func (s *clientStream) finish(err error) error {
 	s.err = err
+	s.putBuf()
 	return err
 }
 
@@ -679,6 +810,7 @@ func (s *clientStream) Close() error {
 	if s.done || s.err != nil {
 		return nil
 	}
+	s.putBuf()
 	if !s.cancelled {
 		s.cancelled = true
 		s.c.sendCancel(s.id)
@@ -688,6 +820,7 @@ func (s *clientStream) Close() error {
 	for {
 		select {
 		case res := <-s.pc.ch:
+			bufpool.Put(res.buf)
 			if res.err != nil || res.resp.Err != "" || !res.resp.More {
 				s.done = true
 				return nil

@@ -15,7 +15,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err := writeFrame(&buf, payload); err != nil {
 			return false
 		}
-		got, err := readFrame(&buf)
+		fr := &frameReader{r: &buf}
+		defer fr.release()
+		got, err := fr.read()
 		if err != nil {
 			return false
 		}
@@ -29,7 +31,9 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestReadFrameRejectsOversized(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // ~4 GiB announced
-	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+	fr := &frameReader{r: &buf}
+	defer fr.release()
+	if _, err := fr.read(); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("err = %v, want ErrFrameTooLarge", err)
 	}
 }
@@ -41,9 +45,11 @@ func TestReadFrameTruncated(t *testing.T) {
 	}
 	raw := buf.Bytes()
 	for _, n := range []int{0, 2, 4, len(raw) - 1} {
-		if _, err := readFrame(bytes.NewReader(raw[:n])); err == nil {
+		fr := &frameReader{r: bytes.NewReader(raw[:n])}
+		if _, err := fr.read(); err == nil {
 			t.Errorf("truncated frame at %d accepted", n)
 		}
+		fr.release()
 	}
 }
 
@@ -52,14 +58,16 @@ func TestReadFrameEmptyPayload(t *testing.T) {
 	if err := writeFrame(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readFrame(&buf)
+	fr := &frameReader{r: &buf}
+	defer fr.release()
+	got, err := fr.read()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 0 {
 		t.Errorf("payload = %v", got)
 	}
-	if _, err := readFrame(&buf); err != io.EOF {
+	if _, err := fr.read(); err != io.EOF {
 		t.Errorf("second read err = %v, want EOF", err)
 	}
 }
@@ -108,10 +116,11 @@ func TestFrameReaderCapGuard(t *testing.T) {
 	if _, err := fr.read(); err != nil {
 		t.Fatal(err)
 	}
-	if cap(fr.buf) > bufRetainLimit {
+	if cap(fr.buf.B) > bufRetainLimit {
 		t.Fatalf("buffer cap %d still pinned above retain limit %d after a small frame",
-			cap(fr.buf), bufRetainLimit)
+			cap(fr.buf.B), bufRetainLimit)
 	}
+	fr.release()
 }
 
 func TestMuxStreamRoundTrip(t *testing.T) {

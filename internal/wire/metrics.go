@@ -4,6 +4,7 @@ import (
 	"net"
 	"time"
 
+	"github.com/encdbdb/encdbdb/internal/bufpool"
 	"github.com/encdbdb/encdbdb/internal/metrics"
 )
 
@@ -95,7 +96,28 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		m.errByOp[m.idx(o)] = errs.With(name)
 		m.latByOp[m.idx(o)] = lat.With(name)
 	}
+	registerBufpoolMetrics(reg)
 	return m
+}
+
+// registerBufpoolMetrics exposes the process-wide frame-buffer pool's health
+// on reg, sampled at scrape time. A drifting gets/puts gap means buffers are
+// being retained (by design for simple-call results, a leak otherwise); a
+// high miss rate means the working set outruns the per-class free lists.
+func registerBufpoolMetrics(reg *metrics.Registry) {
+	p := bufpool.Default
+	reg.NewCounterFunc("encdbdb_wire_bufpool_gets_total",
+		"Frame buffers checked out of the wire buffer pool.",
+		func() uint64 { return p.Stats().Gets })
+	reg.NewCounterFunc("encdbdb_wire_bufpool_puts_total",
+		"Frame buffers returned to the wire buffer pool.",
+		func() uint64 { return p.Stats().Puts })
+	reg.NewCounterFunc("encdbdb_wire_bufpool_misses_total",
+		"Pool checkouts that had to allocate (empty free list or oversized request).",
+		func() uint64 { return p.Stats().Misses })
+	reg.NewGaugeFunc("encdbdb_wire_bufpool_retained_bytes",
+		"Total capacity currently parked on the pool's free lists.",
+		func() float64 { return float64(p.Stats().RetainedBytes) })
 }
 
 // idx maps an op to its resolved-metric slot; anything out of range shares

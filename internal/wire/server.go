@@ -2,8 +2,10 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/encdbdb/encdbdb/internal/bufpool"
 	"github.com/encdbdb/encdbdb/internal/dict"
 	"github.com/encdbdb/encdbdb/internal/engine"
 	"github.com/encdbdb/encdbdb/internal/metrics"
@@ -93,6 +96,24 @@ func WithDrainTimeout(d time.Duration) ServerOption {
 	}
 }
 
+// WithServerMaxProto caps the protocol version the server negotiates: 3
+// (the default) offers the binary codec, 2 answers every negotiating client
+// with the gob multiplexed protocol, and 1 emulates a pre-negotiation
+// server — the magic bytes are treated as an oversized v1 frame and the
+// connection dropped, which is what drives clients to their lock-step
+// redial fallback. Useful for compatibility testing and staged rollouts.
+func WithServerMaxProto(v int) ServerOption {
+	return func(s *Server) {
+		if v < protoV1 {
+			v = protoV1
+		}
+		if v > protoV3 {
+			v = protoV3
+		}
+		s.maxProto = byte(v)
+	}
+}
+
 // WithMetrics registers the wire server's metric families (request counts,
 // per-op latency histograms, admission-control outcomes, connection and
 // byte totals — see docs/metrics.md) on reg and records into them. Without
@@ -126,6 +147,7 @@ type Server struct {
 	reqTimeout   time.Duration
 	drainTimeout time.Duration
 	metrics      *serverMetrics
+	maxProto     byte // 0 means newest (see WithServerMaxProto)
 
 	// legacyOps makes the server answer the post-PR ops (opSelectStream,
 	// opCancel) with unknown-op errors, emulating a v2 peer built before
@@ -260,6 +282,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	if first == helloMagic {
+		if s.maxProto == protoV1 {
+			// Emulating a pre-negotiation server: the magic, read as a v1
+			// length prefix, is an oversized frame — drop the connection so
+			// the client falls back to lock-step on redial.
+			return
+		}
 		s.serveMux(counted, br)
 		return
 	}
@@ -278,9 +306,12 @@ func (s *Server) requestContext(parent context.Context) (context.Context, contex
 }
 
 // serveLockstep is the v1 loop: strict request/response alternation.
-// firstLen is the already-consumed length prefix of the first frame.
+// firstLen is the already-consumed length prefix of the first frame. Frames
+// land in one pooled buffer reused for the whole connection; gob decoding
+// copies out of it before the next read overwrites it.
 func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32) {
 	fr := &frameReader{r: br}
+	defer fr.release()
 	payload, err := fr.payload(firstLen)
 	for {
 		if err != nil {
@@ -293,10 +324,13 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 		}
 		arrived := s.metrics.now()
 		ctx, cancel := s.requestContext(context.Background())
-		resp := s.dispatch(ctx, &req)
+		resp := respPool.Get().(*response)
+		s.dispatch(ctx, &req, resp)
 		cancel()
 		s.recordResponse(req.Op, arrived, resp)
 		out, err2 := encodeMsg(resp)
+		resetResponse(resp)
+		respPool.Put(resp)
 		if err2 != nil {
 			s.logf("wire: encode response: %v", err2)
 			return
@@ -356,12 +390,59 @@ func (in *inflightSet) cancel(id uint64) {
 	}
 }
 
-// serveMux is the v2 loop: finish negotiation, then decode frames on this
-// goroutine (so the read buffer can be reused) and dispatch each request on
-// its own bounded worker goroutine. Responses go out under the connection
-// write lock in completion order. Before returning — peer drop or server
-// Close — it drains all in-flight workers, whose late responses then fail
-// with a write error on the closed connection instead of panicking.
+// reqPool and respPool recycle request/response envelopes on the hot
+// dispatch paths. Invariant: every pooled object is reset (resetRequest /
+// resetResponse) before Put, so Get hands out zeroed envelopes that still
+// carry the slice and map capacity of earlier traffic. Only the binary
+// codec may decode into pooled requests — gob merges into non-zero fields,
+// so the gob paths always decode into fresh envelopes.
+var (
+	reqPool  = sync.Pool{New: func() any { return new(request) }}
+	respPool = sync.Pool{New: func() any { return new(response) }}
+
+	// rowSlicePool recycles the row slices dispatchBatch assembles for the
+	// engine's batch-insert fast path.
+	rowSlicePool = sync.Pool{New: func() any { return new([]engine.Row) }}
+)
+
+// releaseRequest recycles one completed request: pooled envelopes go back
+// to reqPool, and the frame buffer the request aliased (nil for requests
+// that own their data) goes back to the frame pool. Callers must not touch
+// req or buf afterwards.
+func releaseRequest(req *request, buf *bufpool.Buf, pooled bool) {
+	if pooled {
+		resetRequest(req)
+		reqPool.Put(req)
+	}
+	bufpool.Put(buf)
+}
+
+// muxConn bundles the shared state of one multiplexed connection: the
+// write half, the cancellation registry, and the admission bounds. sem
+// caps how many requests *execute* concurrently; queueSem caps how many
+// decoded requests may be outstanding (queued + executing) so a peer that
+// never reads responses cannot queue unbounded memory. The queue bound is
+// deliberately much larger than the execution bound: the read loop keeps
+// draining frames while all workers are busy, which is what lets an
+// opCancel frame reach a saturated connection instead of queuing behind
+// the requests it is trying to interrupt.
+type muxConn struct {
+	conn     net.Conn
+	mw       *muxWriter
+	ctx      context.Context
+	inflight inflightSet
+	sem      chan struct{}
+	queueSem chan struct{}
+	wg       sync.WaitGroup
+}
+
+// serveMux finishes negotiation and runs the multiplexed loop for the
+// negotiated version: decode frames on this goroutine and dispatch each
+// request on its own bounded worker goroutine. Responses go out under the
+// connection write lock in completion order. Before returning — peer drop
+// or server Close — it drains all in-flight workers, whose late responses
+// then fail with a write error on the closed connection instead of
+// panicking.
 //
 // Every dispatched request runs under its own context, registered in the
 // connection's inflight set: an opCancel frame cancels the named request's
@@ -371,7 +452,10 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	if err != nil {
 		return
 	}
-	ver := byte(protoV2)
+	ver := byte(protoV3)
+	if s.maxProto != 0 && s.maxProto < ver {
+		ver = s.maxProto
+	}
 	if clientVer < ver {
 		ver = clientVer
 	}
@@ -384,21 +468,28 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 	}
 	connCtx, connCancel := context.WithCancel(context.Background())
 	defer connCancel()
-	inflight := &inflightSet{}
-	mw := newMuxWriter(conn)
-	// Two bounds: sem caps how many requests *execute* concurrently;
-	// queueSem caps how many decoded requests may be outstanding
-	// (queued + executing) so a peer that never reads responses cannot
-	// queue unbounded memory. The queue bound is deliberately much larger
-	// than the execution bound: the read loop keeps draining frames while
-	// all workers are busy, which is what lets an opCancel frame reach a
-	// saturated connection instead of queuing behind the requests it is
-	// trying to interrupt.
-	sem := make(chan struct{}, s.connWorkers)
-	queueSem := make(chan struct{}, s.queueDepth)
-	var wg sync.WaitGroup
-	defer wg.Wait()
+	mc := &muxConn{
+		conn:     conn,
+		mw:       newMuxWriter(conn),
+		ctx:      connCtx,
+		sem:      make(chan struct{}, s.connWorkers),
+		queueSem: make(chan struct{}, s.queueDepth),
+	}
+	mc.mw.version = ver
+	defer mc.wg.Wait()
+	if ver >= protoV3 {
+		s.muxLoopV3(mc, br)
+	} else {
+		s.muxLoopV2(mc, br)
+	}
+}
+
+// muxLoopV2 reads the v2 persistent gob stream. Requests are always fresh
+// allocations (gob decode merges into non-zero fields) and own their data,
+// so no frame buffer travels with them.
+func (s *Server) muxLoopV2(mc *muxConn, br *bufio.Reader) {
 	mr := newMuxReader(br)
+	defer mr.fr.release()
 	for {
 		req := new(request)
 		id, err := mr.next(req)
@@ -407,82 +498,184 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 			// error: nothing after a corrupt stream position can be
 			// trusted, so drop the connection.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("wire: bad request stream from %s: %v", conn.RemoteAddr(), err)
+				s.logf("wire: bad request stream from %s: %v", mc.conn.RemoteAddr(), err)
 			}
 			return
 		}
-		if req.Op == opCancel && !s.legacyOps {
-			// Handled inline, before any queue admission: cancellation must
-			// not queue behind the very requests it is trying to interrupt,
-			// and must work even when the queue is full.
-			inflight.cancel(req.Cancel)
-			if err := mw.send(id, &response{}); err != nil {
-				s.logf("wire: send response: %v", err)
-				conn.Close()
-				return
-			}
-			continue
+		if !s.handleMux(mc, id, req, nil, false) {
+			return
 		}
-		arrived := s.metrics.now()
-		// Admission: a full queue sheds the request immediately with a typed
-		// busy error rather than blocking the read loop. Rejection happens
-		// before any context or inflight registration, so a shed request
-		// costs one frame decode and one response frame — nothing else.
-		select {
-		case queueSem <- struct{}{}:
-		default:
-			s.metrics.rejectedInc()
-			if err := mw.send(id, &response{Err: ErrServerBusy.Error()}); err != nil {
-				s.logf("wire: send response: %v", err)
-				conn.Close()
-				return
-			}
-			continue
-		}
-		// Register the request's context before handing it to a worker, so
-		// an opCancel that races ahead of the worker's execution still
-		// cancels it (the engine surfaces context.Canceled when the worker
-		// eventually runs it).
-		ctx, cancel := s.requestContext(connCtx)
-		inflight.add(id, cancel)
-		s.metrics.inflightAdd(1)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() { <-queueSem }()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			defer func() {
-				inflight.remove(id)
-				cancel()
-				s.metrics.inflightAdd(-1)
-			}()
-			if s.dispatchHook != nil {
-				s.dispatchHook(req)
-			}
-			if err := s.serveRequest(ctx, mw, id, req, arrived); err != nil {
-				// Whether the connection died or the response stream broke
-				// (encode failure, oversized response), no further response
-				// can be delivered on it. Close so the peer's read loop
-				// fails its pending calls instead of hanging on a half-dead
-				// connection that still reads fine.
-				s.logf("wire: send response: %v", err)
-				conn.Close()
-			}
-		}()
 	}
+}
+
+// muxLoopV3 reads binary-codec frames. Each frame lands in its own pooled
+// buffer; binary-coded requests decode out of the request pool and alias
+// that buffer, so both recycle together when the request completes. The
+// intern cache keeps the connection's recurring identifiers (table and
+// column names) from allocating a string per frame.
+func (s *Server) muxLoopV3(mc *muxConn, br *bufio.Reader) {
+	var in intern
+	fr := frameReader{r: br}
+	for {
+		id, buf, err := fr.readPooled()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("wire: bad request stream from %s: %v", mc.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		req, pooled, err := decodeV3Request(buf, &in)
+		if err != nil {
+			bufpool.Put(buf)
+			s.logf("wire: bad request stream from %s: %v", mc.conn.RemoteAddr(), err)
+			return
+		}
+		if !pooled {
+			// Gob decoding copied everything out; recycle the frame now.
+			bufpool.Put(buf)
+			buf = nil
+		}
+		if !s.handleMux(mc, id, req, buf, pooled) {
+			return
+		}
+	}
+}
+
+// decodeV3Request decodes one v3 frame payload into a request. Binary-coded
+// requests come from the request pool and alias buf (pooled=true): the
+// caller must keep buf alive until the request completes, then release
+// both via releaseRequest. Gob-coded requests are freshly allocated and own
+// their data (pooled=false).
+func decodeV3Request(buf *bufpool.Buf, in *intern) (req *request, pooled bool, err error) {
+	if len(buf.B) == 0 {
+		return nil, false, errCorruptFrame
+	}
+	switch tag := buf.B[0]; tag {
+	case codecBin:
+		req = reqPool.Get().(*request)
+		var d binReader
+		d.reset(buf.B[1:])
+		decRequest(&d, req, in)
+		if derr := d.err(); derr != nil {
+			resetRequest(req)
+			reqPool.Put(req)
+			return nil, false, decodeError(tag, derr)
+		}
+		return req, true, nil
+	case codecGob:
+		req = new(request)
+		if derr := gob.NewDecoder(bytes.NewReader(buf.B[1:])).Decode(req); derr != nil {
+			return nil, false, decodeError(tag, derr)
+		}
+		return req, false, nil
+	default:
+		return nil, false, fmt.Errorf("wire: unknown codec 0x%02x", tag)
+	}
+}
+
+// sendPooledResponse sends a short administrative response (cancel ack,
+// busy rejection) from the response pool.
+func sendPooledResponse(mw *muxWriter, id uint64, errText string) error {
+	resp := respPool.Get().(*response)
+	resp.Err = errText
+	err := mw.sendResponse(id, resp, false)
+	resetResponse(resp)
+	respPool.Put(resp)
+	return err
+}
+
+// handleMux runs one decoded multiplexed request through cancellation,
+// admission, and worker dispatch. buf is the pooled frame buffer req
+// aliases (nil when the request owns its data); pooled marks a pool-drawn
+// request. Both are released when the request completes. A false return
+// means no further response can be delivered on this connection and the
+// read loop must exit.
+func (s *Server) handleMux(mc *muxConn, id uint64, req *request, buf *bufpool.Buf, pooled bool) bool {
+	if req.Op == opCancel && !s.legacyOps {
+		// Handled inline, before any queue admission: cancellation must
+		// not queue behind the very requests it is trying to interrupt,
+		// and must work even when the queue is full.
+		mc.inflight.cancel(req.Cancel)
+		releaseRequest(req, buf, pooled)
+		if err := sendPooledResponse(mc.mw, id, ""); err != nil {
+			s.logf("wire: send response: %v", err)
+			mc.conn.Close()
+			return false
+		}
+		return true
+	}
+	gobResp := reqNeedsGob(req)
+	arrived := s.metrics.now()
+	// Admission: a full queue sheds the request immediately with a typed
+	// busy error rather than blocking the read loop. Rejection happens
+	// before any context or inflight registration, so a shed request
+	// costs one frame decode and one response frame — nothing else.
+	select {
+	case mc.queueSem <- struct{}{}:
+	default:
+		s.metrics.rejectedInc()
+		releaseRequest(req, buf, pooled)
+		if err := sendPooledResponse(mc.mw, id, ErrServerBusy.Error()); err != nil {
+			s.logf("wire: send response: %v", err)
+			mc.conn.Close()
+			return false
+		}
+		return true
+	}
+	// Register the request's context before handing it to a worker, so
+	// an opCancel that races ahead of the worker's execution still
+	// cancels it (the engine surfaces context.Canceled when the worker
+	// eventually runs it).
+	ctx, cancel := s.requestContext(mc.ctx)
+	mc.inflight.add(id, cancel)
+	s.metrics.inflightAdd(1)
+	mc.wg.Add(1)
+	go func() {
+		defer mc.wg.Done()
+		defer func() { <-mc.queueSem }()
+		mc.sem <- struct{}{}
+		defer func() { <-mc.sem }()
+		defer func() {
+			mc.inflight.remove(id)
+			cancel()
+			s.metrics.inflightAdd(-1)
+			// The response (and any stream chunks) went out inside
+			// serveRequest, so nothing references the request or its frame
+			// buffer anymore.
+			releaseRequest(req, buf, pooled)
+		}()
+		if s.dispatchHook != nil {
+			s.dispatchHook(req)
+		}
+		if err := s.serveRequest(ctx, mc.mw, id, req, gobResp, arrived); err != nil {
+			// Whether the connection died or the response stream broke
+			// (encode failure, oversized response), no further response
+			// can be delivered on it. Close so the peer's read loop
+			// fails its pending calls instead of hanging on a half-dead
+			// connection that still reads fine.
+			s.logf("wire: send response: %v", err)
+			mc.conn.Close()
+		}
+	}()
+	return true
 }
 
 // serveRequest executes one multiplexed request, records it against the
 // metric families, and writes its response(s): a single frame for ordinary
-// ops, a chunk sequence for opSelectStream.
-func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req *request, arrived time.Time) error {
+// ops, a chunk sequence for opSelectStream. gobResp routes the response
+// through the gob codec on v3 connections (control-op responses carry
+// types the binary codec does not encode).
+func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req *request, gobResp bool, arrived time.Time) error {
 	if req.Op == opSelectStream && !s.legacyOps {
 		return s.serveSelectStream(ctx, mw, id, req, arrived)
 	}
-	resp := s.dispatch(ctx, req)
+	resp := respPool.Get().(*response)
+	s.dispatch(ctx, req, resp)
 	s.recordResponse(req.Op, arrived, resp)
-	return mw.send(id, resp)
+	err := mw.sendResponse(id, resp, gobResp)
+	resetResponse(resp)
+	respPool.Put(resp)
+	return err
 }
 
 // serveSelectStream renders a Select chunk by chunk, writing each as its own
@@ -493,123 +686,145 @@ func (s *Server) serveRequest(ctx context.Context, mw *muxWriter, id uint64, req
 // the peer. Like dispatch, panics in the engine's lazy render path are
 // converted to an error terminator instead of taking down the provider.
 func (s *Server) serveSelectStream(ctx context.Context, mw *muxWriter, id uint64, req *request, arrived time.Time) error {
-	final, sendErr := s.streamChunks(ctx, mw, id, req)
-	if sendErr != nil {
+	resp := respPool.Get().(*response)
+	defer func() {
+		resetResponse(resp)
+		respPool.Put(resp)
+	}()
+	if sendErr := s.streamChunks(ctx, mw, id, req, resp); sendErr != nil {
 		return sendErr
 	}
-	s.recordResponse(req.Op, arrived, final)
-	return mw.send(id, final)
+	s.recordResponse(req.Op, arrived, resp)
+	return mw.sendResponse(id, resp, false)
 }
 
-// streamChunks writes the chunk frames of one streamed Select and returns
-// the terminator frame for serveSelectStream to send, upholding dispatch's
-// invariant that a panic in a handler becomes an error response rather than
-// an unrecovered goroutine panic.
-func (s *Server) streamChunks(ctx context.Context, mw *muxWriter, id uint64, req *request) (final *response, sendErr error) {
+// streamChunks writes the chunk frames of one streamed Select, reusing resp
+// for every frame (each send copies it onto the wire before the next chunk
+// overwrites it), and leaves the terminator in resp for serveSelectStream
+// to send. It upholds dispatch's invariant that a panic in a handler
+// becomes an error response rather than an unrecovered goroutine panic.
+func (s *Server) streamChunks(ctx context.Context, mw *muxWriter, id uint64, req *request, resp *response) (sendErr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("wire: panic handling op %d: %v", req.Op, r)
-			final, sendErr = &response{Err: fmt.Sprintf("wire: internal error handling op %d", req.Op)}, nil
+			resetResponse(resp)
+			resp.Err = fmt.Sprintf("wire: internal error handling op %d", req.Op)
+			sendErr = nil
 		}
 	}()
 	st, err := s.db.SelectStream(ctx, req.Query)
 	if err != nil {
-		return &response{Err: err.Error()}, nil
+		resp.Err = err.Error()
+		return nil
 	}
 	defer st.Close()
 	for {
 		chunk, err := st.Next()
 		if err == io.EOF {
-			return &response{N: st.Count()}, nil
+			resetResponse(resp)
+			resp.N = st.Count()
+			return nil
 		}
 		if err != nil {
-			return &response{Err: err.Error()}, nil
+			resetResponse(resp)
+			resp.Err = err.Error()
+			return nil
 		}
-		if err := mw.send(id, &response{Result: chunk, More: true, N: st.Count()}); err != nil {
-			return nil, err
+		resp.Result, resp.More, resp.N = chunk, true, st.Count()
+		if err := mw.sendResponse(id, resp, false); err != nil {
+			return err
 		}
+		resp.Result, resp.More = nil, false
 	}
 }
 
-// dispatch executes one request against the database. Panics in handlers
-// are converted to error responses so one bad request cannot take down the
-// provider. Ops the server predates (or pretends to, under legacyOps)
-// answer with an "unknown op" error, which is also what real pre-streaming
-// v2 servers produce for opSelectStream and opCancel.
-func (s *Server) dispatch(ctx context.Context, req *request) (resp *response) {
-	resp = &response{}
+// dispatch executes one request against the database, filling the caller's
+// (reset) response envelope. Panics in handlers are converted to error
+// responses so one bad request cannot take down the provider. Ops the
+// server predates (or pretends to, under legacyOps) answer with an
+// "unknown op" error, which is also what real pre-streaming v2 servers
+// produce for opSelectStream and opCancel.
+func (s *Server) dispatch(ctx context.Context, req *request, resp *response) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.logf("wire: panic handling op %d: %v", req.Op, r)
+			resetResponse(resp)
 			resp.Err = fmt.Sprintf("wire: internal error handling op %d", req.Op)
 		}
 	}()
-	fail := func(err error) *response {
+	fail := func(err error) {
 		resp.Err = err.Error()
-		return resp
 	}
 	if s.legacyOps && (req.Op == opSelectStream || req.Op == opCancel) {
-		return fail(fmt.Errorf("wire: unknown op %d", req.Op))
+		fail(fmt.Errorf("wire: unknown op %d", req.Op))
+		return
 	}
 	switch req.Op {
 	case opSelect:
 		res, err := s.db.Select(ctx, req.Query)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.Result = res
 	case opQuote:
 		encl := s.db.Enclave()
 		if encl == nil {
-			return fail(errors.New("wire: provider has no enclave"))
+			fail(errors.New("wire: provider has no enclave"))
+			return
 		}
 		resp.Quote = encl.Quote(req.Nonce)
 	case opProvision:
 		encl := s.db.Enclave()
 		if encl == nil {
-			return fail(errors.New("wire: provider has no enclave"))
+			fail(errors.New("wire: provider has no enclave"))
+			return
 		}
 		if err := encl.Provision(req.Sealed); err != nil {
-			return fail(err)
+			fail(err)
 		}
 	case opSchema:
 		sc, err := s.db.Schema(req.Table)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.Schema = sc
 	case opCreateTable:
 		if err := s.db.CreateTable(req.Schema); err != nil {
-			return fail(err)
+			fail(err)
 		}
 	case opDropTable:
 		if err := s.db.DropTable(req.Table); err != nil {
-			return fail(err)
+			fail(err)
 		}
 	case opInsert:
 		if err := s.db.Insert(ctx, req.Table, req.Row); err != nil {
-			return fail(err)
+			fail(err)
 		}
 	case opDelete:
 		n, err := s.db.Delete(ctx, req.Table, req.Filters)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.N = n
 	case opUpdate:
 		n, err := s.db.Update(ctx, req.Table, req.Filters, req.Set)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.N = n
 	case opMerge:
 		if err := s.db.Merge(ctx, req.Table); err != nil {
-			return fail(err)
+			fail(err)
 		}
 	case opMergeAsync:
 		started, err := s.db.MergeAsync(ctx, req.Table)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		if started {
 			resp.N = 1
@@ -617,68 +832,90 @@ func (s *Server) dispatch(ctx context.Context, req *request) (resp *response) {
 	case opMergeStatus:
 		info, err := s.db.MergeStatus(ctx, req.Table)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.Merge = info
 	case opSelectStream:
 		// Reached only on a lock-step connection, whose strict
 		// request/response alternation cannot carry chunked frames.
-		return fail(errors.New("wire: streaming requires a multiplexed connection"))
+		fail(errors.New("wire: streaming requires a multiplexed connection"))
 	case opCancel:
 		// Reached only on a lock-step connection, where nothing can be in
 		// flight to cancel; answer harmlessly.
 	case opImportColumn:
 		split, err := dict.FromData(req.Split)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		if err := s.db.ImportColumn(req.Table, req.Column, split); err != nil {
-			return fail(err)
+			fail(err)
 		}
 	case opTables:
 		resp.Tables = s.db.Tables()
 	case opRows:
 		n, err := s.db.Rows(req.Table)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.N = n
 	case opStorageBytes:
 		n, err := s.db.StorageBytes(req.Table)
 		if err != nil {
-			return fail(err)
+			fail(err)
+			return
 		}
 		resp.N = n
 	case opBatch:
-		resp.Subs = s.dispatchBatch(ctx, req.Subs)
+		s.dispatchBatch(ctx, req.Subs, resp)
 	default:
-		return fail(fmt.Errorf("wire: unknown op %d", req.Op))
+		fail(fmt.Errorf("wire: unknown op %d", req.Op))
 	}
-	return resp
 }
 
 // dispatchBatch executes the sub-requests of an opBatch envelope in order,
 // stopping at (and marking the remainder after) the first failure. Inserts
-// into one table take the engine's single-lock batch path.
-func (s *Server) dispatchBatch(ctx context.Context, subs []request) []response {
-	out := make([]response, len(subs))
+// into one table take the engine's single-lock batch path. Sub-responses
+// reuse resp.Subs' capacity from earlier batches on the same pooled
+// envelope.
+func (s *Server) dispatchBatch(ctx context.Context, subs []request, resp *response) {
+	if cap(resp.Subs) >= len(subs) {
+		resp.Subs = resp.Subs[:len(subs)]
+		for i := range resp.Subs {
+			resetResponse(&resp.Subs[i])
+		}
+	} else {
+		resp.Subs = make([]response, len(subs))
+	}
+	out := resp.Subs
 	for i := 0; i < len(subs); i++ {
 		if subs[i].Op == opBatch {
 			out[i].Err = "wire: nested batch not allowed"
 		} else if n := s.insertRun(subs, i); n > 1 {
 			// A run of inserts into the same table: one engine call under
-			// one table-lock acquisition.
-			rows := make([]engine.Row, n)
+			// one table-lock acquisition, through a pooled row slice.
+			rp := rowSlicePool.Get().(*[]engine.Row)
+			if cap(*rp) < n {
+				*rp = make([]engine.Row, n)
+			}
+			rows := (*rp)[:n]
 			for j := 0; j < n; j++ {
 				rows[j] = subs[i+j].Row
 			}
-			if err := s.db.InsertBatch(ctx, subs[i].Table, rows); err != nil {
+			err := s.db.InsertBatch(ctx, subs[i].Table, rows)
+			for j := range rows {
+				rows[j] = nil // don't pin row maps past the call
+			}
+			rowSlicePool.Put(rp)
+			if err != nil {
 				out[i].Err = err.Error()
 			} else {
 				i += n - 1
 			}
 		} else {
-			out[i] = *s.dispatch(ctx, &subs[i])
+			s.dispatch(ctx, &subs[i], &out[i])
 		}
 		if out[i].Err != "" {
 			for j := i + 1; j < len(subs); j++ {
@@ -687,7 +924,6 @@ func (s *Server) dispatchBatch(ctx context.Context, subs []request) []response {
 			break
 		}
 	}
-	return out
 }
 
 // insertRun returns the length of the run of opInsert sub-requests into one

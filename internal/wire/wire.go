@@ -1,8 +1,8 @@
 // Package wire implements the network protocol between the trusted side
 // (data owner, proxy) and the untrusted DBaaS provider (paper Fig. 2): a
-// length-prefixed gob protocol over TCP.
+// length-prefixed binary protocol over TCP.
 //
-// Two protocol versions coexist. Version 1 is strict lock-step: one
+// Three protocol versions coexist. Version 1 is strict lock-step: one
 // request/response round trip at a time per connection, every frame a
 // self-contained gob document. Version 2 is multiplexed: every request
 // carries a connection-unique ID, so a client keeps many calls in flight
@@ -10,8 +10,14 @@
 // per-request workers finish; the frame payloads of each direction form
 // one continuous gob stream, so type descriptors and reflection setup are
 // paid once per connection instead of per message (~40x less codec CPU
-// per call). The version is negotiated on the first bytes of a connection
-// (see helloMagic); v1 peers on either side keep working against v2 peers.
+// per call). Version 3 keeps v2's framing and concurrency model but
+// replaces gob on the data plane with the hand-rolled binary codec in
+// codec.go: frames encode directly into the connection's buffered writer,
+// decode with zero reflection into pooled objects whose byte fields alias
+// pooled frame buffers (internal/bufpool), and rare control ops fall back
+// to self-contained gob documents behind a per-frame codec tag. The
+// version is negotiated on the first bytes of a connection (see
+// helloMagic); every older peer keeps working against every newer one.
 //
 // The multiplexed server applies admission control per connection: a
 // bounded dispatch queue (WithQueueDepth) sheds excess requests
@@ -42,6 +48,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"github.com/encdbdb/encdbdb/internal/bufpool"
 )
 
 // maxFrame caps a frame at 1 GiB to bound allocations from a malicious or
@@ -55,6 +63,7 @@ var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 const (
 	protoV1 = 1 // lock-step: unframed IDs, one round trip at a time
 	protoV2 = 2 // multiplexed: 8-byte request IDs, out-of-order responses
+	protoV3 = 3 // multiplexed with the binary codec (see codec.go)
 )
 
 // helloMagic opens version negotiation: a v2 peer sends these four bytes
@@ -134,50 +143,24 @@ func writeFrame(w io.Writer, payload []byte) error {
 	return err
 }
 
-// readFrame reads one v1 length-prefixed payload into a fresh slice.
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, ErrFrameTooLarge
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("wire: short frame: %w", err)
-	}
-	return payload, nil
-}
-
-// writeFrameMux writes one v2 frame: payload length, request ID, payload.
-func writeFrameMux(w io.Writer, id uint64, payload []byte) error {
-	if len(payload) > maxFrame {
-		return ErrFrameTooLarge
-	}
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
-	binary.BigEndian.PutUint64(hdr[4:], id)
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
-}
-
 // bufRetainLimit caps the payload buffer a frameReader keeps between frames:
 // one oversized bulk frame must not pin its allocation for the rest of the
-// connection.
+// connection. It matches bufpool's largest size class, so any buffer beyond
+// it came from a direct allocation the pool will not retain either.
 const bufRetainLimit = 1 << 20
 
 // frameReader reads length-prefixed frames into a reusable per-connection
-// buffer, cutting steady-state allocations on the hot receive loops. The
-// returned payload aliases the internal buffer and is valid only until the
-// next read; callers decode it before reading again.
+// buffer drawn from the frame pool, cutting steady-state allocations on the
+// hot receive loops. The returned payload aliases the internal buffer and is
+// valid only until the next read; callers decode it before reading again,
+// and release() returns the buffer to the pool when the connection ends.
 type frameReader struct {
 	r   io.Reader
-	buf []byte
+	buf *bufpool.Buf
+	// hdr is the frame-header scratch. A stack array would escape into the
+	// reader's ReadFull call and cost one allocation per frame; a field
+	// escapes once with the frameReader.
+	hdr [12]byte
 }
 
 // payload reads n body bytes after a frame header has been consumed.
@@ -185,89 +168,269 @@ func (fr *frameReader) payload(n uint32) ([]byte, error) {
 	if n > maxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	if int64(n) > int64(cap(fr.buf)) ||
-		(cap(fr.buf) > bufRetainLimit && n <= bufRetainLimit) {
-		fr.buf = make([]byte, max(int(n), 512))
+	if fr.buf == nil || int64(n) > int64(cap(fr.buf.B)) ||
+		(cap(fr.buf.B) > bufRetainLimit && n <= bufRetainLimit) {
+		bufpool.Put(fr.buf)
+		fr.buf = bufpool.Get(max(int(n), 512))
 	}
-	p := fr.buf[:n]
+	p := fr.buf.B[:n]
 	if _, err := io.ReadFull(fr.r, p); err != nil {
 		return nil, fmt.Errorf("wire: short frame: %w", err)
 	}
 	return p, nil
 }
 
+// release returns the retained buffer to the frame pool. The frameReader is
+// reusable afterwards; the next read draws a fresh buffer.
+func (fr *frameReader) release() {
+	bufpool.Put(fr.buf)
+	fr.buf = nil
+}
+
+// readPooled reads one multiplexed frame into a buffer drawn fresh from the
+// frame pool. Unlike read/readMux, ownership of the buffer transfers to the
+// caller, who must bufpool.Put it once nothing references the payload — the
+// v3 read loops use this so a decoded request can keep aliasing its frame
+// while later frames are already being read.
+func (fr *frameReader) readPooled() (uint64, *bufpool.Buf, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(fr.hdr[:4])
+	id := binary.BigEndian.Uint64(fr.hdr[4:])
+	if n > maxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := bufpool.Get(int(n))
+	if _, err := io.ReadFull(fr.r, buf.B); err != nil {
+		bufpool.Put(buf)
+		return 0, nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return id, buf, nil
+}
+
 // read reads one v1 frame.
 func (fr *frameReader) read() ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:4]); err != nil {
 		return nil, err
 	}
-	return fr.payload(binary.BigEndian.Uint32(hdr[:]))
+	return fr.payload(binary.BigEndian.Uint32(fr.hdr[:4]))
 }
 
 // readMux reads one v2 frame, returning its request ID and payload.
 func (fr *frameReader) readMux() (uint64, []byte, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	id := binary.BigEndian.Uint64(hdr[4:])
-	p, err := fr.payload(binary.BigEndian.Uint32(hdr[:4]))
+	id := binary.BigEndian.Uint64(fr.hdr[4:])
+	p, err := fr.payload(binary.BigEndian.Uint32(fr.hdr[:4]))
 	return id, p, err
 }
 
-// muxWriter is one direction of a v2 connection: messages are encoded on a
-// persistent gob stream (type descriptors transmitted once), framed with
-// their request ID, and written under a mutex. Bursts coalesce: a writer
-// flushes the buffered stream only when no other writer is queued behind
-// it (group commit), so N concurrent in-flight requests cost far fewer
-// than N syscalls.
+// errWriterBroken poisons a connection whose outbound stream can no longer
+// be trusted: a partial frame, an encoder failure, or a size divergence.
+var errWriterBroken = errors.New("wire: connection encoder broken")
+
+// muxWriter is one direction of a v2/v3 connection: messages are framed
+// with their request ID and written under a mutex. On v2 the payloads form
+// a persistent gob stream (type descriptors transmitted once); on v3 the
+// binary codec encodes straight into the buffered writer with no scratch
+// copy — each message is sized by a counting pass first, so the frame
+// header can be written before the payload. Bursts coalesce either way: a
+// writer flushes the buffered stream only when no other writer is queued
+// behind it (group commit), so N concurrent in-flight requests cost far
+// fewer than N syscalls.
 type muxWriter struct {
+	version byte // negotiated protocol version (protoV2 or protoV3)
+
 	mu      sync.Mutex
 	bw      *bufio.Writer
 	scratch bytes.Buffer
 	enc     *gob.Encoder
+	counter binCounter
+	wr      binWriter
+	hdr     [12]byte // frame-header scratch; see frameReader.hdr
 	waiters atomic.Int32
 	broken  bool
 }
 
 func newMuxWriter(w io.Writer) *muxWriter {
-	mw := &muxWriter{bw: bufio.NewWriter(w)}
+	mw := &muxWriter{version: protoV2, bw: bufio.NewWriter(w)}
 	mw.enc = gob.NewEncoder(&mw.scratch)
 	return mw
 }
 
-// send encodes v on the stream and writes it as one frame tagged with id.
-func (mw *muxWriter) send(id uint64, v any) error {
+// lock acquires the write lock, registering as a waiter so the holder skips
+// its flush (group commit). It fails without blocking future writers when
+// the stream is already broken.
+func (mw *muxWriter) lock() error {
 	mw.waiters.Add(1)
 	mw.mu.Lock()
-	defer mw.mu.Unlock()
 	mw.waiters.Add(-1)
 	if mw.broken {
-		return errors.New("wire: connection encoder broken")
+		mw.mu.Unlock()
+		return errWriterBroken
 	}
-	mw.scratch.Reset()
-	if err := mw.enc.Encode(v); err != nil {
-		// The encoder's transmitted-type state may now disagree with what
-		// reached the peer; nothing further can be sent safely.
-		mw.broken = true
-		return err
-	}
-	err := writeFrameMux(mw.bw, id, mw.scratch.Bytes())
-	if mw.scratch.Cap() > bufRetainLimit {
-		// One oversized message must not pin its buffer forever.
-		mw.scratch = bytes.Buffer{}
-	}
+	return nil
+}
+
+// unlockFlush completes a send made under lock: a failed send poisons the
+// stream, a successful one flushes unless another writer is queued behind
+// it (that writer flushes for the whole group; the chain always terminates
+// at a writer that observes zero waiters).
+func (mw *muxWriter) unlockFlush(err error) error {
+	defer mw.mu.Unlock()
 	if err != nil {
 		mw.broken = true
 		return err
 	}
 	if mw.waiters.Load() > 0 {
-		// The writer queued behind us flushes for the whole group; the
-		// chain always terminates at a writer that observes zero waiters.
 		return nil
 	}
 	return mw.bw.Flush()
+}
+
+// writeFrameLocked frames scratch's payload under mw's header scratch —
+// writeFrameMux without the per-frame header allocation. Callers hold mw.mu.
+func (mw *muxWriter) writeFrameLocked(id uint64, payload []byte) error {
+	if len(payload) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(mw.hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint64(mw.hdr[4:], id)
+	if _, err := mw.bw.Write(mw.hdr[:]); err != nil {
+		return err
+	}
+	_, err := mw.bw.Write(payload)
+	return err
+}
+
+// send encodes v on the persistent gob stream and writes it as one frame
+// tagged with id — the v2 path.
+func (mw *muxWriter) send(id uint64, v any) error {
+	if err := mw.lock(); err != nil {
+		return err
+	}
+	mw.scratch.Reset()
+	err := mw.enc.Encode(v)
+	if err == nil {
+		err = mw.writeFrameLocked(id, mw.scratch.Bytes())
+	}
+	if mw.scratch.Cap() > bufRetainLimit {
+		// One oversized message must not pin its buffer forever.
+		mw.scratch = bytes.Buffer{}
+	}
+	return mw.unlockFlush(err)
+}
+
+// sendRequest encodes req with the connection's negotiated codec: the v2
+// gob stream, the v3 binary codec, or — for control ops carrying types the
+// binary codec does not encode — a self-contained gob document behind the
+// v3 codec tag.
+func (mw *muxWriter) sendRequest(id uint64, req *request) error {
+	if mw.version < protoV3 {
+		return mw.send(id, req)
+	}
+	if reqNeedsGob(req) {
+		return mw.sendGobV3(id, req)
+	}
+	return mw.sendRequestV3(id, req)
+}
+
+// sendResponse is sendRequest's response-side counterpart. forceGob routes
+// the response through the gob codec on v3 connections — responses to the
+// control ops carry enclave types (quotes) only gob encodes.
+func (mw *muxWriter) sendResponse(id uint64, resp *response, forceGob bool) error {
+	if mw.version < protoV3 {
+		return mw.send(id, resp)
+	}
+	if forceGob {
+		return mw.sendGobV3(id, resp)
+	}
+	return mw.sendResponseV3(id, resp)
+}
+
+// beginBinLocked writes the frame header for the message just sized by
+// mw.counter and arms mw.wr to emit it. Callers hold mw.mu.
+func (mw *muxWriter) beginBinLocked(id uint64) error {
+	n := mw.counter.n
+	if n > maxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(mw.hdr[:4], uint32(n))
+	binary.BigEndian.PutUint64(mw.hdr[4:], id)
+	if _, err := mw.bw.Write(mw.hdr[:]); err != nil {
+		return err
+	}
+	mw.wr.reset(mw.bw)
+	mw.wr.byte(codecBin)
+	return nil
+}
+
+// endBinLocked verifies the emit pass produced exactly the bytes the sizing
+// pass announced. A divergence means the encoder is buggy; the frame header
+// on the wire is now a lie, so the caller poisons the connection.
+func (mw *muxWriter) endBinLocked() error {
+	if err := mw.wr.err(); err != nil {
+		return err
+	}
+	if mw.wr.n != mw.counter.n {
+		return fmt.Errorf("wire: binary encoder divergence: sized %d bytes, wrote %d", mw.counter.n, mw.wr.n)
+	}
+	return nil
+}
+
+// sendRequestV3 writes one binary-coded request frame: sized by a counting
+// pass, then emitted directly into the buffered writer.
+func (mw *muxWriter) sendRequestV3(id uint64, req *request) error {
+	if err := mw.lock(); err != nil {
+		return err
+	}
+	mw.counter.reset()
+	mw.counter.byte(codecBin)
+	encRequest(&mw.counter, req)
+	err := mw.beginBinLocked(id)
+	if err == nil {
+		encRequest(&mw.wr, req)
+		err = mw.endBinLocked()
+	}
+	return mw.unlockFlush(err)
+}
+
+// sendResponseV3 writes one binary-coded response frame.
+func (mw *muxWriter) sendResponseV3(id uint64, resp *response) error {
+	if err := mw.lock(); err != nil {
+		return err
+	}
+	mw.counter.reset()
+	mw.counter.byte(codecBin)
+	encResponse(&mw.counter, resp)
+	err := mw.beginBinLocked(id)
+	if err == nil {
+		encResponse(&mw.wr, resp)
+		err = mw.endBinLocked()
+	}
+	return mw.unlockFlush(err)
+}
+
+// sendGobV3 writes one self-contained gob document behind the v3 codec tag
+// — the path for the rare control ops. Unlike v2's persistent stream, each
+// document carries its own type descriptors, so the receiver can decode it
+// with a throwaway decoder.
+func (mw *muxWriter) sendGobV3(id uint64, v any) error {
+	if err := mw.lock(); err != nil {
+		return err
+	}
+	mw.scratch.Reset()
+	mw.scratch.WriteByte(codecGob)
+	err := gob.NewEncoder(&mw.scratch).Encode(v)
+	if err == nil {
+		err = mw.writeFrameLocked(id, mw.scratch.Bytes())
+	}
+	if mw.scratch.Cap() > bufRetainLimit {
+		mw.scratch = bytes.Buffer{}
+	}
+	return mw.unlockFlush(err)
 }
 
 // muxReader is the receive direction of a v2 connection: it decodes the
