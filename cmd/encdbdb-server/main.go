@@ -36,6 +36,7 @@ func run() error {
 	connWorkers := flag.Int("conn-workers", 0, "concurrent requests per multiplexed connection (0 = default)")
 	queueDepth := flag.Int("queue-depth", 0, "outstanding requests per connection before shedding with a busy error (0 = conn-workers x 64)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request deadline, measured from decode (0 = none)")
+	connRate := flag.Float64("conn-rate", 0, "per-connection request rate limit in requests/second, shed beyond it with a rate-limit error (0 = unlimited)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus metrics on this address at /metrics (empty = metrics off)")
 	dataDir := flag.String("data-dir", "", "durability directory for the write-ahead log and checkpoint images; recovered on startup (empty = in-memory only)")
 	syncPolicy := flag.String("sync", "always", "WAL fsync policy with -data-dir: always, interval, or none")
@@ -47,6 +48,7 @@ func run() error {
 		ConnWorkers:    *connWorkers,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *reqTimeout,
+		ConnRate:       *connRate,
 		MaxProto:       *maxProto,
 		EnableMetrics:  *metricsAddr != "",
 		DataDir:        *dataDir,

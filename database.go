@@ -28,6 +28,7 @@ type Database struct {
 	connWorkers int
 	queueDepth  int
 	reqTimeout  time.Duration
+	connRate    float64
 	maxProto    int
 	metrics     *metrics.Registry
 	log         *wal.Log
@@ -64,6 +65,10 @@ type Options struct {
 	// RequestTimeout attaches a deadline to every remote request, measured
 	// from decode — queue wait counts. 0 means no deadline.
 	RequestTimeout time.Duration
+	// ConnRate caps each remote connection's sustained request rate
+	// (requests/second, token bucket with one second of burst); requests over
+	// budget are shed with wire.ErrRateLimited. 0 means unlimited.
+	ConnRate float64
 	// MaxProto caps the wire protocol version Serve negotiates (0 = the
 	// newest). Set 2 to hold connections on the gob stream codec or 1 to
 	// emulate a lock-step-only provider — the knobs the cross-version
@@ -159,6 +164,7 @@ func Open(opts ...Options) (*Database, error) {
 		connWorkers: o.ConnWorkers,
 		queueDepth:  o.QueueDepth,
 		reqTimeout:  o.RequestTimeout,
+		connRate:    o.ConnRate,
 		maxProto:    o.MaxProto,
 		metrics:     reg,
 		log:         log,
@@ -181,6 +187,11 @@ func registerEnclaveMetrics(reg *metrics.Registry, encl *enclave.Enclave) {
 	reg.NewGaugeFunc("encdbdb_enclave_encryptions", "PAE encryptions inside the enclave since the last stats reset.",
 		func() float64 { return float64(encl.Stats().Encryptions) })
 }
+
+// Executor exposes the provider's engine as an Executor, for in-process
+// compositions that need the raw surface — e.g. one embedded backend per
+// shard of a NewShardedExecutor in tests and benchmarks.
+func (d *Database) Executor() Executor { return d.db }
 
 // Tables lists the registered tables.
 func (d *Database) Tables() []string { return d.db.Tables() }
@@ -246,6 +257,9 @@ func (d *Database) Serve(ln net.Listener, logf func(format string, args ...any))
 	}
 	if d.reqTimeout > 0 {
 		opts = append(opts, wire.WithRequestTimeout(d.reqTimeout))
+	}
+	if d.connRate > 0 {
+		opts = append(opts, wire.WithConnRate(d.connRate))
 	}
 	if d.maxProto > 0 {
 		opts = append(opts, wire.WithServerMaxProto(d.maxProto))

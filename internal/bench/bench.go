@@ -55,6 +55,9 @@ type Config struct {
 	// LoadJSONPath, when non-empty, is where the sustained-load experiment
 	// writes its machine-readable results.
 	LoadJSONPath string
+	// ShardJSONPath, when non-empty, is where the sharding experiment writes
+	// its machine-readable results.
+	ShardJSONPath string
 	// LoadWindow is the per-point measurement window of the sustained-load
 	// experiment (0 = 500ms). Warmup rides on top of it.
 	LoadWindow time.Duration
@@ -75,6 +78,7 @@ func DefaultConfig(out io.Writer) Config {
 		PreparedJSONPath: "BENCH_prepared.json",
 		ScanJSONPath:     "BENCH_scan.json",
 		LoadJSONPath:     "BENCH_load.json",
+		ShardJSONPath:    "BENCH_shard.json",
 	}
 }
 

@@ -398,7 +398,7 @@ func (db *DB) Update(ctx context.Context, tableName string, filters []Filter, se
 // matchValidLocked evaluates filters and applies validity; the caller holds
 // at least the table's read lock.
 func (db *DB) matchValidLocked(ctx context.Context, t *table, filters []Filter) (*ridset.Set, error) {
-	return db.matchValid(ctx, t.versionLocked(), filters)
+	return db.matchValid(ctx, t.versionLocked(), filters, 0)
 }
 
 // newBuildRand seeds a math/rand generator from crypto randomness for the

@@ -25,9 +25,15 @@ const morselGroups = 128
 // (default) and the two-pass baseline of matchRows + IntersectWith, which
 // remains live for WithFusedScan(false), for the unpacked-scan ablation, and
 // as the reference the fused property tests compare against.
-func (db *DB) matchValid(ctx context.Context, v *version, filters []Filter) (*ridset.Set, error) {
+//
+// limit (0 = none) is the LIMIT-pushdown hint: a caller that will keep only
+// the first limit matches in RecordID order allows the fused path to stop
+// scanning delta regions once the rows before them already satisfy the cap.
+// The returned set may therefore overshoot limit but never misses a row the
+// truncated prefix needs.
+func (db *DB) matchValid(ctx context.Context, v *version, filters []Filter, limit int) (*ridset.Set, error) {
 	if db.opts.fusedScan && db.opts.packedScan {
-		return db.matchRowsFused(ctx, v, filters)
+		return db.matchRowsFused(ctx, v, filters, limit)
 	}
 	match, err := db.matchRows(ctx, v, filters)
 	if err != nil {
@@ -67,7 +73,7 @@ type fusedFilter struct {
 // a filter is dictionary-level empty), so a dictionary error on a later
 // filter surfaces even when the conjunction would have emptied mid-scan —
 // the two-pass parallel path has the same property for its fan-out searches.
-func (db *DB) matchRowsFused(ctx context.Context, v *version, filters []Filter) (*ridset.Set, error) {
+func (db *DB) matchRowsFused(ctx context.Context, v *version, filters []Filter, limit int) (*ridset.Set, error) {
 	n := v.rows()
 	if len(filters) == 0 {
 		return v.valid.Clone(), nil
@@ -101,7 +107,7 @@ func (db *DB) matchRowsFused(ctx context.Context, v *version, filters []Filter) 
 		}
 	}
 	if v.deltaRows > 0 {
-		if err := db.fusedDeltaScan(ctx, v, preds, acc); err != nil {
+		if err := db.fusedDeltaScan(ctx, v, preds, acc, limit); err != nil {
 			return nil, err
 		}
 	}
@@ -222,12 +228,20 @@ func (db *DB) fusedMainScan(ctx context.Context, v *version, preds []*fusedFilte
 // table-wide accumulator once. Sealed runs evaluate through the same fused
 // membership kernel as the main store (over the run's bit-packed identity
 // vector); the active tail exploits AV[i] = i directly.
-func (db *DB) fusedDeltaScan(ctx context.Context, v *version, preds []*fusedFilter, acc *ridset.Set) error {
+//
+// With a LIMIT-pushdown hint the scan stops before any region whose rows can
+// no longer reach the truncated prefix: regions hold strictly increasing
+// RecordIDs, so once the accumulator already carries limit matches below a
+// region's offset, nothing that region contributes survives the cut.
+func (db *DB) fusedDeltaScan(ctx context.Context, v *version, preds []*fusedFilter, acc *ridset.Set, limit int) error {
 	cv0 := preds[0].cv
 	off := v.mainRows
 	for ri := range cv0.sealed {
 		if err := ctxErr(ctx); err != nil {
 			return err
+		}
+		if limit > 0 && acc.Len() >= limit {
+			return nil
 		}
 		rows := cv0.sealed[ri].rows()
 		reg := ridset.Full(rows)
@@ -244,7 +258,7 @@ func (db *DB) fusedDeltaScan(ctx context.Context, v *version, preds []*fusedFilt
 		off += rows
 	}
 	rows := cv0.tail.Len()
-	if rows == 0 {
+	if rows == 0 || (limit > 0 && acc.Len() >= limit) {
 		return nil
 	}
 	reg := ridset.Full(rows)

@@ -42,6 +42,12 @@ type Query struct {
 	// count (the paper notes counts are straightforward on top of range
 	// search).
 	CountOnly bool
+	// Limit caps the result at the first Limit matching rows in RecordID
+	// order (0 = unlimited). The engine stops scanning delta regions once
+	// the main store alone satisfies the cap, and the streaming cursor never
+	// renders rows past it. Ignored for CountOnly queries: a count reports
+	// the full match cardinality.
+	Limit int
 }
 
 // ResultColumn is one rendered output column: ciphertext cells for encrypted
@@ -114,11 +120,22 @@ func (db *DB) selectMatch(ctx context.Context, q Query) (*version, []uint32, err
 		return nil, nil, err
 	}
 	db.metrics.selectPinned(v.rows())
-	match, err := db.matchValid(ctx, v, q.Filters)
+	limit := q.Limit
+	if q.CountOnly {
+		limit = 0
+	}
+	match, err := db.matchValid(ctx, v, q.Filters, limit)
 	if err != nil {
 		return nil, nil, err
 	}
-	return v, match.Slice(), nil
+	rids := match.Slice()
+	// LIMIT pushdown: the match set is in RecordID order, so the first Limit
+	// entries are exactly the rows a client-side cutoff would keep — rendering
+	// (and for the fused path, delta scanning) never touches the rest.
+	if limit > 0 && len(rids) > limit {
+		rids = rids[:limit]
+	}
+	return v, rids, nil
 }
 
 // project resolves a query's projection list against the pinned version:

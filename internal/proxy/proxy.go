@@ -387,10 +387,22 @@ func (p *Proxy) selectPlan(s *sqlparse.Select, schema engine.Schema) (q engine.Q
 		q.Project = append(append([]string(nil), q.Project...), s.OrderBy)
 		extraSort = true
 	}
+	// LIMIT pushes down to the provider only when nothing on the trusted
+	// side reorders or aggregates the result first — the first n rows in
+	// RecordID order are then exactly the n rows the client would keep.
+	if s.Limit > 0 && !s.Count && len(s.Aggregates) == 0 && s.OrderBy == "" {
+		q.Limit = s.Limit
+	}
 	return q, extraSort, nil
 }
 
 func (p *Proxy) selectStmt(ctx context.Context, s *sqlparse.Select, schema engine.Schema) (*Result, error) {
+	// Against a sharded executor, ORDER BY and aggregates combine per-shard
+	// partials instead of concatenating the fleet-wide ciphertext result
+	// first (COUNT needs no help: the executor sums shard counts itself).
+	if ss, ok := p.exec.(ShardStreamer); ok && !s.Count && (s.OrderBy != "" || len(s.Aggregates) > 0) {
+		return p.distributedSelect(ctx, ss, s, schema)
+	}
 	q, extraSort, err := p.selectPlan(s, schema)
 	if err != nil {
 		return nil, err
@@ -478,13 +490,9 @@ func aggregateOne(a sqlparse.Aggregate, rows [][]string, idx int) (string, error
 	default: // SUM, AVG
 		var sum int64
 		for _, r := range rows {
-			n, err := strconv.ParseInt(strings.TrimLeft(r[idx], "0"), 10, 64)
+			n, err := numericCell(a, r[idx])
 			if err != nil {
-				if strings.Trim(r[idx], "0") == "" && r[idx] != "" {
-					n = 0 // all-zero value
-				} else {
-					return "", fmt.Errorf("proxy: %s(%s): value %q is not numeric", a.Func, a.Column, r[idx])
-				}
+				return "", err
 			}
 			sum += n
 		}
@@ -493,6 +501,20 @@ func aggregateOne(a sqlparse.Aggregate, rows [][]string, idx int) (string, error
 		}
 		return strconv.FormatFloat(float64(sum)/float64(len(rows)), 'f', -1, 64), nil
 	}
+}
+
+// numericCell parses one SUM/AVG input value. Numbers are stored zero-padded
+// so lexicographic range filters work; the padding is stripped before
+// parsing, with the all-zero value spelled out as 0.
+func numericCell(a sqlparse.Aggregate, v string) (int64, error) {
+	n, err := strconv.ParseInt(strings.TrimLeft(v, "0"), 10, 64)
+	if err != nil {
+		if strings.Trim(v, "0") == "" && v != "" {
+			return 0, nil // all-zero value
+		}
+		return 0, fmt.Errorf("proxy: %s(%s): value %q is not numeric", a.Func, a.Column, v)
+	}
+	return n, nil
 }
 
 // orderAndLimit applies ORDER BY and LIMIT at the trusted side, then strips

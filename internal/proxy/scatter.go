@@ -1,0 +1,324 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/sqlparse"
+)
+
+// ShardStream is one shard's contribution to a scattered SELECT: a lazily
+// opened cursor over that shard's matching rows. Open dials the shard only
+// when called, so consumers that stop early (a satisfied LIMIT) never touch
+// the remaining shards.
+type ShardStream struct {
+	// Shard names the owning shard for errors and diagnostics.
+	Shard string
+	// Open starts the shard's cursor. Failures are typed per-shard errors
+	// from the sharding layer.
+	Open func() (engine.ResultStream, error)
+}
+
+// ShardStreamer is the optional Executor surface a sharded fleet exposes so
+// the proxy can run its distributed merge: instead of one concatenated
+// fleet-wide result, the proxy gets one cursor per shard and combines them on
+// the trusted side — ordered k-way merge for ORDER BY, partial aggregates
+// for MIN/MAX/SUM/AVG. Executors without it are served by the materialized
+// Select path.
+type ShardStreamer interface {
+	ShardStreams(ctx context.Context, q engine.Query) []ShardStream
+}
+
+// distributedSelect is the life of a distributed ORDER BY or aggregate
+// SELECT: scatter the encrypted query, and per shard — in parallel — drain
+// the shard's cursor and decrypt. ORDER BY sorts each shard's rows locally
+// and k-way-merges the sorted runs (stopping at LIMIT); aggregates fold each
+// shard's chunks into a constant-size partial and combine the partials. A
+// one-shard fleet degenerates to exactly the single-node plan: one sorted
+// run is its own merge, one partial its own total.
+func (p *Proxy) distributedSelect(ctx context.Context, ss ShardStreamer, s *sqlparse.Select, schema engine.Schema) (*Result, error) {
+	q, extraSort, err := p.selectPlan(s, schema)
+	if err != nil {
+		return nil, err
+	}
+	project := q.Project
+	if len(project) == 0 {
+		for _, def := range schema.Columns {
+			project = append(project, def.Name)
+		}
+	}
+	dec, err := p.decoders(schema, project)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Aggregates) > 0 {
+		return p.scatterAggregate(ctx, ss, s, q, project, dec)
+	}
+	return p.scatterOrdered(ctx, ss, s, q, project, dec, extraSort)
+}
+
+// scatterShards runs fn against every shard's stream concurrently and
+// returns the first failure in shard order.
+func scatterShards(streams []ShardStream, fn func(i int, st engine.ResultStream) error) error {
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
+	for i, sh := range streams {
+		wg.Add(1)
+		go func(i int, sh ShardStream) {
+			defer wg.Done()
+			st, err := sh.Open()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer st.Close()
+			errs[i] = fn(i, st)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeChunk decrypts one engine chunk into projection-ordered rows.
+func decodeChunk(chunk *engine.Result, project []string, dec []func([]byte) (string, error)) ([][]string, error) {
+	if len(chunk.Columns) != len(project) {
+		return nil, fmt.Errorf("proxy: chunk has %d columns, want %d", len(chunk.Columns), len(project))
+	}
+	rows := make([][]string, chunk.Count)
+	for ri := range rows {
+		rows[ri] = make([]string, len(project))
+	}
+	for ci := range project {
+		cells := chunk.Columns[ci].Cells
+		if len(cells) != chunk.Count {
+			return nil, fmt.Errorf("proxy: column %q chunk has %d cells, want %d", project[ci], len(cells), chunk.Count)
+		}
+		for ri, cell := range cells {
+			v, err := dec[ci](cell)
+			if err != nil {
+				return nil, fmt.Errorf("proxy: decrypt %q: %w", project[ci], err)
+			}
+			rows[ri][ci] = v
+		}
+	}
+	return rows, nil
+}
+
+// scatterOrdered runs the distributed ORDER BY: per shard, decrypt and sort
+// the matching rows into a run; then merge the runs. Each run is sorted with
+// the same stable comparator the single-node path uses, and the merge takes
+// strictly-smaller keys only, so equal keys resolve to the earlier shard and,
+// within a shard, to storage order — deterministic regardless of which shard
+// answers first.
+func (p *Proxy) scatterOrdered(ctx context.Context, ss ShardStreamer, s *sqlparse.Select, q engine.Query, project []string, dec []func([]byte) (string, error), extraSort bool) (*Result, error) {
+	idx := -1
+	for i, c := range project {
+		if c == s.OrderBy {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, s.OrderBy)
+	}
+	streams := ss.ShardStreams(ctx, q)
+	runs := make([][][]string, len(streams))
+	err := scatterShards(streams, func(i int, st engine.ResultStream) error {
+		for {
+			chunk, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			rows, err := decodeChunk(chunk, project, dec)
+			if err != nil {
+				return err
+			}
+			runs[i] = append(runs[i], rows...)
+		}
+		sort.SliceStable(runs[i], func(a, b int) bool {
+			if s.OrderDesc {
+				return runs[i][a][idx] > runs[i][b][idx]
+			}
+			return runs[i][a][idx] < runs[i][b][idx]
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, run := range runs {
+		total += len(run)
+	}
+	want := total
+	if s.Limit >= 0 && s.Limit < want {
+		want = s.Limit
+	}
+	merged := make([][]string, 0, want)
+	heads := make([]int, len(runs))
+	for len(merged) < want {
+		best := -1
+		for i, run := range runs {
+			if heads[i] >= len(run) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			a, b := run[heads[i]][idx], runs[best][heads[best]][idx]
+			if (s.OrderDesc && a > b) || (!s.OrderDesc && a < b) {
+				best = i
+			}
+		}
+		merged = append(merged, runs[best][heads[best]])
+		heads[best]++
+	}
+	out := &Result{Kind: KindRows, Columns: append([]string(nil), project...), Rows: merged, Count: total}
+	if s.Limit >= 0 && total > s.Limit {
+		out.Count = len(out.Rows)
+	}
+	if extraSort {
+		for i := range out.Rows {
+			out.Rows[i] = append(out.Rows[i][:idx], out.Rows[i][idx+1:]...)
+		}
+		out.Columns = append(out.Columns[:idx], out.Columns[idx+1:]...)
+	}
+	return out, nil
+}
+
+// partial is one shard's constant-size aggregate contribution: the matching
+// row count plus, per aggregate, a running sum (SUM/AVG) or best value
+// (MIN/MAX).
+type partial struct {
+	n    int
+	sums []int64
+	best []string
+	has  []bool
+}
+
+// scatterAggregate folds every shard's chunks into a partial — never
+// materializing a shard's full result — and combines the partials into the
+// single aggregate row.
+func (p *Proxy) scatterAggregate(ctx context.Context, ss ShardStreamer, s *sqlparse.Select, q engine.Query, project []string, dec []func([]byte) (string, error)) (*Result, error) {
+	colIdx := make(map[string]int, len(project))
+	for i, c := range project {
+		colIdx[c] = i
+	}
+	for _, a := range s.Aggregates {
+		if _, ok := colIdx[a.Column]; !ok {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoSuchColumn, a.Column)
+		}
+	}
+	streams := ss.ShardStreams(ctx, q)
+	parts := make([]partial, len(streams))
+	err := scatterShards(streams, func(i int, st engine.ResultStream) error {
+		pt := partial{
+			sums: make([]int64, len(s.Aggregates)),
+			best: make([]string, len(s.Aggregates)),
+			has:  make([]bool, len(s.Aggregates)),
+		}
+		for {
+			chunk, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			rows, err := decodeChunk(chunk, project, dec)
+			if err != nil {
+				return err
+			}
+			pt.n += len(rows)
+			for ai, a := range s.Aggregates {
+				ci := colIdx[a.Column]
+				for _, row := range rows {
+					v := row[ci]
+					switch a.Func {
+					case sqlparse.AggMin, sqlparse.AggMax:
+						if !pt.has[ai] ||
+							(a.Func == sqlparse.AggMin && v < pt.best[ai]) ||
+							(a.Func == sqlparse.AggMax && v > pt.best[ai]) {
+							pt.best[ai], pt.has[ai] = v, true
+						}
+					default: // SUM, AVG
+						n, err := numericCell(a, v)
+						if err != nil {
+							return err
+						}
+						pt.sums[ai] += n
+					}
+				}
+			}
+		}
+		parts[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return combinePartials(s.Aggregates, parts), nil
+}
+
+// combinePartials merges per-shard partials into the final aggregate row,
+// mirroring the single-node aggregate's shape: SUM and AVG sum the partial
+// sums (AVG divides by the fleet-wide count), MIN/MAX take the best partial
+// best, and zero matching rows yield empty values.
+func combinePartials(aggs []sqlparse.Aggregate, parts []partial) *Result {
+	total := 0
+	for _, pt := range parts {
+		total += pt.n
+	}
+	out := &Result{Kind: KindRows, Count: 1, Rows: [][]string{{}}}
+	for ai, a := range aggs {
+		out.Columns = append(out.Columns, fmt.Sprintf("%s(%s)", strings.ToLower(a.Func.String()), a.Column))
+		if total == 0 {
+			out.Rows[0] = append(out.Rows[0], "")
+			continue
+		}
+		switch a.Func {
+		case sqlparse.AggMin, sqlparse.AggMax:
+			var best string
+			seen := false
+			for _, pt := range parts {
+				if !pt.has[ai] {
+					continue
+				}
+				if !seen ||
+					(a.Func == sqlparse.AggMin && pt.best[ai] < best) ||
+					(a.Func == sqlparse.AggMax && pt.best[ai] > best) {
+					best, seen = pt.best[ai], true
+				}
+			}
+			out.Rows[0] = append(out.Rows[0], best)
+		case sqlparse.AggSum:
+			var sum int64
+			for _, pt := range parts {
+				sum += pt.sums[ai]
+			}
+			out.Rows[0] = append(out.Rows[0], strconv.FormatInt(sum, 10))
+		default: // AVG
+			var sum int64
+			for _, pt := range parts {
+				sum += pt.sums[ai]
+			}
+			out.Rows[0] = append(out.Rows[0], strconv.FormatFloat(float64(sum)/float64(total), 'f', -1, 64))
+		}
+	}
+	return out
+}

@@ -1,0 +1,601 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/encdbdb/encdbdb/internal/engine"
+	"github.com/encdbdb/encdbdb/internal/metrics"
+	"github.com/encdbdb/encdbdb/internal/proxy"
+)
+
+// Options configure NewExecutor.
+type Options struct {
+	// Metrics, when set, registers the encdbdb_shard_* families on it.
+	Metrics *metrics.Registry
+	// Partitioner overrides the map's partitioner (nil = derive from the
+	// map's strategy).
+	Partitioner Partitioner
+}
+
+// Executor presents a fleet of shards as one proxy.Executor: writes route to
+// the owning shard, reads scatter-gather, and every per-shard failure comes
+// back as a typed *Error naming the shard. It also implements the proxy's
+// optional fast paths — BatchInserter (per-shard sub-batches), StreamExecutor
+// (shard-chained streaming with LIMIT short-circuit), and ShardStreamer (the
+// per-shard cursors the proxy's distributed merge consumes).
+type Executor struct {
+	m        *Map
+	backends []proxy.Executor
+	part     Partitioner
+	met      *shardMetrics
+	health   []*health
+
+	// seq is the per-table logical RecordID sequence inserts are routed by.
+	mu  sync.Mutex
+	seq map[string]*atomic.Uint64
+}
+
+// Statically ensure the fleet satisfies the full executor surface.
+var (
+	_ proxy.Executor       = (*Executor)(nil)
+	_ proxy.BatchInserter  = (*Executor)(nil)
+	_ proxy.StreamExecutor = (*Executor)(nil)
+	_ proxy.ShardStreamer  = (*Executor)(nil)
+)
+
+// NewExecutor builds the scatter-gather executor over one backend per shard
+// of m, in map order. Backends are any proxy.Executor — wire.Pool clients in
+// production, embedded engines in tests.
+func NewExecutor(m *Map, backends []proxy.Executor, opts Options) (*Executor, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(backends) != len(m.Shards) {
+		return nil, fmt.Errorf("shard: map has %d shards but %d backends given", len(m.Shards), len(backends))
+	}
+	part := opts.Partitioner
+	if part == nil {
+		var err error
+		if part, err = m.Partitioner(); err != nil {
+			return nil, err
+		}
+	}
+	e := &Executor{
+		m:        m,
+		backends: backends,
+		part:     part,
+		health:   make([]*health, len(backends)),
+		seq:      make(map[string]*atomic.Uint64),
+	}
+	for i := range e.health {
+		e.health[i] = &health{}
+	}
+	if opts.Metrics != nil {
+		e.met = newShardMetrics(opts.Metrics, m, func() float64 {
+			n := 0
+			for _, h := range e.health {
+				if h.down() {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+	return e, nil
+}
+
+// Map returns the executor's catalog.
+func (e *Executor) Map() *Map { return e.m }
+
+// Topology reports every shard's health and lifetime dispatch counters — the
+// rows of the proxy's `topology` command.
+func (e *Executor) Topology() []Status {
+	out := make([]Status, len(e.m.Shards))
+	for i, s := range e.m.Shards {
+		h := e.health[i]
+		st := Status{
+			Name:     s.Name,
+			Addr:     s.Addr,
+			Healthy:  !h.down(),
+			Requests: h.requests.Load(),
+			Errors:   h.errors.Load(),
+		}
+		if v, ok := h.lastErr.Load().(string); ok {
+			st.LastError = v
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// call runs one operation against shard i, recording health and metrics and
+// wrapping any failure in the typed per-shard error. Context cancellation is
+// the caller's doing, not the shard's, and never counts against its health.
+func (e *Executor) call(i int, op string, fn func(proxy.Executor) error) error {
+	wasDown := e.health[i].down()
+	started := e.met.now()
+	err := fn(e.backends[i])
+	ctxErr := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if !ctxErr {
+		if e.health[i].record(err) {
+			e.met.wentDown()
+		}
+	}
+	e.met.request(i, started, err != nil && !ctxErr)
+	if err == nil {
+		return nil
+	}
+	if ctxErr {
+		return err
+	}
+	if wasDown {
+		err = fmt.Errorf("%w (%v)", ErrShardDown, err)
+	}
+	return &Error{Shard: e.m.Shards[i].Name, Addr: e.m.Shards[i].Addr, Op: op, Err: err}
+}
+
+// scatter fans fn out to every shard in parallel and returns the first
+// failure in shard order (deterministic regardless of completion order).
+func (e *Executor) scatter(op string, fn func(i int, b proxy.Executor) error) error {
+	e.met.scatter(len(e.backends))
+	if len(e.backends) == 1 {
+		return e.call(0, op, func(b proxy.Executor) error { return fn(0, b) })
+	}
+	errs := make([]error, len(e.backends))
+	var wg sync.WaitGroup
+	for i := range e.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.call(i, op, func(b proxy.Executor) error { return fn(i, b) })
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// seqFor returns the table's logical RecordID counter.
+func (e *Executor) seqFor(table string) *atomic.Uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.seq[table]
+	if !ok {
+		s = &atomic.Uint64{}
+		e.seq[table] = s
+	}
+	return s
+}
+
+// Schema asks the shards in map order, failing over past unreachable ones:
+// every shard holds every schema, so the first answer wins. A semantic error
+// (unknown table) is the fleet's answer and is returned from the first shard
+// that gave it.
+func (e *Executor) Schema(table string) (engine.Schema, error) {
+	var first error
+	for i := range e.backends {
+		var s engine.Schema
+		err := e.call(i, "schema", func(b proxy.Executor) error {
+			var err error
+			s, err = b.Schema(table)
+			return err
+		})
+		if err == nil {
+			return s, nil
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return engine.Schema{}, first
+}
+
+// CreateTable broadcasts the DDL to every shard. Shards past a failure are
+// still attempted so the fleet stays as converged as possible; the first
+// failing shard's error is returned. Cross-shard DDL is not atomic — see
+// docs/sharding.md for the repair story.
+func (e *Executor) CreateTable(s engine.Schema) error {
+	return e.broadcastDDL("create_table", func(b proxy.Executor) error { return b.CreateTable(s) })
+}
+
+// DropTable broadcasts the DDL to every shard (see CreateTable).
+func (e *Executor) DropTable(name string) error {
+	return e.broadcastDDL("drop_table", func(b proxy.Executor) error { return b.DropTable(name) })
+}
+
+func (e *Executor) broadcastDDL(op string, fn func(proxy.Executor) error) error {
+	e.met.scatter(len(e.backends))
+	var first error
+	for i := range e.backends {
+		if err := e.call(i, op, fn); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Insert routes the row to the owner of the table's next logical RecordID.
+func (e *Executor) Insert(ctx context.Context, table string, row engine.Row) error {
+	rid := e.seqFor(table).Add(1) - 1
+	i := e.part.Owner(rid)
+	e.met.scatter(1)
+	return e.call(i, "insert", func(b proxy.Executor) error { return b.Insert(ctx, table, row) })
+}
+
+// InsertBatch partitions the batch by owner and dispatches the per-shard
+// sub-batches in parallel — shards with a BatchInserter fast path get one
+// call, the rest a row loop. Rows keep their batch order within each shard.
+func (e *Executor) InsertBatch(ctx context.Context, table string, rows []engine.Row) error {
+	seq := e.seqFor(table)
+	parts := make([][]engine.Row, len(e.backends))
+	for _, row := range rows {
+		rid := seq.Add(1) - 1
+		i := e.part.Owner(rid)
+		parts[i] = append(parts[i], row)
+	}
+	targets := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			targets++
+		}
+	}
+	e.met.scatter(targets)
+	errs := make([]error, len(e.backends))
+	var wg sync.WaitGroup
+	for i := range e.backends {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = e.call(i, "insert_batch", func(b proxy.Executor) error {
+				if bi, ok := b.(proxy.BatchInserter); ok {
+					return bi.InsertBatch(ctx, table, parts[i])
+				}
+				for _, row := range parts[i] {
+					if err := b.Insert(ctx, table, row); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Delete broadcasts the predicate — encrypted bounds carry fresh IVs, so the
+// trusted side cannot value-route writes — and sums the affected counts.
+func (e *Executor) Delete(ctx context.Context, table string, filters []engine.Filter) (int, error) {
+	var total atomic.Int64
+	err := e.scatter("delete", func(i int, b proxy.Executor) error {
+		n, err := b.Delete(ctx, table, filters)
+		total.Add(int64(n))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(total.Load()), nil
+}
+
+// Update broadcasts like Delete and sums the affected counts.
+func (e *Executor) Update(ctx context.Context, table string, filters []engine.Filter, set engine.Row) (int, error) {
+	var total atomic.Int64
+	err := e.scatter("update", func(i int, b proxy.Executor) error {
+		n, err := b.Update(ctx, table, filters, set)
+		total.Add(int64(n))
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(total.Load()), nil
+}
+
+// Select scatters the query and gathers one merged result: counts sum, row
+// results concatenate in shard order (each shard's rows stay in its RecordID
+// order), and a pushed-down LIMIT re-applies to the merged rows. The
+// single-shard configuration passes the backend's result through untouched.
+func (e *Executor) Select(ctx context.Context, q engine.Query) (*engine.Result, error) {
+	if len(e.backends) == 1 {
+		e.met.scatter(1)
+		var res *engine.Result
+		err := e.call(0, "select", func(b proxy.Executor) error {
+			var err error
+			res, err = b.Select(ctx, q)
+			return err
+		})
+		return res, err
+	}
+	results := make([]*engine.Result, len(e.backends))
+	err := e.scatter("select", func(i int, b proxy.Executor) error {
+		var err error
+		results[i], err = b.Select(ctx, q)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeResults(results, q)
+}
+
+// mergeResults concatenates per-shard results in shard order. RecordIDs are
+// shard-local and carried through for debugging only; cross-shard identity
+// is not meaningful.
+func mergeResults(results []*engine.Result, q engine.Query) (*engine.Result, error) {
+	out := &engine.Result{}
+	for _, r := range results {
+		out.Count += r.Count
+	}
+	if q.CountOnly {
+		return out, nil
+	}
+	for si, r := range results {
+		if r.Count == 0 && len(r.Columns) == 0 {
+			continue
+		}
+		if len(out.Columns) == 0 {
+			out.Columns = make([]engine.ResultColumn, len(r.Columns))
+			for i, c := range r.Columns {
+				out.Columns[i] = engine.ResultColumn{Table: c.Table, Column: c.Column}
+			}
+		}
+		if len(r.Columns) != len(out.Columns) {
+			return nil, fmt.Errorf("shard: shard %d returned %d columns, want %d", si, len(r.Columns), len(out.Columns))
+		}
+		out.RecordIDs = append(out.RecordIDs, r.RecordIDs...)
+		for i, c := range r.Columns {
+			if c.Column != out.Columns[i].Column {
+				return nil, fmt.Errorf("shard: shard %d column %d is %q, want %q", si, i, c.Column, out.Columns[i].Column)
+			}
+			out.Columns[i].Cells = append(out.Columns[i].Cells, c.Cells...)
+		}
+	}
+	if q.Limit > 0 && !q.CountOnly && out.Count > q.Limit {
+		out.Count = q.Limit
+		out.RecordIDs = out.RecordIDs[:min(len(out.RecordIDs), q.Limit)]
+		for i := range out.Columns {
+			out.Columns[i].Cells = out.Columns[i].Cells[:q.Limit]
+		}
+	}
+	return out, nil
+}
+
+// Merge runs a blocking merge on every shard.
+func (e *Executor) Merge(ctx context.Context, table string) error {
+	return e.scatter("merge", func(i int, b proxy.Executor) error { return b.Merge(ctx, table) })
+}
+
+// MergeAsync starts a background merge on every shard; started reports
+// whether any shard newly started one.
+func (e *Executor) MergeAsync(ctx context.Context, table string) (bool, error) {
+	var started atomic.Bool
+	err := e.scatter("merge_async", func(i int, b proxy.Executor) error {
+		s, err := b.MergeAsync(ctx, table)
+		if s {
+			started.Store(true)
+		}
+		return err
+	})
+	return started.Load(), err
+}
+
+// MergeStatus gathers every shard's status into one fleet view: store sizes,
+// completed merges, and generations sum; Merging reports any in-flight
+// merge; LastError surfaces the first shard's failure text.
+func (e *Executor) MergeStatus(ctx context.Context, table string) (engine.MergeInfo, error) {
+	infos := make([]engine.MergeInfo, len(e.backends))
+	err := e.scatter("merge_status", func(i int, b proxy.Executor) error {
+		var err error
+		infos[i], err = b.MergeStatus(ctx, table)
+		return err
+	})
+	if err != nil {
+		return engine.MergeInfo{}, err
+	}
+	var out engine.MergeInfo
+	for _, in := range infos {
+		out.Generation += in.Generation
+		out.Merging = out.Merging || in.Merging
+		out.MainRows += in.MainRows
+		out.DeltaRows += in.DeltaRows
+		out.DeltaBytes += in.DeltaBytes
+		out.SealedRuns += in.SealedRuns
+		out.Merges += in.Merges
+		if out.LastError == "" {
+			out.LastError = in.LastError
+		}
+	}
+	return out, nil
+}
+
+// SelectStream chains the per-shard streams in shard order, opening each
+// shard's cursor only when the previous shard is exhausted. A pushed-down
+// LIMIT therefore short-circuits the fan-out: once the delivered rows reach
+// q.Limit the remaining shards are never contacted.
+func (e *Executor) SelectStream(ctx context.Context, q engine.Query) (engine.ResultStream, error) {
+	if len(e.backends) == 1 {
+		e.met.scatter(1)
+		var st engine.ResultStream
+		err := e.call(0, "select_stream", func(b proxy.Executor) error {
+			var err error
+			st, err = openStream(ctx, b, q)
+			return err
+		})
+		return st, err
+	}
+	return &chainStream{e: e, ctx: ctx, q: q}, nil
+}
+
+// openStream opens one backend's stream, falling back to a materialized
+// Select for executors without the streaming fast path.
+func openStream(ctx context.Context, b proxy.Executor, q engine.Query) (engine.ResultStream, error) {
+	if se, ok := b.(proxy.StreamExecutor); ok {
+		return se.SelectStream(ctx, q)
+	}
+	res, err := b.Select(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return engine.MaterializedStream(res), nil
+}
+
+// ShardStreams exposes one lazily-opened cursor per shard — the surface the
+// proxy's distributed merge (ordered k-way merge, partial aggregates)
+// consumes. Opening and chunk errors count against the shard's health like
+// any other dispatch.
+func (e *Executor) ShardStreams(ctx context.Context, q engine.Query) []proxy.ShardStream {
+	out := make([]proxy.ShardStream, len(e.backends))
+	for i := range e.backends {
+		out[i] = proxy.ShardStream{
+			Shard: e.m.Shards[i].Name,
+			Open: func() (engine.ResultStream, error) {
+				var st engine.ResultStream
+				err := e.call(i, "select_stream", func(b proxy.Executor) error {
+					var err error
+					st, err = openStream(ctx, b, q)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				return &shardStream{e: e, i: i, inner: st}, nil
+			},
+		}
+	}
+	return out
+}
+
+// shardStream wraps one shard's cursor so mid-stream failures carry the
+// shard's identity and feed its health state.
+type shardStream struct {
+	e     *Executor
+	i     int
+	inner engine.ResultStream
+}
+
+func (s *shardStream) Next() (*engine.Result, error) {
+	chunk, err := s.inner.Next()
+	if err != nil && err != io.EOF {
+		err = s.e.wrapStreamErr(s.i, err)
+	}
+	return chunk, err
+}
+
+func (s *shardStream) Count() int   { return s.inner.Count() }
+func (s *shardStream) Close() error { return s.inner.Close() }
+
+// wrapStreamErr records a mid-stream failure against the shard and types it.
+func (e *Executor) wrapStreamErr(i int, err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if e.health[i].record(err) {
+		e.met.wentDown()
+	}
+	return &Error{Shard: e.m.Shards[i].Name, Addr: e.m.Shards[i].Addr, Op: "select_stream", Err: err}
+}
+
+// chainStream is the multi-shard streaming cursor: shard i+1's stream opens
+// only after shard i's is drained, and a satisfied LIMIT ends the chain
+// before the remaining shards are touched.
+type chainStream struct {
+	e   *Executor
+	ctx context.Context
+	q   engine.Query
+
+	next      int // next shard index to open
+	cur       engine.ResultStream
+	curShard  int
+	delivered int
+	seen      int // rows observed across opened shards (see Count)
+	done      bool
+}
+
+func (c *chainStream) Next() (*engine.Result, error) {
+	for {
+		if c.done {
+			return nil, io.EOF
+		}
+		if c.q.Limit > 0 && c.delivered >= c.q.Limit {
+			c.Close()
+			return nil, io.EOF
+		}
+		if c.cur == nil {
+			if c.next >= len(c.e.backends) {
+				c.done = true
+				return nil, io.EOF
+			}
+			i := c.next
+			c.next++
+			var st engine.ResultStream
+			err := c.e.call(i, "select_stream", func(b proxy.Executor) error {
+				var err error
+				st, err = openStream(c.ctx, b, c.q)
+				return err
+			})
+			if err != nil {
+				c.done = true
+				return nil, err
+			}
+			c.cur, c.curShard = st, i
+			c.seen += st.Count()
+		}
+		chunk, err := c.cur.Next()
+		if err == io.EOF {
+			c.cur.Close()
+			c.cur = nil
+			continue
+		}
+		if err != nil {
+			err = c.e.wrapStreamErr(c.curShard, err)
+			c.Close()
+			return nil, err
+		}
+		if c.q.Limit > 0 && c.delivered+chunk.Count > c.q.Limit {
+			chunk = truncateChunk(chunk, c.q.Limit-c.delivered)
+		}
+		c.delivered += chunk.Count
+		return chunk, nil
+	}
+}
+
+// truncateChunk shallow-copies a chunk down to need rows; the cell slices
+// keep aliasing the source chunk's buffers, valid until the next Next per
+// the ResultStream contract.
+func truncateChunk(chunk *engine.Result, need int) *engine.Result {
+	out := &engine.Result{Count: need}
+	if len(chunk.RecordIDs) >= need {
+		out.RecordIDs = chunk.RecordIDs[:need]
+	}
+	for _, col := range chunk.Columns {
+		out.Columns = append(out.Columns, engine.ResultColumn{
+			Table: col.Table, Column: col.Column, Cells: col.Cells[:need],
+		})
+	}
+	return out
+}
+
+// Count reports the matching rows observed on the shards opened so far — a
+// chain that has not fanned out yet cannot know the fleet-wide total without
+// defeating the lazy fan-out. The proxy's cursor never consults it; callers
+// that need an exact total should drain the stream or issue a CountOnly
+// query.
+func (c *chainStream) Count() int { return c.seen }
+
+// Close releases the current shard's stream and ends the chain.
+func (c *chainStream) Close() error {
+	if c.cur != nil {
+		c.cur.Close()
+		c.cur = nil
+	}
+	c.done = true
+	return nil
+}

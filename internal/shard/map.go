@@ -1,0 +1,199 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Strategy names the partitioning function a Map uses.
+const (
+	// StrategyHash spreads the insert stream over all shards with a 64-bit
+	// mix of the logical RecordID — the default, balanced under any insert
+	// pattern.
+	StrategyHash = "hash"
+	// StrategyRange assigns contiguous RecordID ranges: shard i owns
+	// [Bounds[i-1], Bounds[i]) with implicit 0 and +inf at the ends. Useful
+	// when later rows should land on later shards (time-ordered data).
+	StrategyRange = "range"
+)
+
+// Desc describes one shard of a Map.
+type Desc struct {
+	// Name is the shard's stable identity in errors, metrics, and the
+	// topology display.
+	Name string `json:"name"`
+	// Addr is the shard's provider address (host:port), informational for
+	// embedded backends.
+	Addr string `json:"addr"`
+}
+
+// Map is the shard-map catalog: the versioned description of the fleet and
+// how the insert stream partitions across it. It serializes to JSON in the
+// proxy's data directory so a restarted proxy routes exactly like its
+// predecessor.
+type Map struct {
+	// Version counts catalog revisions; Save bumps it so a newer file always
+	// wins over a stale one.
+	Version int `json:"version"`
+	// Strategy selects the partitioner: StrategyHash or StrategyRange.
+	Strategy string `json:"strategy"`
+	// Shards lists the fleet in routing order. Order matters: the hash
+	// partitioner indexes into it, scatter results merge in its order.
+	Shards []Desc `json:"shards"`
+	// Bounds are the range strategy's split points: len(Shards)-1 ascending
+	// logical RecordIDs, where shard i owns [Bounds[i-1], Bounds[i]).
+	// Unused (and empty) under the hash strategy.
+	Bounds []uint64 `json:"bounds,omitempty"`
+}
+
+// NewHashMap builds a hash-partitioned map over the given provider
+// addresses, naming shards shard0..shardN-1.
+func NewHashMap(addrs []string) *Map {
+	m := &Map{Version: 1, Strategy: StrategyHash}
+	for i, a := range addrs {
+		m.Shards = append(m.Shards, Desc{Name: fmt.Sprintf("shard%d", i), Addr: a})
+	}
+	return m
+}
+
+// NewRangeMap builds a range-partitioned map: bounds are the len(addrs)-1
+// ascending split points of the logical RecordID space.
+func NewRangeMap(addrs []string, bounds []uint64) *Map {
+	m := NewHashMap(addrs)
+	m.Strategy = StrategyRange
+	m.Bounds = append([]uint64(nil), bounds...)
+	return m
+}
+
+// Validate checks the catalog's invariants.
+func (m *Map) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("shard: map has no shards")
+	}
+	seen := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		if s.Name == "" {
+			return fmt.Errorf("shard: shard %d has no name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("shard: duplicate shard name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	switch m.Strategy {
+	case StrategyHash:
+		if len(m.Bounds) != 0 {
+			return fmt.Errorf("shard: hash strategy takes no bounds")
+		}
+	case StrategyRange:
+		if len(m.Bounds) != len(m.Shards)-1 {
+			return fmt.Errorf("shard: range strategy over %d shards needs %d bounds, got %d",
+				len(m.Shards), len(m.Shards)-1, len(m.Bounds))
+		}
+		for i := 1; i < len(m.Bounds); i++ {
+			if m.Bounds[i] <= m.Bounds[i-1] {
+				return fmt.Errorf("shard: bounds must ascend (bound %d = %d <= %d)", i, m.Bounds[i], m.Bounds[i-1])
+			}
+		}
+	default:
+		return fmt.Errorf("shard: unknown strategy %q", m.Strategy)
+	}
+	return nil
+}
+
+// Partitioner returns the map's routing function.
+func (m *Map) Partitioner() (Partitioner, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.Strategy == StrategyRange {
+		return rangePartitioner{bounds: m.Bounds}, nil
+	}
+	return hashPartitioner{n: len(m.Shards)}, nil
+}
+
+// MapFileName is the catalog's file name inside a data directory.
+const MapFileName = "shardmap.json"
+
+// LoadMap reads and validates a serialized catalog. path may be the catalog
+// file itself or a data directory containing MapFileName.
+func LoadMap(path string) (*Map, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, MapFileName)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: read map: %w", err)
+	}
+	var m Map
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse map %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Save atomically writes the catalog (bumping Version first) into dir, or to
+// an explicit file path ending in .json. The write-then-rename keeps a crash
+// from ever leaving a torn catalog behind.
+func (m *Map) Save(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if filepath.Ext(path) != ".json" {
+		if err := os.MkdirAll(path, 0o755); err != nil {
+			return err
+		}
+		path = filepath.Join(path, MapFileName)
+	}
+	m.Version++
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Partitioner maps a logical RecordID — the proxy-side per-table insert
+// sequence number — to the index of its owning shard.
+type Partitioner interface {
+	Owner(rid uint64) int
+}
+
+// hashPartitioner spreads RecordIDs with the splitmix64 finalizer: cheap,
+// stateless, and uniform even on the sequential IDs the insert path
+// produces.
+type hashPartitioner struct{ n int }
+
+func (h hashPartitioner) Owner(rid uint64) int {
+	z := rid + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(h.n))
+}
+
+// rangePartitioner assigns contiguous RecordID ranges by binary search over
+// the split points.
+type rangePartitioner struct{ bounds []uint64 }
+
+func (r rangePartitioner) Owner(rid uint64) int {
+	lo, hi := 0, len(r.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rid >= r.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

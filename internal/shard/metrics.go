@@ -1,0 +1,125 @@
+package shard
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/encdbdb/encdbdb/internal/metrics"
+)
+
+// fanoutBuckets sizes the fan-out width histogram: fleets are small, so the
+// buckets are the interesting widths themselves.
+var fanoutBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16}
+
+// shardMetrics is the scatter-gather layer's instrumentation: per-shard
+// request/error counts and latency, fan-out width per scatter, and health
+// transitions. Per-shard children are resolved once at construction so the
+// request path pays only atomic adds; a nil *shardMetrics makes every method
+// a no-op, mirroring the wire server's pattern.
+type shardMetrics struct {
+	reqByShard []*metrics.Counter
+	errByShard []*metrics.Counter
+	latByShard []*metrics.Histogram
+	fanout     *metrics.Histogram
+	downTotal  *metrics.Counter
+}
+
+// newShardMetrics registers the encdbdb_shard_* families on reg for the
+// shards of m, plus an unhealthy-count gauge sampled from health at scrape
+// time.
+func newShardMetrics(reg *metrics.Registry, m *Map, unhealthy func() float64) *shardMetrics {
+	sm := &shardMetrics{
+		fanout: reg.NewHistogram("encdbdb_shard_fanout_width",
+			"Shards touched per scatter-gather operation.", fanoutBuckets...),
+		downTotal: reg.NewCounter("encdbdb_shard_down_transitions_total",
+			"Times a shard transitioned from healthy to unhealthy."),
+	}
+	reqs := reg.NewCounterVec("encdbdb_shard_requests_total", "Requests dispatched, by shard.", "shard")
+	errs := reg.NewCounterVec("encdbdb_shard_errors_total", "Requests that failed, by shard.", "shard")
+	lat := reg.NewHistogramVec("encdbdb_shard_request_seconds", "Per-shard request latency.", metrics.DefBuckets, "shard")
+	for _, s := range m.Shards {
+		sm.reqByShard = append(sm.reqByShard, reqs.With(s.Name))
+		sm.errByShard = append(sm.errByShard, errs.With(s.Name))
+		sm.latByShard = append(sm.latByShard, lat.With(s.Name))
+	}
+	reg.NewGaugeFunc("encdbdb_shard_unhealthy",
+		"Shards currently marked unhealthy (last call failed).", unhealthy)
+	return sm
+}
+
+// now returns the dispatch timestamp, skipping the clock read when metrics
+// are off.
+func (sm *shardMetrics) now() time.Time {
+	if sm == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// request records one per-shard dispatch outcome.
+func (sm *shardMetrics) request(shard int, started time.Time, errored bool) {
+	if sm == nil {
+		return
+	}
+	sm.reqByShard[shard].Inc()
+	if errored {
+		sm.errByShard[shard].Inc()
+	}
+	sm.latByShard[shard].Observe(time.Since(started).Seconds())
+}
+
+// scatter records the width of one fan-out.
+func (sm *shardMetrics) scatter(width int) {
+	if sm == nil {
+		return
+	}
+	sm.fanout.Observe(float64(width))
+}
+
+// wentDown records a healthy-to-unhealthy transition.
+func (sm *shardMetrics) wentDown() {
+	if sm == nil {
+		return
+	}
+	sm.downTotal.Inc()
+}
+
+// health is one shard's sticky availability state, updated lock-free from
+// whichever goroutine completes a call against the shard.
+type health struct {
+	// failures counts consecutive failures (0 = healthy); requests and
+	// errors are lifetime totals for the topology display.
+	failures atomic.Int64
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	lastErr  atomic.Value // string
+}
+
+// record folds one call outcome into the state, reporting whether this
+// failure was the transition that marked the shard down.
+func (h *health) record(err error) (wentDown bool) {
+	h.requests.Add(1)
+	if err == nil {
+		h.failures.Store(0)
+		return false
+	}
+	h.errors.Add(1)
+	h.lastErr.Store(err.Error())
+	return h.failures.Add(1) == 1
+}
+
+// down reports whether the shard's last call failed.
+func (h *health) down() bool { return h.failures.Load() > 0 }
+
+// Status is one shard's row in the topology display.
+type Status struct {
+	Name string
+	Addr string
+	// Healthy is false while the shard's most recent call failed.
+	Healthy bool
+	// Requests and Errors are lifetime dispatch totals.
+	Requests uint64
+	Errors   uint64
+	// LastError is the most recent failure's text ("" if none ever).
+	LastError string
+}

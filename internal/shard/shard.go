@@ -1,0 +1,64 @@
+// Package shard implements EncDBDB's horizontal sharding layer: a shard-map
+// catalog describing N named shards, pluggable partitioning of the insert
+// stream across them, and a scatter-gather executor that presents the fleet
+// as one proxy.Executor.
+//
+// Sharding is purely a trusted-side routing and merging concern. The paper's
+// per-column key derivation (SK_DB -> column keys via HKDF) means every shard
+// receives ciphertexts under the same column keys but never needs a key of
+// its own, and the provider-visible protocol is unchanged: each shard sees
+// exactly the single-node stream of encrypted ranges and ciphertext cells it
+// would see as a standalone deployment — one that happens to hold a subset
+// of the rows. Nothing a shard observes reveals how many siblings it has.
+//
+// Routing rules:
+//
+//   - INSERT routes to the owner of the row's logical RecordID — the
+//     proxy-side per-table insert sequence — under the map's partitioner
+//     (hash by default, contiguous ranges optionally).
+//   - SELECT fans out to every shard and merges: counts sum, streamed rows
+//     chain in shard order, and the proxy combines ordered and aggregated
+//     results from per-shard partials (see internal/proxy).
+//   - UPDATE and DELETE broadcast: predicates are PAE-encrypted under fresh
+//     IVs, so the trusted side cannot value-route them; affected counts sum.
+//   - DDL (CREATE/DROP TABLE) broadcasts; every shard holds every schema.
+//
+// The degenerate one-shard map routes everything to its only backend and is
+// bit-identical to driving that backend directly.
+package shard
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShardDown marks an operation that failed against a shard already known
+// to be unhealthy (its previous call failed and no success has been seen
+// since). Errors from the first failure carry the raw cause instead — the
+// sentinel distinguishes "still down" from "just went down".
+var ErrShardDown = errors.New("shard: shard unavailable")
+
+// Error is the typed per-shard failure every scatter-gather operation
+// returns: it names the shard (and its address, when known) so callers can
+// tell which member of the fleet failed while the others kept answering.
+type Error struct {
+	// Shard and Addr identify the failing shard.
+	Shard string
+	Addr  string
+	// Op is the operation that failed (wire-style op name, e.g. "select").
+	Op string
+	// Err is the underlying cause. When the shard was already marked
+	// unhealthy before this attempt, Err wraps ErrShardDown.
+	Err error
+}
+
+// Error formats the failure with its shard identity.
+func (e *Error) Error() string {
+	if e.Addr != "" && e.Addr != e.Shard {
+		return fmt.Sprintf("shard %s (%s): %s: %v", e.Shard, e.Addr, e.Op, e.Err)
+	}
+	return fmt.Sprintf("shard %s: %s: %v", e.Shard, e.Op, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }

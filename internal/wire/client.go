@@ -502,9 +502,9 @@ func (c *Client) callOnce(ctx context.Context, req *request) (*response, error) 
 }
 
 // wireError rehydrates provider-side error text, restoring the context
-// sentinel errors and the admission-control sentinel so
-// errors.Is(err, context.Canceled) and errors.Is(err, ErrServerBusy) work
-// across the wire.
+// sentinel errors and the load-shedding sentinels so
+// errors.Is(err, context.Canceled), errors.Is(err, ErrServerBusy), and
+// errors.Is(err, ErrRateLimited) work across the wire.
 func wireError(msg string) error {
 	switch msg {
 	case context.Canceled.Error():
@@ -513,6 +513,8 @@ func wireError(msg string) error {
 		return context.DeadlineExceeded
 	case ErrServerBusy.Error():
 		return ErrServerBusy
+	case ErrRateLimited.Error():
+		return ErrRateLimited
 	}
 	return errors.New(msg)
 }

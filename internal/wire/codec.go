@@ -202,7 +202,8 @@ func encRequest(s binSink, req *request) {
 	s.str(req.Column)
 	s.uvarint(req.Cancel)
 	var flags byte
-	if req.Query.Table != "" || len(req.Query.Filters) > 0 || len(req.Query.Project) > 0 || req.Query.CountOnly {
+	if req.Query.Table != "" || len(req.Query.Filters) > 0 || len(req.Query.Project) > 0 ||
+		req.Query.CountOnly || req.Query.Limit > 0 {
 		flags |= reqHasQuery
 	}
 	if len(req.Row) > 0 {
@@ -252,6 +253,7 @@ func encQuery(s binSink, q *engine.Query) {
 		s.str(p)
 	}
 	boolByte(s, q.CountOnly)
+	s.uvarint(uint64(q.Limit))
 }
 
 func encFilters(s binSink, fs []engine.Filter) {
@@ -563,6 +565,7 @@ func decQuery(d *binReader, q *engine.Query, in *intern) {
 		q.Project[i] = in.get(d.strBytes())
 	}
 	q.CountOnly = d.bool()
+	q.Limit = int(d.uvarint())
 }
 
 func decFilters(d *binReader, fs []engine.Filter, in *intern) []engine.Filter {
@@ -719,6 +722,7 @@ func resetRequest(req *request) {
 	req.Query.Filters = req.Query.Filters[:0]
 	req.Query.Project = req.Query.Project[:0]
 	req.Query.CountOnly = false
+	req.Query.Limit = 0
 	if req.Row != nil {
 		clear(req.Row)
 	}

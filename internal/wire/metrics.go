@@ -66,6 +66,7 @@ type serverMetrics struct {
 	connsActive *metrics.Gauge
 	inflight    *metrics.Gauge
 	rejected    *metrics.Counter
+	rateLimited *metrics.Counter
 	timeouts    *metrics.Counter
 	bytesIn     *metrics.Counter
 	bytesOut    *metrics.Counter
@@ -83,6 +84,7 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		connsActive: reg.NewGauge("encdbdb_wire_connections_active", "Currently open connections."),
 		inflight:    reg.NewGauge("encdbdb_wire_inflight_requests", "Admitted requests not yet answered (queued + executing)."),
 		rejected:    reg.NewCounter("encdbdb_wire_rejected_total", "Requests shed with ErrServerBusy because the dispatch queue was full."),
+		rateLimited: reg.NewCounter("encdbdb_wire_rate_limited_total", "Requests shed with ErrRateLimited because the connection exceeded its request budget."),
 		timeouts:    reg.NewCounter("encdbdb_wire_request_timeouts_total", "Requests that exceeded the per-request deadline."),
 		bytesIn:     reg.NewCounter("encdbdb_wire_read_bytes_total", "Bytes read from client connections."),
 		bytesOut:    reg.NewCounter("encdbdb_wire_written_bytes_total", "Bytes written to client connections."),
@@ -173,6 +175,13 @@ func (m *serverMetrics) rejectedInc() {
 		return
 	}
 	m.rejected.Inc()
+}
+
+func (m *serverMetrics) rateLimitedInc() {
+	if m == nil {
+		return
+	}
+	m.rateLimited.Inc()
 }
 
 func (m *serverMetrics) timeoutInc() {

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// ErrRateLimited is the rate-limiting rejection: the connection exceeded its
+// WithConnRate request budget, so the server shed the request before any work
+// started. Like ErrServerBusy it crosses the wire as a typed sentinel —
+// clients get errors.Is(err, ErrRateLimited) == true — but unlike busy
+// rejections it is not absorbed by WithBusyRetry: a limited client is asked
+// to slow down, not to try again immediately.
+var ErrRateLimited = errors.New("wire: rate limited")
+
+// WithConnRate caps each connection's sustained request rate at rps requests
+// per second via a per-connection token bucket (burst capacity = one second
+// of budget, at least one request). Requests over budget are shed immediately
+// with ErrRateLimited — no server-side work starts, so shedding is always
+// safe. Cancellation frames are exempt: a throttled client must still be able
+// to cancel what it already has in flight. rps <= 0 (the default) disables
+// the limiter.
+func WithConnRate(rps float64) ServerOption {
+	return func(s *Server) {
+		if rps > 0 {
+			s.connRate = rps
+		}
+	}
+}
+
+// tokenBucket is one connection's request budget: tokens refill continuously
+// at rate per second up to burst, and each admitted request spends one. It is
+// touched only from the connection's read loop, so it needs no lock.
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket starts a bucket full, so a fresh connection gets its burst.
+func newTokenBucket(rate float64) *tokenBucket {
+	burst := math.Max(1, rate)
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// allow refills for the time elapsed since the last call and spends one token
+// if the budget covers it.
+func (b *tokenBucket) allow(now time.Time) bool {
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+el*b.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// bucket returns a fresh per-connection bucket, or nil when the server is
+// unlimited.
+func (s *Server) bucket() *tokenBucket {
+	if s.connRate <= 0 {
+		return nil
+	}
+	return newTokenBucket(s.connRate)
+}

@@ -146,6 +146,7 @@ type Server struct {
 	queueDepth   int
 	reqTimeout   time.Duration
 	drainTimeout time.Duration
+	connRate     float64 // requests/second per connection (0 = unlimited)
 	metrics      *serverMetrics
 	maxProto     byte // 0 means newest (see WithServerMaxProto)
 
@@ -312,6 +313,7 @@ func (s *Server) requestContext(parent context.Context) (context.Context, contex
 func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32) {
 	fr := &frameReader{r: br}
 	defer fr.release()
+	bucket := s.bucket()
 	payload, err := fr.payload(firstLen)
 	for {
 		if err != nil {
@@ -321,6 +323,14 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 		if err := decodeMsg(payload, &req); err != nil {
 			s.logf("wire: bad request from %s: %v", conn.RemoteAddr(), err)
 			return
+		}
+		if bucket != nil && req.Op != opCancel && !bucket.allow(time.Now()) {
+			s.metrics.rateLimitedInc()
+			if err2 := s.writeLockstepError(conn, ErrRateLimited); err2 != nil {
+				return
+			}
+			payload, err = fr.read()
+			continue
 		}
 		arrived := s.metrics.now()
 		ctx, cancel := s.requestContext(context.Background())
@@ -340,6 +350,21 @@ func (s *Server) serveLockstep(conn net.Conn, br *bufio.Reader, firstLen uint32)
 		}
 		payload, err = fr.read()
 	}
+}
+
+// writeLockstepError answers one lock-step request with a bare error
+// response (used for sheds that bypass dispatch).
+func (s *Server) writeLockstepError(conn net.Conn, cause error) error {
+	resp := respPool.Get().(*response)
+	resp.Err = cause.Error()
+	out, err := encodeMsg(resp)
+	resetResponse(resp)
+	respPool.Put(resp)
+	if err != nil {
+		s.logf("wire: encode response: %v", err)
+		return err
+	}
+	return writeFrame(conn, out)
 }
 
 // recordResponse feeds one finished request into the metric families,
@@ -433,6 +458,7 @@ type muxConn struct {
 	inflight inflightSet
 	sem      chan struct{}
 	queueSem chan struct{}
+	bucket   *tokenBucket // nil without WithConnRate
 	wg       sync.WaitGroup
 }
 
@@ -474,6 +500,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 		ctx:      connCtx,
 		sem:      make(chan struct{}, s.connWorkers),
 		queueSem: make(chan struct{}, s.queueDepth),
+		bucket:   s.bucket(),
 	}
 	mc.mw.version = ver
 	defer mc.wg.Wait()
@@ -598,6 +625,19 @@ func (s *Server) handleMux(mc *muxConn, id uint64, req *request, buf *bufpool.Bu
 		mc.inflight.cancel(req.Cancel)
 		releaseRequest(req, buf, pooled)
 		if err := sendPooledResponse(mc.mw, id, ""); err != nil {
+			s.logf("wire: send response: %v", err)
+			mc.conn.Close()
+			return false
+		}
+		return true
+	}
+	// Rate limiting runs before queue admission: an over-budget connection
+	// is told to slow down even while the queue still has room, and like the
+	// busy shed the rejection costs one frame decode and one response frame.
+	if mc.bucket != nil && !mc.bucket.allow(time.Now()) {
+		s.metrics.rateLimitedInc()
+		releaseRequest(req, buf, pooled)
+		if err := sendPooledResponse(mc.mw, id, ErrRateLimited.Error()); err != nil {
 			s.logf("wire: send response: %v", err)
 			mc.conn.Close()
 			return false
